@@ -1,0 +1,55 @@
+"""Table 1: tsunami likelihood mean and level-dependent covariance.
+
+The paper's Table 1 lists the observation mean ``mu`` (maximum wave height and
+its arrival time at DART buoys 21418 and 21419) and the diagonal likelihood
+covariance per level.  This benchmark regenerates both from the synthetic
+scenario: the mean comes from running the finest forward model at the
+reference source location, the covariance from the level specifications.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_rows
+
+#: the paper's Table 1 values (mu, then sigma for levels 0/1/2)
+PAPER_TABLE1 = [
+    {"mu": 1.85232, "sigma_l0": 0.15, "sigma_l1": 0.1, "sigma_l2": 0.1},
+    {"mu": 0.6368, "sigma_l0": 0.15, "sigma_l1": 0.1, "sigma_l2": 0.1},
+    {"mu": 30.23, "sigma_l0": 2.5, "sigma_l1": 1.5, "sigma_l2": 0.75},
+    {"mu": 87.98, "sigma_l0": 2.5, "sigma_l1": 1.5, "sigma_l2": 0.75},
+]
+
+
+def test_table1_tsunami_likelihood(benchmark, tsunami_factory):
+    def build_table():
+        return tsunami_factory.observation_table()
+
+    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    num_levels = tsunami_factory.num_levels()
+
+    display = []
+    for idx, row in enumerate(rows):
+        entry = {"observable": ["max h (buoy 1)", "max h (buoy 2)", "t_max (buoy 1)", "t_max (buoy 2)"][idx]}
+        entry["mu (measured)"] = row["mu"]
+        entry["mu (paper)"] = PAPER_TABLE1[idx]["mu"]
+        for level in range(num_levels):
+            entry[f"sigma_l{level}"] = row[f"sigma_l{level}"]
+        display.append(entry)
+    print_rows("Table 1 — tsunami likelihood mean and per-level sigma", display)
+
+    measured_mu = np.array([row["mu"] for row in rows])
+    # Shape checks against the paper:
+    # 1. the first two observables are wave heights of order 0.1-10 m,
+    assert np.all(measured_mu[:2] > 0.05) and np.all(measured_mu[:2] < 20.0)
+    # 2. the last two are arrival times, much larger than the heights,
+    assert np.all(measured_mu[2:] > measured_mu[:2].max())
+    # 3. sigma values are exactly the paper's level-dependent ladder and shrink
+    #    with level (the finer the model, the more the data are trusted).
+    assert rows[0]["sigma_l0"] == 0.15 and rows[0]["sigma_l1"] == 0.10
+    assert rows[2]["sigma_l0"] == 2.5 and rows[2]["sigma_l1"] == 1.5
+    for row in rows:
+        sigmas = [row[f"sigma_l{level}"] for level in range(num_levels)]
+        assert all(s1 >= s2 for s1, s2 in zip(sigmas, sigmas[1:]))
+    benchmark.extra_info["measured_mu"] = measured_mu.tolist()

@@ -1,0 +1,65 @@
+"""Table 2: the tsunami model hierarchy (order, limiter, h, timesteps, DOF updates).
+
+The paper's Table 2 characterises the three tsunami levels by their polynomial
+order, whether the FV subcell limiter is active, the mesh width, the number of
+time steps and the total number of degree-of-freedom updates for the reference
+source at (0, 0).  This benchmark runs one forward simulation per level and
+reports the same columns (the FV substitute has order 1; DOF updates count
+cells x conserved variables x timesteps exactly as in the paper).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_rows
+from repro.swe.scenario import SourceParameters
+
+#: paper Table 2 for qualitative comparison
+PAPER_TABLE2 = [
+    {"level": 0, "order": 2, "limiter": False, "h": 1 / 25, "timesteps": 98, "dof_updates": 2.4e5},
+    {"level": 1, "order": 2, "limiter": True, "h": 1 / 79, "timesteps": 306, "dof_updates": 9.4e6},
+    {"level": 2, "order": 2, "limiter": True, "h": 1 / 241, "timesteps": 932, "dof_updates": 2.7e8},
+]
+
+
+def test_table2_tsunami_level_hierarchy(benchmark, tsunami_factory):
+    scenario = tsunami_factory.scenario
+    source = SourceParameters.from_theta([0.0, 0.0])
+
+    def run_all_levels():
+        results = []
+        for level in range(tsunami_factory.num_levels()):
+            results.append(scenario.simulate(level, source))
+        return results
+
+    results = benchmark.pedantic(run_all_levels, rounds=1, iterations=1)
+
+    rows = []
+    for spec, summary_row, result in zip(
+        tsunami_factory.specs, tsunami_factory.level_summary(), results
+    ):
+        rows.append(
+            {
+                "level": spec.level,
+                "order": summary_row["order"],
+                "limiter": spec.limiter,
+                "cells": spec.num_cells,
+                "h [km]": summary_row["mesh_width_m"] / 1e3,
+                "timesteps": result.num_timesteps,
+                "DOF updates": float(result.dof_updates),
+                "bathymetry": spec.bathymetry_treatment,
+            }
+        )
+    print_rows("Table 2 — tsunami model hierarchy (measured)", rows)
+    print_rows("Table 2 — paper values (ADER-DG on the real Tohoku scenario)", PAPER_TABLE2)
+
+    # Shape checks mirroring the paper's hierarchy:
+    timesteps = [r["timesteps"] for r in rows]
+    dof_updates = [r["DOF updates"] for r in rows]
+    # finer levels take more, smaller time steps and many more DOF updates
+    assert timesteps[0] < timesteps[1] < timesteps[2]
+    assert dof_updates[0] < dof_updates[1] < dof_updates[2]
+    # the fine/coarse DOF-update ratio spans orders of magnitude (paper: ~1000x)
+    assert dof_updates[2] / dof_updates[0] > 30
+    # limiter (wetting/drying treatment) off on level 0, on above it
+    assert rows[0]["limiter"] is False and rows[1]["limiter"] is True
+    benchmark.extra_info["dof_updates"] = dof_updates

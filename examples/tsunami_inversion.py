@@ -1,0 +1,93 @@
+"""Tohoku-like tsunami source inversion (Section 3.2 / 5.2 of the paper).
+
+Infers the location of the initial sea-surface displacement from the maximum
+wave height and its arrival time at two synthetic buoys, using a multilevel
+hierarchy that combines grid refinement with the paper's bathymetry
+treatments (depth-averaged / smoothed / full).
+
+The default configuration uses small grids so the script runs in a few
+minutes; ``--paper-scale`` switches to the paper's Table 2 resolutions
+(25 / 79 / 241 cells) and sample counts (800 / 450 / 240), which takes hours
+on a single core.
+
+Run with::
+
+    python examples/tsunami_inversion.py [--paper-scale]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import MLMCMCSampler, TsunamiInverseProblemFactory
+from repro.models.tsunami import TsunamiLevelSpec
+
+
+def build_factory(paper_scale: bool) -> TsunamiInverseProblemFactory:
+    if paper_scale:
+        return TsunamiInverseProblemFactory()  # paper defaults (Table 1 / Table 2)
+    return TsunamiInverseProblemFactory(
+        level_specs=(
+            TsunamiLevelSpec(0, 16, "constant", False, sigma_heights=0.15, sigma_times=2.5),
+            TsunamiLevelSpec(1, 32, "smoothed", True, sigma_heights=0.10, sigma_times=1.5,
+                             smoothing_passes=2),
+            TsunamiLevelSpec(2, 48, "full", True, sigma_heights=0.10, sigma_times=0.75),
+        ),
+        end_time=1800.0,
+        subsampling_rates=[0, 5, 3],
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--paper-scale", action="store_true")
+    parser.add_argument("--samples", type=int, nargs="+", default=None)
+    args = parser.parse_args()
+
+    factory = build_factory(args.paper_scale)
+    num_samples = args.samples or ([800, 450, 240] if args.paper_scale else [120, 50, 20])
+
+    print("Model hierarchy (cf. paper Table 2):")
+    for row in factory.level_summary():
+        print(
+            f"  level {row['level']}: cells = {row['num_cells']:4d}, "
+            f"h = {row['mesh_width_m'] / 1e3:6.1f} km, limiter = {row['limiter']}, "
+            f"bathymetry = {row['bathymetry']}, rho = {row['subsampling_rate']}"
+        )
+
+    print("\nSynthetic observations and level-dependent noise (cf. paper Table 1):")
+    for row in factory.observation_table():
+        sigmas = ", ".join(
+            f"l{level}: {row[f'sigma_l{level}']:.2f}" for level in range(factory.num_levels())
+        )
+        print(f"  observable {row['observable']}: mu = {row['mu']:8.3f}   sigma: {sigmas}")
+
+    result = MLMCMCSampler(factory, num_samples=num_samples, seed=2011).run()
+
+    print("\nPer-level contributions to the source-location estimate (cf. paper Table 4):")
+    cumulative = result.estimate.cumulative_means()
+    for contribution, partial in zip(result.estimate.contributions, cumulative):
+        print(
+            f"  level {contribution.level}: N = {contribution.num_samples:5d}, "
+            f"E[correction] = ({contribution.mean[0]:7.2f}, {contribution.mean[1]:7.2f}) km, "
+            f"V = ({contribution.variance[0]:8.2f}, {contribution.variance[1]:8.2f}), "
+            f"cumulative mean = ({partial[0]:7.2f}, {partial[1]:7.2f}) km"
+        )
+    print(f"acceptance rates: {[round(a, 3) for a in result.acceptance_rates]}")
+
+    estimate = result.mean
+    print(f"\ntrue source location      : (0.0, 0.0) km (reference solution)")
+    print(f"multilevel posterior mean : ({estimate[0]:.1f}, {estimate[1]:.1f}) km")
+    spread = np.sqrt(result.estimate.contributions[0].variance)
+    print(f"posterior spread (level 0): (~{spread[0]:.0f}, ~{spread[1]:.0f}) km")
+    print(
+        "\n(The posterior is wide: two buoys observing only the peak wave height and "
+        "its arrival time constrain the source location weakly, as in the paper's "
+        "Figure 13.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""repro — parallelized multilevel Markov chain Monte Carlo.
+
+A pure-Python reproduction of *"High Performance Uncertainty Quantification
+with Parallelized Multilevel Markov Chain Monte Carlo"* (SC '21): the MLMCMC
+algorithm and its component stack (:mod:`repro.core`), the parallel scheduling
+architecture with dynamic load balancing on a simulated MPI substrate
+(:mod:`repro.parallel`), and the two application studies — a Poisson
+subsurface-flow inverse problem (:mod:`repro.models.poisson`, backed by the
+FEM substrate :mod:`repro.fem` and the random fields in
+:mod:`repro.randomfield`) and a Tohoku-like tsunami source inversion
+(:mod:`repro.models.tsunami`, backed by the shallow-water solver in
+:mod:`repro.swe`).
+
+Quick start::
+
+    from repro import MLMCMCSampler, GaussianHierarchyFactory
+
+    factory = GaussianHierarchyFactory(dim=2, num_levels=3)
+    result = MLMCMCSampler(factory, num_samples=[4000, 1000, 400], seed=0).run()
+    print(result.mean)
+
+See ``examples/`` for runnable end-to-end scripts and ``benchmarks/`` for the
+reproduction of every table and figure of the paper.
+"""
+
+# Explicit re-exports (kept flat so `import repro` gives the main entry points).
+from repro.core import (
+    AbstractSamplingProblem,
+    AdaptiveMLMCMCSampler,
+    BayesianSamplingProblem,
+    GaussianTargetProblem,
+    MIComponentFactory,
+    MLComponentFactory,
+    MLMCMCResult,
+    MLMCMCSampler,
+    MonteCarloEstimate,
+    MultilevelEstimate,
+    SingleChainMCMC,
+    run_single_level_mcmc,
+)
+from repro.models import (
+    GaussianHierarchyFactory,
+    PoissonInverseProblemFactory,
+    TsunamiInverseProblemFactory,
+)
+from repro.parallel import (
+    ConstantCostModel,
+    LogNormalCostModel,
+    ParallelMLMCMCResult,
+    ParallelMLMCMCSampler,
+    strong_scaling_study,
+    weak_scaling_study,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbstractSamplingProblem",
+    "AdaptiveMLMCMCSampler",
+    "BayesianSamplingProblem",
+    "GaussianTargetProblem",
+    "MIComponentFactory",
+    "MLComponentFactory",
+    "MLMCMCResult",
+    "MLMCMCSampler",
+    "MonteCarloEstimate",
+    "MultilevelEstimate",
+    "SingleChainMCMC",
+    "run_single_level_mcmc",
+    "GaussianHierarchyFactory",
+    "PoissonInverseProblemFactory",
+    "TsunamiInverseProblemFactory",
+    "ConstantCostModel",
+    "LogNormalCostModel",
+    "ParallelMLMCMCResult",
+    "ParallelMLMCMCSampler",
+    "strong_scaling_study",
+    "weak_scaling_study",
+    "__version__",
+]

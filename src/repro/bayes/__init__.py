@@ -1,0 +1,31 @@
+"""Bayesian modelling layer.
+
+Densities, priors, likelihoods and their composition into posteriors.  The
+MCMC stack in :mod:`repro.core` only ever sees log-densities through the
+:class:`repro.core.problem.AbstractSamplingProblem` interface; this subpackage
+provides the standard building blocks used by the Poisson and tsunami
+applications.
+"""
+
+from repro.bayes.distributions import (
+    Density,
+    GaussianDensity,
+    UniformBoxDensity,
+    LogNormalDensity,
+    IndependentProductDensity,
+    TruncatedGaussianDensity,
+)
+from repro.bayes.likelihood import GaussianLikelihood, Likelihood
+from repro.bayes.posterior import Posterior
+
+__all__ = [
+    "Density",
+    "GaussianDensity",
+    "UniformBoxDensity",
+    "LogNormalDensity",
+    "IndependentProductDensity",
+    "TruncatedGaussianDensity",
+    "Likelihood",
+    "GaussianLikelihood",
+    "Posterior",
+]

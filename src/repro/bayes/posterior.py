@@ -1,0 +1,129 @@
+"""Posterior density composition.
+
+``log posterior = log likelihood + log prior`` (up to the evidence constant,
+which MCMC never needs).  :class:`Posterior` also memoises the most recent
+forward-model evaluation so that the quantity of interest can be computed
+without re-solving the PDE — mirroring the paper's observation that QOI
+evaluations should be skipped for rejected samples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.bayes.distributions import Density
+from repro.bayes.likelihood import Likelihood, UnphysicalModelOutput, GaussianLikelihood
+
+__all__ = ["Posterior"]
+
+
+class Posterior:
+    """Bayesian posterior ``nu(theta) \propto L(y | F(theta)) pi(theta)``.
+
+    Parameters
+    ----------
+    prior:
+        Prior density ``pi``.
+    likelihood:
+        Observation model ``L``.
+    forward:
+        Forward model ``F`` mapping a parameter vector to a prediction vector.
+    qoi:
+        Optional quantity-of-interest map.  It receives the parameter vector
+        and, when available, the cached forward prediction, so QOIs derived
+        from the model solution are free.
+    """
+
+    def __init__(
+        self,
+        prior: Density,
+        likelihood: Likelihood,
+        forward: Callable[[np.ndarray], np.ndarray],
+        qoi: Callable[[np.ndarray, np.ndarray | None], np.ndarray] | None = None,
+    ) -> None:
+        self._prior = prior
+        self._likelihood = likelihood
+        self._forward = forward
+        self._qoi = qoi
+        self._evaluations = 0
+        self._last_theta: np.ndarray | None = None
+        self._last_prediction: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def prior(self) -> Density:
+        """The prior density."""
+        return self._prior
+
+    @property
+    def likelihood(self) -> Likelihood:
+        """The likelihood."""
+        return self._likelihood
+
+    @property
+    def dim(self) -> int:
+        """Parameter dimension."""
+        return self._prior.dim
+
+    @property
+    def num_forward_evaluations(self) -> int:
+        """Number of forward-model evaluations performed so far."""
+        return self._evaluations
+
+    # ------------------------------------------------------------------
+    def forward(self, theta: np.ndarray) -> np.ndarray:
+        """Evaluate (and cache) the forward model at ``theta``."""
+        theta = np.atleast_1d(np.asarray(theta, dtype=float)).ravel()
+        if (
+            self._last_theta is not None
+            and self._last_theta.shape == theta.shape
+            and np.array_equal(self._last_theta, theta)
+            and self._last_prediction is not None
+        ):
+            return self._last_prediction
+        prediction = np.atleast_1d(np.asarray(self._forward(theta), dtype=float)).ravel()
+        self._evaluations += 1
+        self._last_theta = theta.copy()
+        self._last_prediction = prediction
+        return prediction
+
+    def log_prior(self, theta: np.ndarray) -> float:
+        """Log prior density."""
+        return self._prior.log_density(theta)
+
+    def log_likelihood(self, theta: np.ndarray) -> float:
+        """Log likelihood (handles unphysical forward-model outputs)."""
+        try:
+            prediction = self.forward(theta)
+        except UnphysicalModelOutput:
+            if isinstance(self._likelihood, GaussianLikelihood):
+                return self._likelihood.unphysical_log_likelihood
+            return -math.inf
+        return self._likelihood.log_likelihood(prediction)
+
+    def log_density(self, theta: np.ndarray) -> float:
+        """Unnormalised log posterior density."""
+        lp = self.log_prior(theta)
+        if not np.isfinite(lp):
+            return -math.inf
+        return lp + self.log_likelihood(theta)
+
+    def qoi(self, theta: np.ndarray) -> np.ndarray:
+        """Quantity of interest at ``theta``.
+
+        Defaults to the parameter itself (the tsunami application's choice)
+        when no QOI map was supplied.
+        """
+        theta = np.atleast_1d(np.asarray(theta, dtype=float)).ravel()
+        if self._qoi is None:
+            return theta.copy()
+        prediction = None
+        if self._last_theta is not None and np.array_equal(self._last_theta, theta):
+            prediction = self._last_prediction
+        return np.atleast_1d(np.asarray(self._qoi(theta, prediction), dtype=float)).ravel()
+
+    def __call__(self, theta: np.ndarray) -> float:
+        return self.log_density(theta)

@@ -1,0 +1,89 @@
+"""Core MCMC / multilevel MCMC stack (MUQ substitute).
+
+The component architecture mirrors MUQ's sampling stack, which the paper's
+parallel implementation builds on: sampling problems, proposals, transition
+kernels, single chains, sample collections, the multi-index component factory
+and the sequential multilevel driver.
+"""
+
+from repro.core.state import SamplingState
+from repro.core.problem import (
+    AbstractSamplingProblem,
+    BayesianSamplingProblem,
+    DensitySamplingProblem,
+    GaussianTargetProblem,
+)
+from repro.core.proposals import (
+    MCMCProposal,
+    ProposalResult,
+    GaussianRandomWalkProposal,
+    AdaptiveMetropolisProposal,
+    PreconditionedCrankNicolsonProposal,
+    IndependenceProposal,
+    SubsamplingProposal,
+    ChainSampleSource,
+)
+from repro.core.kernels import MHKernel, MultilevelKernel, TransitionKernel, KernelResult
+from repro.core.interpolation import (
+    MIInterpolation,
+    IdentityInterpolation,
+    BlockInterpolation,
+)
+from repro.core.chain import SingleChainMCMC, SubsampledChainSource
+from repro.core.sample_collection import SampleCollection, CorrectionCollection
+from repro.core.factory import MIComponentFactory, MLComponentFactory
+from repro.core.estimators import (
+    LevelContribution,
+    MultilevelEstimate,
+    MonteCarloEstimate,
+    optimal_sample_allocation,
+)
+from repro.core.diagnostics import ChainDiagnostics, diagnose_collection, gelman_rubin
+from repro.core.mlmcmc import MLMCMCResult, MLMCMCSampler, run_single_level_mcmc
+from repro.core.adaptive import (
+    AdaptiveAllocation,
+    AdaptiveMLMCMCResult,
+    AdaptiveMLMCMCSampler,
+)
+
+__all__ = [
+    "AdaptiveAllocation",
+    "AdaptiveMLMCMCResult",
+    "AdaptiveMLMCMCSampler",
+    "SamplingState",
+    "AbstractSamplingProblem",
+    "BayesianSamplingProblem",
+    "DensitySamplingProblem",
+    "GaussianTargetProblem",
+    "MCMCProposal",
+    "ProposalResult",
+    "GaussianRandomWalkProposal",
+    "AdaptiveMetropolisProposal",
+    "PreconditionedCrankNicolsonProposal",
+    "IndependenceProposal",
+    "SubsamplingProposal",
+    "ChainSampleSource",
+    "MHKernel",
+    "MultilevelKernel",
+    "TransitionKernel",
+    "KernelResult",
+    "MIInterpolation",
+    "IdentityInterpolation",
+    "BlockInterpolation",
+    "SingleChainMCMC",
+    "SubsampledChainSource",
+    "SampleCollection",
+    "CorrectionCollection",
+    "MIComponentFactory",
+    "MLComponentFactory",
+    "LevelContribution",
+    "MultilevelEstimate",
+    "MonteCarloEstimate",
+    "optimal_sample_allocation",
+    "ChainDiagnostics",
+    "diagnose_collection",
+    "gelman_rubin",
+    "MLMCMCResult",
+    "MLMCMCSampler",
+    "run_single_level_mcmc",
+]

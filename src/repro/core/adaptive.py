@@ -1,0 +1,161 @@
+"""Adaptive sample allocation for multilevel MCMC.
+
+The paper notes that "estimating the ideal distribution of computational
+resources across levels is far from trivial ... especially when adaptively
+determining the number of samples per level", and points to the root process
+as the place where adaptive sampling strategies live.  This module provides
+the sequential counterpart: a driver that
+
+1. runs a short *pilot* MLMCMC estimation to measure the per-level correction
+   variances ``V_l`` and per-sample costs ``C_l``,
+2. computes the cost-optimal sample allocation ``N_l ∝ sqrt(V_l / C_l)`` for a
+   requested tolerance on the estimator's standard error (the classical MLMC
+   allocation, accounting for chain autocorrelation through an effective
+   sample-size correction), and
+3. runs the production estimation with those sample counts.
+
+The same allocation logic can be fed to :class:`repro.parallel.ParallelMLMCMCSampler`
+as its per-level targets, which is exactly the strategy a custom root process
+would implement in the paper's framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.estimators import MultilevelEstimate, optimal_sample_allocation
+from repro.core.factory import MIComponentFactory
+from repro.core.mlmcmc import MLMCMCResult, MLMCMCSampler
+
+__all__ = ["AdaptiveAllocation", "AdaptiveMLMCMCResult", "AdaptiveMLMCMCSampler"]
+
+
+@dataclass
+class AdaptiveAllocation:
+    """The outcome of the pilot phase."""
+
+    variances: np.ndarray
+    costs: np.ndarray
+    iacts: np.ndarray
+    num_samples: list[int]
+    target_standard_error: float
+    pilot_estimate: MultilevelEstimate
+
+    def summary(self) -> list[dict[str, float | int]]:
+        """Per-level allocation summary."""
+        return [
+            {
+                "level": level,
+                "pilot_variance": float(self.variances[level]),
+                "cost_per_sample": float(self.costs[level]),
+                "iact": float(self.iacts[level]),
+                "allocated_samples": int(self.num_samples[level]),
+            }
+            for level in range(len(self.num_samples))
+        ]
+
+
+@dataclass
+class AdaptiveMLMCMCResult:
+    """Pilot allocation plus the production run."""
+
+    allocation: AdaptiveAllocation
+    production: MLMCMCResult
+
+    @property
+    def mean(self) -> np.ndarray:
+        """The production multilevel estimate."""
+        return self.production.mean
+
+
+class AdaptiveMLMCMCSampler:
+    """Two-phase (pilot + production) MLMCMC with cost-optimal sample allocation.
+
+    Parameters
+    ----------
+    factory:
+        The model hierarchy.
+    target_standard_error:
+        Requested standard error of the (scalar-reduced) multilevel estimator;
+        the allocation targets a total estimator variance of its square.
+    pilot_samples:
+        Per-level sample counts of the pilot phase (small; default 50 per
+        level with a minimum of 20).
+    max_samples_per_level:
+        Safety cap applied to the allocation.
+    seed:
+        Random seed (pilot and production use independent child streams).
+    """
+
+    def __init__(
+        self,
+        factory: MIComponentFactory,
+        target_standard_error: float,
+        pilot_samples: Sequence[int] | int = 50,
+        max_samples_per_level: int = 200_000,
+        seed: int | None = None,
+    ) -> None:
+        if target_standard_error <= 0:
+            raise ValueError("target_standard_error must be positive")
+        self.factory = factory
+        self.num_levels = len(factory.index_set())
+        if isinstance(pilot_samples, int):
+            self.pilot_samples = [max(20, int(pilot_samples))] * self.num_levels
+        else:
+            self.pilot_samples = [max(20, int(n)) for n in pilot_samples]
+            if len(self.pilot_samples) != self.num_levels:
+                raise ValueError("pilot_samples must have one entry per level")
+        self.target_standard_error = float(target_standard_error)
+        self.max_samples_per_level = int(max_samples_per_level)
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def pilot(self) -> AdaptiveAllocation:
+        """Run the pilot phase and compute the production allocation."""
+        pilot_seed = None if self.seed is None else self.seed + 1
+        pilot_run = MLMCMCSampler(
+            self.factory, num_samples=self.pilot_samples, seed=pilot_seed
+        ).run()
+
+        variances = np.array(
+            [
+                float(np.mean(contribution.variance)) if contribution.variance.size else 0.0
+                for contribution in pilot_run.estimate.contributions
+            ]
+        )
+        # Correlated samples carry less information; inflate the variance by the
+        # integrated autocorrelation time of each level's correction series.
+        iacts = np.array(
+            [
+                max(1.0, chain.samples.integrated_autocorrelation_time())
+                for chain in pilot_run.chains
+            ]
+        )
+        costs = np.array([max(c, 1e-12) for c in pilot_run.costs_per_sample])
+        effective_variances = np.maximum(variances * iacts, 1e-12)
+
+        target_variance = self.target_standard_error**2
+        allocation = optimal_sample_allocation(effective_variances, costs, target_variance)
+        allocation = np.minimum(allocation, self.max_samples_per_level)
+        num_samples = [int(max(n, p)) for n, p in zip(allocation, self.pilot_samples)]
+
+        return AdaptiveAllocation(
+            variances=variances,
+            costs=costs,
+            iacts=iacts,
+            num_samples=num_samples,
+            target_standard_error=self.target_standard_error,
+            pilot_estimate=pilot_run.estimate,
+        )
+
+    def run(self) -> AdaptiveMLMCMCResult:
+        """Run pilot + production."""
+        allocation = self.pilot()
+        production_seed = None if self.seed is None else self.seed + 2
+        production = MLMCMCSampler(
+            self.factory, num_samples=allocation.num_samples, seed=production_seed
+        ).run()
+        return AdaptiveMLMCMCResult(allocation=allocation, production=production)

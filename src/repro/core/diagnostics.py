@@ -1,0 +1,93 @@
+"""Chain diagnostics.
+
+Thin, chain-aware wrappers around the numerical diagnostics in
+:mod:`repro.utils.stats`: per-level integrated autocorrelation times,
+effective sample sizes, acceptance summaries and the Gelman-Rubin statistic
+across parallel chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.sample_collection import SampleCollection
+from repro.utils.stats import effective_sample_size, integrated_autocorrelation_time
+
+__all__ = ["ChainDiagnostics", "gelman_rubin", "diagnose_collection"]
+
+
+@dataclass
+class ChainDiagnostics:
+    """Summary statistics of one chain / sample collection."""
+
+    num_samples: int
+    mean: np.ndarray
+    variance: np.ndarray
+    iact: float
+    ess: float
+
+    def as_dict(self) -> dict[str, float | int]:
+        """Scalar summary (component means are reduced to norms)."""
+        return {
+            "num_samples": self.num_samples,
+            "mean_norm": float(np.linalg.norm(self.mean)),
+            "variance_mean": float(np.mean(self.variance)) if self.variance.size else 0.0,
+            "iact": self.iact,
+            "ess": self.ess,
+        }
+
+
+def diagnose_collection(samples: SampleCollection, use_qoi: bool = False) -> ChainDiagnostics:
+    """Compute diagnostics for a sample collection."""
+    data = samples.qois() if use_qoi else samples.parameters()
+    if data.size == 0:
+        return ChainDiagnostics(0, np.zeros(0), np.zeros(0), 1.0, 0.0)
+    mean = data.mean(axis=0)
+    variance = data.var(axis=0, ddof=1) if data.shape[0] > 1 else np.zeros_like(mean)
+    if data.shape[0] >= 4:
+        iacts = [integrated_autocorrelation_time(data[:, j]) for j in range(data.shape[1])]
+        iact = float(np.max(iacts))
+        ess = effective_sample_size(data)
+    else:
+        iact, ess = 1.0, float(data.shape[0])
+    return ChainDiagnostics(
+        num_samples=data.shape[0], mean=mean, variance=variance, iact=iact, ess=ess
+    )
+
+
+def gelman_rubin(chains: list[np.ndarray]) -> np.ndarray:
+    """Gelman-Rubin potential scale reduction factor across chains.
+
+    Parameters
+    ----------
+    chains:
+        List of ``(n, dim)`` arrays, one per chain (equal lengths are enforced
+        by truncation to the shortest chain).
+
+    Returns
+    -------
+    numpy.ndarray
+        Per-component R-hat; values close to 1 indicate convergence.
+    """
+    if len(chains) < 2:
+        raise ValueError("at least two chains are required")
+    arrays = [np.atleast_2d(np.asarray(c, dtype=float)) for c in chains]
+    n = min(a.shape[0] for a in arrays)
+    if n < 2:
+        raise ValueError("chains must contain at least two samples")
+    arrays = [a[:n] for a in arrays]
+    m = len(arrays)
+    stacked = np.stack(arrays)  # (m, n, dim)
+
+    chain_means = stacked.mean(axis=1)  # (m, dim)
+    chain_vars = stacked.var(axis=1, ddof=1)  # (m, dim)
+    grand_mean = chain_means.mean(axis=0)
+
+    between = n / (m - 1) * np.sum((chain_means - grand_mean) ** 2, axis=0)
+    within = chain_vars.mean(axis=0)
+    var_estimate = (n - 1) / n * within + between / n
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rhat = np.sqrt(np.where(within > 0, var_estimate / within, 1.0))
+    return rhat

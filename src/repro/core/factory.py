@@ -1,0 +1,125 @@
+"""Multi-index component factory.
+
+The user-facing interface of the (parallel) MLMCMC implementation mirrors the
+paper's ``MIComponentFactory`` (Fig. 7): for every model index the factory
+provides the sampling problem, the level-specific proposal, how proposals are
+drawn from coarser chains, how coarse and fine parameter blocks are combined,
+and a starting point.  A single implementation of this interface is all a user
+has to supply to run sequential or parallel MLMCMC on their model.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.interpolation import IdentityInterpolation, MIInterpolation
+from repro.core.problem import AbstractSamplingProblem
+from repro.core.proposals.base import MCMCProposal
+from repro.core.proposals.subsampling import ChainSampleSource, SubsamplingProposal
+from repro.multiindex import MultiIndex, MultiIndexSet, multilevel_set
+
+__all__ = ["MIComponentFactory", "MLComponentFactory"]
+
+
+class MIComponentFactory(ABC):
+    """Factory describing a model hierarchy for multi-index MCMC."""
+
+    # -- required interface -------------------------------------------------
+    @abstractmethod
+    def sampling_problem(self, index: MultiIndex) -> AbstractSamplingProblem:
+        """The sampling problem (posterior + QOI) for the given model index."""
+
+    @abstractmethod
+    def finest_index(self) -> MultiIndex:
+        """The finest model index the user provides (``L`` in Algorithm 2)."""
+
+    @abstractmethod
+    def proposal(self, index: MultiIndex, problem: AbstractSamplingProblem) -> MCMCProposal:
+        """The level-specific proposal density ``q_l`` (used on the coarsest level
+        for the whole parameter, on finer levels for the fine-only block)."""
+
+    @abstractmethod
+    def starting_point(self, index: MultiIndex) -> np.ndarray:
+        """Starting parameters for chains of the given index."""
+
+    # -- optional hooks --------------------------------------------------------
+    def coarse_proposal(
+        self,
+        index: MultiIndex,
+        coarse_problem: AbstractSamplingProblem,
+        coarse_source: ChainSampleSource,
+    ) -> SubsamplingProposal:
+        """How proposals are drawn from the coarser chain (default: plain subsampling)."""
+        return SubsamplingProposal(coarse_source)
+
+    def interpolation(self, index: MultiIndex) -> MIInterpolation:
+        """How coarse and fine parameter blocks combine (default: identity)."""
+        return IdentityInterpolation()
+
+    def needs_fine_proposal(self, index: MultiIndex) -> bool:
+        """Whether the level needs a fine-block proposal (dimension growth)."""
+        return False
+
+    def subsampling_rate(self, index: MultiIndex) -> int:
+        """Coarse-chain subsampling rate ``rho_l`` used when proposing to level ``index``."""
+        return 1
+
+    def index_set(self) -> MultiIndexSet:
+        """All model indices, coarse to fine (default: a 1-D multilevel ladder)."""
+        finest = self.finest_index()
+        if len(finest) == 1:
+            return multilevel_set(finest.as_level() + 1)
+        raise NotImplementedError(
+            "factories with multi-dimensional indices must override index_set()"
+        )
+
+    def is_parallelizable(self) -> bool:
+        """Whether the factory's models can be evaluated by worker groups."""
+        return True
+
+
+class MLComponentFactory(MIComponentFactory):
+    """Convenience base class for pure multilevel (1-D index) hierarchies.
+
+    Sub-classes implement the ``*_for_level`` hooks in terms of integer levels;
+    the multi-index plumbing is handled here.
+    """
+
+    # -- level-based interface ------------------------------------------------
+    @abstractmethod
+    def num_levels(self) -> int:
+        """Number of levels ``L + 1`` in the hierarchy."""
+
+    @abstractmethod
+    def problem_for_level(self, level: int) -> AbstractSamplingProblem:
+        """Sampling problem for an integer level."""
+
+    @abstractmethod
+    def proposal_for_level(self, level: int, problem: AbstractSamplingProblem) -> MCMCProposal:
+        """Proposal for an integer level."""
+
+    @abstractmethod
+    def starting_point_for_level(self, level: int) -> np.ndarray:
+        """Starting point for an integer level."""
+
+    def subsampling_rate_for_level(self, level: int) -> int:
+        """Subsampling rate ``rho_l`` for proposing from level ``level - 1``."""
+        return 1
+
+    # -- MIComponentFactory implementation ------------------------------------
+    def sampling_problem(self, index: MultiIndex) -> AbstractSamplingProblem:
+        return self.problem_for_level(MultiIndex(index).as_level())
+
+    def finest_index(self) -> MultiIndex:
+        return MultiIndex(self.num_levels() - 1)
+
+    def proposal(self, index: MultiIndex, problem: AbstractSamplingProblem) -> MCMCProposal:
+        return self.proposal_for_level(MultiIndex(index).as_level(), problem)
+
+    def starting_point(self, index: MultiIndex) -> np.ndarray:
+        return self.starting_point_for_level(MultiIndex(index).as_level())
+
+    def subsampling_rate(self, index: MultiIndex) -> int:
+        return self.subsampling_rate_for_level(MultiIndex(index).as_level())

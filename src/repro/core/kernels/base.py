@@ -1,0 +1,75 @@
+"""Transition kernel interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.state import SamplingState
+
+__all__ = ["KernelResult", "TransitionKernel"]
+
+
+@dataclass
+class KernelResult:
+    """Outcome of one kernel step.
+
+    Attributes
+    ----------
+    state:
+        The new chain state (identical object to the previous state when the
+        proposal was rejected).
+    accepted:
+        Whether the proposal was accepted.
+    log_alpha:
+        The log acceptance probability (clipped at 0).
+    metadata:
+        Kernel-specific annotations, e.g. the coarse sample coupled with a
+        multilevel step.
+    """
+
+    state: SamplingState
+    accepted: bool
+    log_alpha: float = 0.0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+class TransitionKernel(ABC):
+    """Markov transition kernel leaving a target distribution invariant."""
+
+    def __init__(self) -> None:
+        self._num_steps = 0
+        self._num_accepted = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_steps(self) -> int:
+        """Number of kernel steps performed."""
+        return self._num_steps
+
+    @property
+    def num_accepted(self) -> int:
+        """Number of accepted proposals."""
+        return self._num_accepted
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Empirical acceptance rate."""
+        return self._num_accepted / self._num_steps if self._num_steps else 0.0
+
+    def _record(self, accepted: bool) -> None:
+        self._num_steps += 1
+        if accepted:
+            self._num_accepted += 1
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def step(self, current: SamplingState, rng: np.random.Generator) -> KernelResult:
+        """Advance the chain by one step."""
+
+    @abstractmethod
+    def initialize(self, parameters: np.ndarray) -> SamplingState:
+        """Build and fully evaluate a starting state from raw parameters."""

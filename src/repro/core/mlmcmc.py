@@ -1,0 +1,233 @@
+"""Sequential multilevel MCMC driver.
+
+Implements Algorithm 2 of the paper in its sequential (single process) form:
+for every level ``l`` an independent estimator of the telescoping-sum term is
+built by running a level-``l`` chain whose proposals are subsampled states of
+a level ``l-1`` chain, which itself recursively uses level ``l-2`` proposals,
+down to a conventional MCMC chain on level 0.
+
+This driver defines the *reference semantics* that the parallel implementation
+in :mod:`repro.parallel` must reproduce: given the same factory and sample
+counts, the parallel estimator targets the same distribution, it merely
+schedules the work across (virtual) processes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.chain import SingleChainMCMC, SubsampledChainSource
+from repro.core.estimators import MonteCarloEstimate, MultilevelEstimate
+from repro.core.factory import MIComponentFactory
+from repro.core.kernels.mh import MHKernel
+from repro.core.kernels.multilevel import MultilevelKernel
+from repro.core.sample_collection import CorrectionCollection
+from repro.multiindex import MultiIndex
+from repro.utils.random import RandomSource
+
+__all__ = ["MLMCMCResult", "MLMCMCSampler", "run_single_level_mcmc"]
+
+
+@dataclass
+class MLMCMCResult:
+    """Everything produced by a sequential MLMCMC run."""
+
+    estimate: MultilevelEstimate
+    chains: list[SingleChainMCMC]
+    corrections: list[CorrectionCollection]
+    acceptance_rates: list[float]
+    costs_per_sample: list[float]
+    wall_time: float
+    model_evaluations: list[int] = field(default_factory=list)
+
+    @property
+    def mean(self) -> np.ndarray:
+        """The multilevel estimate of ``E[Q_L]``."""
+        return self.estimate.mean
+
+
+class MLMCMCSampler:
+    """Sequential greedy MLMCMC sampler.
+
+    Parameters
+    ----------
+    factory:
+        The model hierarchy (an :class:`repro.core.factory.MIComponentFactory`).
+    num_samples:
+        Post-burn-in samples per level, coarse to fine (e.g. ``[10_000, 1_000,
+        100]`` in the paper's Poisson experiment).
+    burnin:
+        Burn-in steps per level; defaults to 10% of the requested samples.
+    subsampling_rates:
+        Override of the factory's subsampling rates ``rho_l`` (entry ``l`` is
+        used when level ``l`` draws from level ``l-1``; entry 0 is ignored).
+    seed:
+        Seed of the random source from which all chain generators are spawned.
+    """
+
+    def __init__(
+        self,
+        factory: MIComponentFactory,
+        num_samples: Sequence[int],
+        burnin: Sequence[int] | None = None,
+        subsampling_rates: Sequence[int] | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.factory = factory
+        self.index_set = factory.index_set()
+        levels = self.index_set.coarse_to_fine()
+        if len(num_samples) != len(levels):
+            raise ValueError(
+                f"num_samples must have one entry per level ({len(levels)}), got {len(num_samples)}"
+            )
+        self.num_samples = [int(n) for n in num_samples]
+        self.burnin = (
+            [int(b) for b in burnin]
+            if burnin is not None
+            else [max(1, n // 10) for n in self.num_samples]
+        )
+        if len(self.burnin) != len(levels):
+            raise ValueError("burnin must have one entry per level")
+        self.subsampling_rates = (
+            [int(r) for r in subsampling_rates] if subsampling_rates is not None else None
+        )
+        self.random_source = RandomSource(seed)
+        self._problem_cache: dict[MultiIndex, object] = {}
+
+    # ------------------------------------------------------------------
+    def _problem(self, index: MultiIndex):
+        if index not in self._problem_cache:
+            self._problem_cache[index] = self.factory.sampling_problem(index)
+        return self._problem_cache[index]
+
+    def _subsampling_rate(self, level: int, index: MultiIndex) -> int:
+        if self.subsampling_rates is not None and level < len(self.subsampling_rates):
+            return max(0, self.subsampling_rates[level])
+        return max(0, self.factory.subsampling_rate(index))
+
+    def build_chain(self, level: int, chain_id: str = "main") -> SingleChainMCMC:
+        """Recursively build the chain stack whose top chain samples level ``level``."""
+        indices = self.index_set.coarse_to_fine()
+        index = indices[level]
+        problem = self._problem(index)
+        rng = self.random_source.child("chain", chain_id, level)
+
+        if level == 0:
+            proposal = self.factory.proposal(index, problem)
+            kernel = MHKernel(problem, proposal)
+            return SingleChainMCMC(
+                kernel=kernel,
+                starting_point=self.factory.starting_point(index),
+                rng=rng,
+                burnin=self.burnin[0],
+                level=0,
+            )
+
+        coarse_index = indices[level - 1]
+        coarse_problem = self._problem(coarse_index)
+        coarse_chain = self.build_chain(level - 1, chain_id=f"{chain_id}/coarse{level - 1}")
+        coarse_source = SubsampledChainSource(
+            coarse_chain, subsampling_rate=self._subsampling_rate(level, index)
+        )
+        coarse_proposal = self.factory.coarse_proposal(index, coarse_problem, coarse_source)
+        fine_proposal = (
+            self.factory.proposal(index, problem)
+            if self.factory.needs_fine_proposal(index)
+            else None
+        )
+        kernel = MultilevelKernel(
+            fine_problem=problem,
+            coarse_problem=coarse_problem,
+            coarse_proposal=coarse_proposal,
+            fine_proposal=fine_proposal,
+            interpolation=self.factory.interpolation(index),
+        )
+        return SingleChainMCMC(
+            kernel=kernel,
+            starting_point=self.factory.starting_point(index),
+            rng=rng,
+            burnin=self.burnin[level],
+            level=level,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> MLMCMCResult:
+        """Run all per-level estimators and assemble the telescoping sum."""
+        indices = self.index_set.coarse_to_fine()
+        corrections: list[CorrectionCollection] = []
+        chains: list[SingleChainMCMC] = []
+        acceptance_rates: list[float] = []
+        costs: list[float] = []
+        evaluations: list[int] = []
+
+        start = time.perf_counter()
+        for level, index in enumerate(indices):
+            problem = self._problem(index)
+            evals_before = problem.num_density_evaluations
+
+            chain = self.build_chain(level, chain_id=f"level{level}")
+            level_start = time.perf_counter()
+            chain.run(self.num_samples[level])
+            level_time = time.perf_counter() - level_start
+
+            chains.append(chain)
+            corrections.append(chain.corrections)
+            acceptance_rates.append(chain.acceptance_rate)
+            evals_level = problem.num_density_evaluations - evals_before
+            costs.append(level_time / max(1, evals_level))
+        wall_time = time.perf_counter() - start
+
+        # Total forward-model (density) evaluations per level across the whole
+        # run, including the coarse-chain evaluations embedded in finer-level
+        # estimators — this is the quantity cost accounting needs.
+        evaluations = [
+            self._problem(index).num_density_evaluations for index in indices
+        ]
+
+        estimate = MultilevelEstimate.from_corrections(corrections, costs_per_sample=costs)
+        return MLMCMCResult(
+            estimate=estimate,
+            chains=chains,
+            corrections=corrections,
+            acceptance_rates=acceptance_rates,
+            costs_per_sample=costs,
+            wall_time=wall_time,
+            model_evaluations=evaluations,
+        )
+
+
+def run_single_level_mcmc(
+    factory: MIComponentFactory,
+    level: int,
+    num_samples: int,
+    burnin: int | None = None,
+    seed: int | None = None,
+) -> tuple[MonteCarloEstimate, SingleChainMCMC]:
+    """Run a conventional single-level MH chain on one model of the hierarchy.
+
+    This is the baseline (Algorithm 1 applied to the finest affordable model)
+    that the multilevel method is compared against in the complexity analysis.
+    """
+    indices = factory.index_set().coarse_to_fine()
+    index = indices[level]
+    problem = factory.sampling_problem(index)
+    proposal = factory.proposal(index, problem)
+    kernel = MHKernel(problem, proposal)
+    rng = RandomSource(seed).child("single-level", level)
+    chain = SingleChainMCMC(
+        kernel=kernel,
+        starting_point=factory.starting_point(index),
+        rng=rng,
+        burnin=burnin if burnin is not None else max(1, num_samples // 10),
+        level=level,
+    )
+    start = time.perf_counter()
+    chain.run(num_samples)
+    elapsed = time.perf_counter() - start
+    cost_per_sample = elapsed / max(1, chain.samples.num_samples)
+    estimate = MonteCarloEstimate.from_samples(chain.samples, cost_per_sample=cost_per_sample)
+    return estimate, chain

@@ -1,0 +1,186 @@
+"""Sampling problem interfaces.
+
+:class:`AbstractSamplingProblem` mirrors MUQ's interface of the same name
+(paper, Fig. 6): a log density to sample from plus an optional quantity of
+interest.  Implementations provided here:
+
+* :class:`BayesianSamplingProblem` — wraps a :class:`repro.bayes.Posterior`;
+  this is what the Poisson and tsunami model hierarchies return.
+* :class:`GaussianTargetProblem` — an analytic Gaussian target used by unit
+  and integration tests (closed-form moments).
+* :class:`DensitySamplingProblem` — wraps arbitrary callables.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+import numpy as np
+
+from repro.bayes.distributions import GaussianDensity
+from repro.bayes.posterior import Posterior
+from repro.core.state import SamplingState
+
+__all__ = [
+    "AbstractSamplingProblem",
+    "BayesianSamplingProblem",
+    "GaussianTargetProblem",
+    "DensitySamplingProblem",
+]
+
+
+class AbstractSamplingProblem(ABC):
+    """A target density plus an optional quantity of interest.
+
+    The MCMC stack only ever interacts with models through this interface,
+    which is what makes the method model-agnostic: any forward model that can
+    be called from Python can be wrapped into a sampling problem.
+    """
+
+    def __init__(self, dim: int) -> None:
+        self._dim = int(dim)
+        self._density_evaluations = 0
+
+    @property
+    def dim(self) -> int:
+        """Parameter dimension."""
+        return self._dim
+
+    @property
+    def num_density_evaluations(self) -> int:
+        """Number of log-density evaluations performed through this problem."""
+        return self._density_evaluations
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _log_density_impl(self, parameters: np.ndarray) -> float:
+        """Implementation hook for the log density."""
+
+    def log_density(self, state: SamplingState | np.ndarray) -> float:
+        """Log target density; caches the value on :class:`SamplingState` inputs."""
+        if isinstance(state, SamplingState):
+            if state.log_density is None:
+                state.log_density = float(self._log_density_impl(state.parameters))
+                self._density_evaluations += 1
+            return state.log_density
+        self._density_evaluations += 1
+        return float(self._log_density_impl(np.asarray(state, dtype=float)))
+
+    # ------------------------------------------------------------------
+    def _qoi_impl(self, parameters: np.ndarray) -> np.ndarray:
+        """Implementation hook for the QOI; defaults to the parameters themselves."""
+        return np.asarray(parameters, dtype=float).copy()
+
+    def qoi(self, state: SamplingState | np.ndarray) -> np.ndarray:
+        """Quantity of interest; cached on :class:`SamplingState` inputs.
+
+        Following the paper, QOI evaluation is separate from density evaluation
+        so that rejected proposals never trigger (potentially expensive) QOI
+        computations.
+        """
+        if isinstance(state, SamplingState):
+            if state.qoi is None:
+                state.qoi = np.atleast_1d(
+                    np.asarray(self._qoi_impl(state.parameters), dtype=float)
+                ).ravel()
+            return state.qoi
+        return np.atleast_1d(np.asarray(self._qoi_impl(np.asarray(state, dtype=float)), dtype=float)).ravel()
+
+    # ------------------------------------------------------------------
+    @property
+    def qoi_dim(self) -> int | None:
+        """Dimension of the QOI if known (``None`` when unknown a priori)."""
+        return None
+
+    def evaluation_cost(self) -> float:
+        """A nominal cost (in arbitrary units) of one density evaluation.
+
+        Used by the parallel scheduler's cost models and by cost-accuracy
+        benchmarks; subclasses backed by PDE solvers override this with a
+        measured or analytic estimate.
+        """
+        return 1.0
+
+
+class BayesianSamplingProblem(AbstractSamplingProblem):
+    """Sampling problem backed by a :class:`repro.bayes.Posterior`."""
+
+    def __init__(self, posterior: Posterior, qoi_dim: int | None = None, cost: float = 1.0) -> None:
+        super().__init__(posterior.dim)
+        self._posterior = posterior
+        self._qoi_dim = qoi_dim
+        self._cost = float(cost)
+
+    @property
+    def posterior(self) -> Posterior:
+        """The underlying posterior."""
+        return self._posterior
+
+    def _log_density_impl(self, parameters: np.ndarray) -> float:
+        return self._posterior.log_density(parameters)
+
+    def _qoi_impl(self, parameters: np.ndarray) -> np.ndarray:
+        return self._posterior.qoi(parameters)
+
+    @property
+    def qoi_dim(self) -> int | None:
+        return self._qoi_dim
+
+    def evaluation_cost(self) -> float:
+        return self._cost
+
+
+class GaussianTargetProblem(AbstractSamplingProblem):
+    """Analytic Gaussian target ``N(mean, cov)`` with the identity QOI.
+
+    Used throughout the test-suite: posterior moments are known in closed form
+    so MCMC output can be validated quantitatively.
+    """
+
+    def __init__(self, mean: np.ndarray, covariance: np.ndarray | float, cost: float = 1.0) -> None:
+        self._density = GaussianDensity(mean, covariance)
+        super().__init__(self._density.dim)
+        self._cost = float(cost)
+
+    @property
+    def target(self) -> GaussianDensity:
+        """The target density object."""
+        return self._density
+
+    def _log_density_impl(self, parameters: np.ndarray) -> float:
+        return self._density.log_density(parameters)
+
+    @property
+    def qoi_dim(self) -> int | None:
+        return self.dim
+
+    def evaluation_cost(self) -> float:
+        return self._cost
+
+
+class DensitySamplingProblem(AbstractSamplingProblem):
+    """Wraps arbitrary ``log_density`` / ``qoi`` callables into a sampling problem."""
+
+    def __init__(
+        self,
+        dim: int,
+        log_density: Callable[[np.ndarray], float],
+        qoi: Callable[[np.ndarray], np.ndarray] | None = None,
+        cost: float = 1.0,
+    ) -> None:
+        super().__init__(dim)
+        self._log_density_fn = log_density
+        self._qoi_fn = qoi
+        self._cost = float(cost)
+
+    def _log_density_impl(self, parameters: np.ndarray) -> float:
+        return float(self._log_density_fn(parameters))
+
+    def _qoi_impl(self, parameters: np.ndarray) -> np.ndarray:
+        if self._qoi_fn is None:
+            return np.asarray(parameters, dtype=float).copy()
+        return np.asarray(self._qoi_fn(parameters), dtype=float)
+
+    def evaluation_cost(self) -> float:
+        return self._cost

@@ -1,0 +1,36 @@
+"""Independence (independent Metropolis-Hastings) proposal."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bayes.distributions import Density
+from repro.core.proposals.base import MCMCProposal, ProposalResult
+from repro.core.state import SamplingState
+
+__all__ = ["IndependenceProposal"]
+
+
+class IndependenceProposal(MCMCProposal):
+    """Proposals drawn i.i.d. from a fixed density, ignoring the current state.
+
+    The MH correction is ``log q(current) - log q(proposed)``.  Useful both as
+    a baseline and as the fine-component proposal ``q_l`` when parameter
+    dimensions grow across levels.
+    """
+
+    def __init__(self, density: Density) -> None:
+        self._density = density
+
+    @property
+    def density(self) -> Density:
+        """The proposal density."""
+        return self._density
+
+    def propose(self, current: SamplingState, rng: np.random.Generator) -> ProposalResult:
+        params = self._density.sample(rng)
+        proposed = SamplingState(parameters=params)
+        log_correction = self._density.log_density(current.parameters) - self._density.log_density(
+            params
+        )
+        return ProposalResult(state=proposed, log_correction=float(log_correction))

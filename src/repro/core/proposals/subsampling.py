@@ -1,0 +1,109 @@
+"""Coarse-chain subsampling proposal.
+
+The defining ingredient of multilevel MCMC (Algorithm 2): proposals for the
+level-``l`` chain are *samples of a level ``l-1`` chain*, taken every
+``rho_l`` steps so that consecutive proposals are nearly uncorrelated.  The
+proposal itself is agnostic about where those samples come from — a local
+chain advanced on demand (sequential MLMCMC), or a remote controller reached
+through the phonebook (parallel MLMCMC) — which is captured by the
+:class:`ChainSampleSource` interface.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.proposals.base import MCMCProposal, ProposalResult
+from repro.core.state import SamplingState
+
+__all__ = ["ChainSampleSource", "BufferedChainSource", "SubsamplingProposal"]
+
+
+class ChainSampleSource(ABC):
+    """A source of (approximately independent) samples from a coarser chain."""
+
+    @abstractmethod
+    def next_sample(self) -> SamplingState:
+        """Return the next coarse sample (advancing the underlying chain as needed).
+
+        The returned state should carry its own cached ``log_density`` (the
+        coarse posterior value) and, when available, its cached ``qoi`` so the
+        fine chain never re-evaluates the coarse model.
+        """
+
+    @property
+    def subsampling_rate(self) -> int:
+        """Number of coarse-chain steps between handed-out samples (informational)."""
+        return 1
+
+
+class BufferedChainSource(ChainSampleSource):
+    """A coarse-sample source fed explicitly from the outside.
+
+    Parallel controllers receive coarse samples through messages (via the
+    phonebook) rather than by advancing a local chain; they push each received
+    sample into this buffer right before performing the corresponding fine
+    step, so the multilevel kernel consumes it through the standard
+    :class:`ChainSampleSource` interface.
+    """
+
+    def __init__(self, subsampling_rate: int = 1) -> None:
+        self._buffer: list[SamplingState] = []
+        self._rate = int(subsampling_rate)
+
+    @property
+    def subsampling_rate(self) -> int:
+        return self._rate
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def push(self, state: SamplingState) -> None:
+        """Add a coarse sample to the buffer."""
+        self._buffer.append(state)
+
+    def next_sample(self) -> SamplingState:
+        if not self._buffer:
+            raise RuntimeError("BufferedChainSource is empty; push a coarse sample first")
+        return self._buffer.pop(0)
+
+
+class SubsamplingProposal(MCMCProposal):
+    """Proposal that returns subsampled coarse-chain states.
+
+    The MH correction of this proposal *within the multilevel acceptance rule*
+    is the coarse posterior ratio ``nu_{l-1}(theta) / nu_{l-1}(theta')``; that
+    factor is applied by :class:`repro.core.kernels.MultilevelKernel` (it needs
+    coarse densities of both the proposal and the current state), so
+    ``log_correction`` here is reported as zero and the coarse sample is passed
+    along in the proposal metadata.
+    """
+
+    def __init__(self, source: ChainSampleSource) -> None:
+        self._source = source
+        self._num_draws = 0
+
+    @property
+    def source(self) -> ChainSampleSource:
+        """The coarse sample source."""
+        return self._source
+
+    @property
+    def num_draws(self) -> int:
+        """Number of coarse samples drawn so far."""
+        return self._num_draws
+
+    def propose(self, current: SamplingState, rng: np.random.Generator) -> ProposalResult:
+        coarse = self._source.next_sample()
+        self._num_draws += 1
+        proposed = SamplingState(
+            parameters=coarse.parameters.copy(),
+            metadata={"proposal": "coarse_chain"},
+        )
+        return ProposalResult(
+            state=proposed,
+            log_correction=0.0,
+            metadata={"coarse_state": coarse},
+        )

@@ -1,0 +1,239 @@
+"""Sample collections.
+
+A :class:`SampleCollection` stores the states visited by a chain together with
+their multiplicities and exposes the statistics needed by the multilevel
+estimator (means, variances, effective sample sizes, integrated
+autocorrelation times).  :class:`CorrectionCollection` stores the coupled
+(fine QOI, coarse QOI) pairs produced by the multilevel kernel and reduces
+them to the telescoping-sum correction terms ``E[Q_l - Q_{l-1}]``.
+
+Both collections are mergeable, which is what the parallel layer's distributed
+collectors rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.state import SamplingState
+from repro.utils.stats import (
+    RunningMoments,
+    effective_sample_size,
+    integrated_autocorrelation_time,
+)
+
+__all__ = ["SampleCollection", "CorrectionCollection"]
+
+
+class SampleCollection:
+    """An ordered collection of chain states with multiplicities."""
+
+    def __init__(self) -> None:
+        self._states: list[SamplingState] = []
+
+    # ------------------------------------------------------------------
+    def add(self, state: SamplingState, weight: int = 1) -> None:
+        """Append a state; consecutive duplicates just increase the weight."""
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        if self._states and self._states[-1] is state:
+            self._states[-1].weight += weight
+            return
+        stored = state if state.weight == weight else state.copy(weight=weight)
+        if stored.weight != weight:
+            stored.weight = weight
+        self._states.append(stored)
+
+    def extend(self, states: Iterable[SamplingState]) -> None:
+        """Append multiple states."""
+        for state in states:
+            self.add(state, weight=state.weight)
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __iter__(self) -> Iterator[SamplingState]:
+        return iter(self._states)
+
+    def __getitem__(self, index: int) -> SamplingState:
+        return self._states[index]
+
+    # ------------------------------------------------------------------
+    @property
+    def num_samples(self) -> int:
+        """Total number of samples including multiplicities."""
+        return sum(s.weight for s in self._states)
+
+    @property
+    def num_unique(self) -> int:
+        """Number of distinct stored states (accepted proposals + start)."""
+        return len(self._states)
+
+    def parameters(self, expand: bool = True) -> np.ndarray:
+        """Parameter matrix, optionally expanding multiplicities, shape (n, dim)."""
+        if not self._states:
+            return np.zeros((0, 0))
+        if expand:
+            rows = [
+                state.parameters
+                for state in self._states
+                for _ in range(state.weight)
+            ]
+        else:
+            rows = [state.parameters for state in self._states]
+        return np.stack(rows)
+
+    def qois(self, expand: bool = True) -> np.ndarray:
+        """QOI matrix (requires QOIs to have been evaluated), shape (n, qoi_dim)."""
+        if not self._states:
+            return np.zeros((0, 0))
+        rows = []
+        for state in self._states:
+            if state.qoi is None:
+                raise ValueError("state without evaluated QOI in collection")
+            reps = state.weight if expand else 1
+            rows.extend([state.qoi] * reps)
+        return np.stack(rows)
+
+    def log_densities(self, expand: bool = True) -> np.ndarray:
+        """Vector of log densities."""
+        rows = []
+        for state in self._states:
+            value = np.nan if state.log_density is None else state.log_density
+            reps = state.weight if expand else 1
+            rows.extend([value] * reps)
+        return np.asarray(rows, dtype=float)
+
+    # ------------------------------------------------------------------
+    def mean(self, use_qoi: bool = False) -> np.ndarray:
+        """Weighted sample mean of the parameters (or the QOI)."""
+        moments = self._moments(use_qoi)
+        return moments.mean()
+
+    def variance(self, use_qoi: bool = False) -> np.ndarray:
+        """Weighted per-component sample variance."""
+        data = self.qois() if use_qoi else self.parameters()
+        if data.size == 0:
+            return np.zeros(0)
+        return np.var(data, axis=0, ddof=1) if data.shape[0] > 1 else np.zeros(data.shape[1])
+
+    def _moments(self, use_qoi: bool) -> RunningMoments:
+        moments = RunningMoments()
+        data = self.qois() if use_qoi else self.parameters()
+        for row in data:
+            moments.push(row)
+        return moments
+
+    def ess(self, use_qoi: bool = False) -> float:
+        """Effective sample size (minimum over components)."""
+        data = self.qois() if use_qoi else self.parameters()
+        if data.shape[0] < 4:
+            return float(data.shape[0])
+        return effective_sample_size(data)
+
+    def integrated_autocorrelation_time(self, component: int = 0, use_qoi: bool = False) -> float:
+        """IACT of a single component (expanded chain)."""
+        data = self.qois() if use_qoi else self.parameters()
+        if data.shape[0] < 4:
+            return 1.0
+        return integrated_autocorrelation_time(data[:, component])
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "SampleCollection") -> "SampleCollection":
+        """Concatenate another collection (used by distributed collectors)."""
+        self._states.extend(other._states)
+        return self
+
+    def subset(self, start: int = 0, stop: int | None = None) -> "SampleCollection":
+        """A view-like copy of a contiguous range of stored states."""
+        result = SampleCollection()
+        result._states = list(self._states[start:stop])
+        return result
+
+
+class CorrectionCollection:
+    """Coupled (fine, coarse) QOI pairs for one telescoping correction term.
+
+    For level 0 (no coarser level) the coarse QOI is omitted and the term
+    reduces to a plain expectation of ``Q_0``.
+    """
+
+    def __init__(self, level: int) -> None:
+        self.level = int(level)
+        self._fine_qois: list[np.ndarray] = []
+        self._coarse_qois: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    def add(self, fine_qoi: np.ndarray, coarse_qoi: np.ndarray | None = None) -> None:
+        """Record one coupled pair (or a single fine QOI on level 0)."""
+        self._fine_qois.append(np.atleast_1d(np.asarray(fine_qoi, dtype=float)).ravel())
+        if coarse_qoi is not None:
+            self._coarse_qois.append(
+                np.atleast_1d(np.asarray(coarse_qoi, dtype=float)).ravel()
+            )
+        elif self.level != 0:
+            raise ValueError("coarse QOI required for levels above 0")
+
+    def __len__(self) -> int:
+        return len(self._fine_qois)
+
+    @property
+    def has_coarse(self) -> bool:
+        """Whether this collection stores coupled coarse QOIs."""
+        return bool(self._coarse_qois)
+
+    def pair(self, index: int) -> tuple[np.ndarray, np.ndarray | None]:
+        """The ``index``-th coupled pair ``(fine QOI, coarse QOI or None)``.
+
+        Used by parallel controllers to ship correction samples to collectors
+        one by one without re-deriving the full difference matrix.
+        """
+        fine = self._fine_qois[index]
+        coarse = self._coarse_qois[index] if index < len(self._coarse_qois) else None
+        return fine, coarse
+
+    # ------------------------------------------------------------------
+    def fine_matrix(self) -> np.ndarray:
+        """All fine QOIs, shape (n, qoi_dim)."""
+        return np.stack(self._fine_qois) if self._fine_qois else np.zeros((0, 0))
+
+    def coarse_matrix(self) -> np.ndarray:
+        """All coarse QOIs, shape (n, qoi_dim)."""
+        return np.stack(self._coarse_qois) if self._coarse_qois else np.zeros((0, 0))
+
+    def differences(self) -> np.ndarray:
+        """Per-sample correction contributions ``Q_l - Q_{l-1}`` (or ``Q_0``)."""
+        fine = self.fine_matrix()
+        if self.level == 0 or not self._coarse_qois:
+            return fine
+        coarse = self.coarse_matrix()
+        n = min(fine.shape[0], coarse.shape[0])
+        return fine[:n] - coarse[:n]
+
+    def mean(self) -> np.ndarray:
+        """Monte Carlo estimate of the correction term."""
+        diffs = self.differences()
+        return diffs.mean(axis=0) if diffs.size else np.zeros(0)
+
+    def variance(self) -> np.ndarray:
+        """Per-component sample variance of the correction contributions."""
+        diffs = self.differences()
+        if diffs.shape[0] < 2:
+            return np.zeros(diffs.shape[1] if diffs.ndim == 2 else 0)
+        return diffs.var(axis=0, ddof=1)
+
+    def fine_mean(self) -> np.ndarray:
+        """Mean of the fine QOIs alone (used for per-level posterior summaries)."""
+        fine = self.fine_matrix()
+        return fine.mean(axis=0) if fine.size else np.zeros(0)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "CorrectionCollection") -> "CorrectionCollection":
+        """Merge another collection for the same level."""
+        if other.level != self.level:
+            raise ValueError("cannot merge correction collections of different levels")
+        self._fine_qois.extend(other._fine_qois)
+        self._coarse_qois.extend(other._coarse_qois)
+        return self

@@ -1,0 +1,22 @@
+"""Structured-grid Q1 finite element substrate (DUNE substitute).
+
+Implements exactly the discretisation used by the paper's Poisson application:
+Q1 (bilinear) elements on uniform structured grids of the unit square, a
+diffusion operator with an element-wise (log-normal random field) coefficient,
+Dirichlet boundary conditions on the left/right edges and natural Neumann
+conditions elsewhere, sparse direct solves and point evaluation of the
+solution.
+"""
+
+from repro.fem.grid import StructuredGrid
+from repro.fem.q1 import Q1Element
+from repro.fem.assembly import assemble_diffusion_system, apply_dirichlet
+from repro.fem.poisson import PoissonSolver
+
+__all__ = [
+    "StructuredGrid",
+    "Q1Element",
+    "assemble_diffusion_system",
+    "apply_dirichlet",
+    "PoissonSolver",
+]

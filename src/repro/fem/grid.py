@@ -1,0 +1,121 @@
+"""Uniform structured grids on the unit square (or general rectangles).
+
+A :class:`StructuredGrid` owns node coordinates, element connectivity and the
+index bookkeeping needed for assembly, boundary condition handling and point
+location.  Elements are axis-aligned quadrilaterals; nodes are numbered
+lexicographically (x fastest).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StructuredGrid"]
+
+
+class StructuredGrid:
+    """A uniform quadrilateral grid with ``nx`` x ``ny`` cells.
+
+    Parameters
+    ----------
+    nx, ny:
+        Number of cells per direction (``ny`` defaults to ``nx``).
+    bounds:
+        ``((x0, x1), (y0, y1))`` physical bounds, defaults to the unit square.
+    """
+
+    def __init__(
+        self,
+        nx: int,
+        ny: int | None = None,
+        bounds: tuple[tuple[float, float], tuple[float, float]] = ((0.0, 1.0), (0.0, 1.0)),
+    ) -> None:
+        if nx < 1:
+            raise ValueError("nx must be at least 1")
+        self.nx = int(nx)
+        self.ny = int(ny) if ny is not None else int(nx)
+        if self.ny < 1:
+            raise ValueError("ny must be at least 1")
+        (self.x0, self.x1), (self.y0, self.y1) = bounds
+        if self.x1 <= self.x0 or self.y1 <= self.y0:
+            raise ValueError("invalid bounds")
+        self.hx = (self.x1 - self.x0) / self.nx
+        self.hy = (self.y1 - self.y0) / self.ny
+        self.num_nodes_x = self.nx + 1
+        self.num_nodes_y = self.ny + 1
+        self.num_nodes = self.num_nodes_x * self.num_nodes_y
+        self.num_elements = self.nx * self.ny
+
+    # -- node / element numbering ------------------------------------------
+    def node_index(self, i: int, j: int) -> int:
+        """Global node index of node ``(i, j)`` (x-index i, y-index j)."""
+        return j * self.num_nodes_x + i
+
+    def node_coordinates(self) -> np.ndarray:
+        """All node coordinates, shape ``(num_nodes, 2)``, lexicographic (x fastest)."""
+        xs = np.linspace(self.x0, self.x1, self.num_nodes_x)
+        ys = np.linspace(self.y0, self.y1, self.num_nodes_y)
+        grid_y, grid_x = np.meshgrid(ys, xs, indexing="ij")
+        return np.stack([grid_x.ravel(), grid_y.ravel()], axis=-1)
+
+    def element_connectivity(self) -> np.ndarray:
+        """Node indices per element, shape ``(num_elements, 4)``.
+
+        Local ordering is counter-clockwise starting at the lower-left node:
+        (i, j), (i+1, j), (i+1, j+1), (i, j+1).
+        """
+        conn = np.empty((self.num_elements, 4), dtype=int)
+        e = 0
+        for j in range(self.ny):
+            for i in range(self.nx):
+                conn[e] = (
+                    self.node_index(i, j),
+                    self.node_index(i + 1, j),
+                    self.node_index(i + 1, j + 1),
+                    self.node_index(i, j + 1),
+                )
+                e += 1
+        return conn
+
+    def element_centers(self) -> np.ndarray:
+        """Element midpoint coordinates, shape ``(num_elements, 2)``."""
+        xs = self.x0 + (np.arange(self.nx) + 0.5) * self.hx
+        ys = self.y0 + (np.arange(self.ny) + 0.5) * self.hy
+        grid_y, grid_x = np.meshgrid(ys, xs, indexing="ij")
+        return np.stack([grid_x.ravel(), grid_y.ravel()], axis=-1)
+
+    # -- boundary handling -----------------------------------------------------
+    def boundary_nodes(self, side: str) -> np.ndarray:
+        """Global node indices on the given boundary (``left/right/bottom/top``)."""
+        if side == "left":
+            return np.array([self.node_index(0, j) for j in range(self.num_nodes_y)])
+        if side == "right":
+            return np.array(
+                [self.node_index(self.nx, j) for j in range(self.num_nodes_y)]
+            )
+        if side == "bottom":
+            return np.array([self.node_index(i, 0) for i in range(self.num_nodes_x)])
+        if side == "top":
+            return np.array(
+                [self.node_index(i, self.ny) for i in range(self.num_nodes_x)]
+            )
+        raise ValueError(f"unknown boundary side {side!r}")
+
+    # -- point location --------------------------------------------------------
+    def locate(self, point: np.ndarray) -> tuple[int, float, float]:
+        """Locate a physical point: returns (element index, local xi, local eta).
+
+        Local coordinates are in ``[0, 1]^2`` within the containing element.
+        Points outside the domain are clamped to the boundary.
+        """
+        x, y = float(point[0]), float(point[1])
+        xi_global = np.clip((x - self.x0) / self.hx, 0.0, self.nx - 1e-12)
+        eta_global = np.clip((y - self.y0) / self.hy, 0.0, self.ny - 1e-12)
+        i = int(xi_global)
+        j = int(eta_global)
+        xi = xi_global - i
+        eta = eta_global - j
+        return j * self.nx + i, float(xi), float(eta)
+
+    def __repr__(self) -> str:
+        return f"StructuredGrid(nx={self.nx}, ny={self.ny}, h=({self.hx:.4g}, {self.hy:.4g}))"

@@ -1,0 +1,100 @@
+"""Q1 (bilinear) reference element: shape functions, gradients, quadrature.
+
+The reference element is the unit square ``[0, 1]^2`` with local node ordering
+(0,0), (1,0), (1,1), (0,1) matching :meth:`StructuredGrid.element_connectivity`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Q1Element"]
+
+
+class Q1Element:
+    """Bilinear quadrilateral element on the reference square ``[0, 1]^2``."""
+
+    #: local node coordinates on the reference element
+    NODES = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+
+    @staticmethod
+    def shape_functions(xi: float, eta: float) -> np.ndarray:
+        """The four bilinear shape functions evaluated at ``(xi, eta)``."""
+        return np.array(
+            [
+                (1 - xi) * (1 - eta),
+                xi * (1 - eta),
+                xi * eta,
+                (1 - xi) * eta,
+            ]
+        )
+
+    @staticmethod
+    def shape_gradients(xi: float, eta: float) -> np.ndarray:
+        """Reference-coordinate gradients, shape ``(4, 2)`` (rows = nodes)."""
+        return np.array(
+            [
+                [-(1 - eta), -(1 - xi)],
+                [(1 - eta), -xi],
+                [eta, xi],
+                [-eta, (1 - xi)],
+            ]
+        )
+
+    @staticmethod
+    def quadrature(order: int = 2) -> tuple[np.ndarray, np.ndarray]:
+        """Tensor-product Gauss-Legendre quadrature on ``[0, 1]^2``.
+
+        Returns ``(points, weights)`` with points of shape ``(n, 2)``.
+        ``order`` is the number of Gauss points per direction.
+        """
+        nodes_1d, weights_1d = np.polynomial.legendre.leggauss(order)
+        # map from [-1, 1] to [0, 1]
+        nodes_1d = 0.5 * (nodes_1d + 1.0)
+        weights_1d = 0.5 * weights_1d
+        pts = []
+        wts = []
+        for i, xi in enumerate(nodes_1d):
+            for j, eta in enumerate(nodes_1d):
+                pts.append((xi, eta))
+                wts.append(weights_1d[i] * weights_1d[j])
+        return np.array(pts), np.array(wts)
+
+    @classmethod
+    def local_stiffness(cls, hx: float, hy: float, coefficient: float = 1.0, order: int = 2) -> np.ndarray:
+        """Element stiffness matrix for ``-div(kappa grad u)`` with constant ``kappa``.
+
+        Parameters
+        ----------
+        hx, hy:
+            Physical element sizes (the Jacobian of the affine map is diagonal).
+        coefficient:
+            Constant diffusion coefficient ``kappa`` on the element.
+        order:
+            Gauss points per direction.
+        """
+        points, weights = cls.quadrature(order)
+        ke = np.zeros((4, 4))
+        jacobian_det = hx * hy
+        inv_scale = np.array([1.0 / hx, 1.0 / hy])
+        for (xi, eta), w in zip(points, weights):
+            grads_ref = cls.shape_gradients(xi, eta)
+            grads_phys = grads_ref * inv_scale[None, :]
+            ke += w * jacobian_det * (grads_phys @ grads_phys.T)
+        return coefficient * ke
+
+    @classmethod
+    def local_mass(cls, hx: float, hy: float, order: int = 2) -> np.ndarray:
+        """Element mass matrix."""
+        points, weights = cls.quadrature(order)
+        me = np.zeros((4, 4))
+        jacobian_det = hx * hy
+        for (xi, eta), w in zip(points, weights):
+            phi = cls.shape_functions(xi, eta)
+            me += w * jacobian_det * np.outer(phi, phi)
+        return me
+
+    @classmethod
+    def interpolate(cls, nodal_values: np.ndarray, xi: float, eta: float) -> float:
+        """Interpolate nodal values at the local point ``(xi, eta)``."""
+        return float(cls.shape_functions(xi, eta) @ np.asarray(nodal_values, dtype=float))

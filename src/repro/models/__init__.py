@@ -1,0 +1,23 @@
+"""Model hierarchies: the Bayesian inverse problems of the paper's evaluation.
+
+* :mod:`repro.models.poisson` — the single-phase subsurface-flow (Poisson)
+  inverse problem with a KL-parameterised log-normal diffusion coefficient
+  (Section 3.1), used for correctness checks and the scaling experiments.
+* :mod:`repro.models.tsunami` — the Tohoku-like tsunami source inversion
+  driven by the shallow-water solver (Section 3.2).
+* :mod:`repro.models.gaussian` — an analytic Gaussian hierarchy with
+  closed-form posterior moments, used by the test-suite and as a cheap
+  stand-in posterior for scheduler-focused experiments.
+"""
+
+from repro.models.gaussian import GaussianHierarchyFactory
+from repro.models.poisson import PoissonInverseProblemFactory, PoissonLevelSpec
+from repro.models.tsunami import TsunamiInverseProblemFactory, TsunamiLevelSpec
+
+__all__ = [
+    "GaussianHierarchyFactory",
+    "PoissonInverseProblemFactory",
+    "PoissonLevelSpec",
+    "TsunamiInverseProblemFactory",
+    "TsunamiLevelSpec",
+]

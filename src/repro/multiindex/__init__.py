@@ -1,0 +1,23 @@
+"""Multi-index machinery.
+
+The paper's implementation generalises multilevel MCMC to *multi-index* MCMC:
+model hierarchies are indexed by a :class:`MultiIndex` (e.g. spatial resolution
+x temporal resolution) rather than a single integer level.  The pure multilevel
+setting used in the experiments corresponds to one-dimensional multi-indices.
+"""
+
+from repro.multiindex.multiindex import MultiIndex
+from repro.multiindex.index_set import (
+    MultiIndexSet,
+    full_tensor_set,
+    total_degree_set,
+    multilevel_set,
+)
+
+__all__ = [
+    "MultiIndex",
+    "MultiIndexSet",
+    "full_tensor_set",
+    "total_degree_set",
+    "multilevel_set",
+]

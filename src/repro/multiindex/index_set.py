@@ -1,0 +1,127 @@
+"""Sets of multi-indices describing a model hierarchy.
+
+The parallel MLMCMC scheduler needs to enumerate every model in the hierarchy,
+know which index is the finest, and walk coarse-to-fine dependency order.  A
+:class:`MultiIndexSet` provides this for both pure multilevel hierarchies
+(1-D indices 0..L) and general downward-closed multi-index sets.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, Iterator
+
+from repro.multiindex.multiindex import MultiIndex
+
+
+class MultiIndexSet:
+    """A downward-closed collection of :class:`MultiIndex` objects.
+
+    Parameters
+    ----------
+    indices:
+        The member indices.  The constructor verifies downward closedness
+        (every backward neighbour of a member is also a member), which the
+    telescoping-sum construction requires.
+    """
+
+    def __init__(self, indices: Iterable[MultiIndex | int | tuple]) -> None:
+        members = {MultiIndex(ix) for ix in indices}
+        if not members:
+            raise ValueError("multi-index set must not be empty")
+        dims = {len(ix) for ix in members}
+        if len(dims) != 1:
+            raise ValueError("all multi-indices must have the same dimension")
+        self._dim = dims.pop()
+        for ix in members:
+            for nb in ix.backward_neighbours():
+                if nb not in members:
+                    raise ValueError(
+                        f"multi-index set is not downward closed: {ix!r} present "
+                        f"but backward neighbour {nb!r} missing"
+                    )
+        # Sort by total order then lexicographically for a deterministic
+        # coarse-to-fine iteration order.
+        self._indices = sorted(members, key=lambda ix: (ix.order, ix.values))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._indices)
+
+    def __iter__(self) -> Iterator[MultiIndex]:
+        return iter(self._indices)
+
+    def __contains__(self, index: object) -> bool:
+        try:
+            return MultiIndex(index) in set(self._indices)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return False
+
+    def __getitem__(self, i: int) -> MultiIndex:
+        return self._indices[i]
+
+    def __repr__(self) -> str:
+        return f"MultiIndexSet({[ix.values for ix in self._indices]})"
+
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        """Dimension of the member multi-indices."""
+        return self._dim
+
+    @property
+    def finest(self) -> MultiIndex:
+        """The index with the largest total order (ties broken lexicographically)."""
+        return self._indices[-1]
+
+    @property
+    def coarsest(self) -> MultiIndex:
+        """The root (all-zero) index."""
+        return self._indices[0]
+
+    def coarse_to_fine(self) -> list[MultiIndex]:
+        """Members ordered so that every index appears after its backward neighbours."""
+        return list(self._indices)
+
+    def levels(self) -> list[int]:
+        """Scalar levels (only valid for 1-D multi-index sets)."""
+        if self._dim != 1:
+            raise ValueError("levels() requires a one-dimensional multi-index set")
+        return [ix.as_level() for ix in self._indices]
+
+    def correction_pairs(self) -> list[tuple[MultiIndex, MultiIndex | None]]:
+        """Pairs ``(index, coarse_index)`` appearing in the telescoping sum.
+
+        The root index pairs with ``None`` (plain expectation); every other
+        index pairs with its first backward neighbour, which in the pure
+        multilevel case is the unique next-coarser level.
+        """
+        pairs: list[tuple[MultiIndex, MultiIndex | None]] = []
+        for ix in self._indices:
+            if ix.is_root():
+                pairs.append((ix, None))
+            else:
+                pairs.append((ix, ix.backward_neighbours()[0]))
+        return pairs
+
+
+def full_tensor_set(orders: Iterable[int]) -> MultiIndexSet:
+    """Full tensor-product multi-index set ``{0..orders[0]} x ... x {0..orders[d-1]}``."""
+    ranges = [range(o + 1) for o in orders]
+    return MultiIndexSet(MultiIndex(combo) for combo in product(*ranges))
+
+
+def total_degree_set(dimension: int, max_order: int) -> MultiIndexSet:
+    """Total-degree multi-index set ``{ix : sum(ix) <= max_order}``."""
+    ranges = [range(max_order + 1)] * dimension
+    members = [
+        MultiIndex(combo) for combo in product(*ranges) if sum(combo) <= max_order
+    ]
+    return MultiIndexSet(members)
+
+
+def multilevel_set(num_levels: int) -> MultiIndexSet:
+    """The 1-D multilevel index set ``{0, 1, ..., num_levels - 1}``."""
+    if num_levels < 1:
+        raise ValueError("num_levels must be at least 1")
+    return MultiIndexSet(MultiIndex(l) for l in range(num_levels))

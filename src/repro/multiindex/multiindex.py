@@ -1,0 +1,165 @@
+"""Immutable multi-indices used to label models in a hierarchy.
+
+A :class:`MultiIndex` is a tuple of non-negative integers with component-wise
+arithmetic and partial ordering.  Pure multilevel hierarchies use length-1
+indices; the API mirrors MUQ's ``MultiIndex`` so that
+:class:`repro.core.factory.MIComponentFactory` implementations translate
+directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class MultiIndex:
+    """An immutable vector of non-negative integers.
+
+    Parameters
+    ----------
+    values:
+        Either an iterable of ints or a single int (interpreted as a length-1
+        multi-index, the pure multilevel case).
+
+    Examples
+    --------
+    >>> MultiIndex(2)
+    MultiIndex(2)
+    >>> MultiIndex([1, 2]) + MultiIndex([0, 1])
+    MultiIndex(1, 3)
+    >>> MultiIndex([1, 1]) <= MultiIndex([2, 1])
+    True
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: int | Iterable[int]) -> None:
+        if isinstance(values, MultiIndex):
+            vals = values._values
+        elif isinstance(values, int):
+            vals = (values,)
+        else:
+            vals = tuple(int(v) for v in values)
+        if any(v < 0 for v in vals):
+            raise ValueError(f"multi-index entries must be non-negative, got {vals}")
+        if len(vals) == 0:
+            raise ValueError("multi-index must have at least one entry")
+        self._values = vals
+
+    # -- basic protocol ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._values)
+
+    def __getitem__(self, i: int) -> int:
+        return self._values[i]
+
+    def __hash__(self) -> int:
+        return hash(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MultiIndex):
+            return self._values == other._values
+        if isinstance(other, int) and len(self._values) == 1:
+            return self._values[0] == other
+        if isinstance(other, tuple):
+            return self._values == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"MultiIndex({', '.join(str(v) for v in self._values)})"
+
+    # -- ordering ----------------------------------------------------------
+    def __le__(self, other: "MultiIndex") -> bool:
+        other = MultiIndex(other)
+        self._check_compatible(other)
+        return all(a <= b for a, b in zip(self._values, other._values))
+
+    def __lt__(self, other: "MultiIndex") -> bool:
+        other = MultiIndex(other)
+        return self <= other and self != other
+
+    def __ge__(self, other: "MultiIndex") -> bool:
+        return MultiIndex(other) <= self
+
+    def __gt__(self, other: "MultiIndex") -> bool:
+        return MultiIndex(other) < self
+
+    # -- arithmetic ----------------------------------------------------------
+    def __add__(self, other: "MultiIndex | int") -> "MultiIndex":
+        other = self._coerce(other)
+        self._check_compatible(other)
+        return MultiIndex(a + b for a, b in zip(self._values, other._values))
+
+    def __sub__(self, other: "MultiIndex | int") -> "MultiIndex":
+        other = self._coerce(other)
+        self._check_compatible(other)
+        return MultiIndex(a - b for a, b in zip(self._values, other._values))
+
+    def _coerce(self, other: "MultiIndex | int") -> "MultiIndex":
+        if isinstance(other, int):
+            return MultiIndex([other] * len(self._values))
+        return MultiIndex(other)
+
+    def _check_compatible(self, other: "MultiIndex") -> None:
+        if len(other) != len(self):
+            raise ValueError(
+                f"incompatible multi-index lengths: {len(self)} vs {len(other)}"
+            )
+
+    # -- helpers -------------------------------------------------------------
+    @property
+    def values(self) -> tuple[int, ...]:
+        """The underlying tuple of entries."""
+        return self._values
+
+    @property
+    def order(self) -> int:
+        """Sum of entries (the "total level")."""
+        return sum(self._values)
+
+    @property
+    def max_entry(self) -> int:
+        """Largest entry."""
+        return max(self._values)
+
+    def is_root(self) -> bool:
+        """True if all entries are zero (the coarsest model)."""
+        return all(v == 0 for v in self._values)
+
+    def backward_neighbours(self) -> list["MultiIndex"]:
+        """All indices obtained by decrementing one positive entry.
+
+        For length-1 indices this is the single coarser level; in the general
+        multi-index setting every backward neighbour contributes a correction
+        term to the multi-index telescoping sum.
+        """
+        neighbours = []
+        for i, v in enumerate(self._values):
+            if v > 0:
+                vals = list(self._values)
+                vals[i] = v - 1
+                neighbours.append(MultiIndex(vals))
+        return neighbours
+
+    def forward_neighbour(self, dim: int = 0) -> "MultiIndex":
+        """The index obtained by incrementing entry ``dim``."""
+        vals = list(self._values)
+        vals[dim] += 1
+        return MultiIndex(vals)
+
+    def as_level(self) -> int:
+        """Interpret as a scalar level (requires a length-1 multi-index)."""
+        if len(self._values) != 1:
+            raise ValueError(
+                "as_level() only valid for one-dimensional multi-indices; "
+                f"got {self!r}"
+            )
+        return self._values[0]
+
+    @staticmethod
+    def root(dimension: int = 1) -> "MultiIndex":
+        """The all-zero multi-index of the given dimension."""
+        return MultiIndex([0] * dimension)

@@ -1,0 +1,62 @@
+"""Parallel MLMCMC: the paper's primary contribution.
+
+A parallelization strategy for multilevel MCMC exposing parallelism across
+forward models (worker groups), chains (multiple controllers per level) and
+levels (all telescoping-sum terms sampled concurrently), despite the data
+dependencies the method introduces — coarse chains feed proposals to fine
+chains.  The process architecture (root / phonebook / controller / worker /
+collector) and the phonebook-hosted dynamic load balancer follow Section 4 of
+the paper; everything runs on the simulated MPI substrate in
+:mod:`repro.parallel.simmpi`.
+"""
+
+from repro.parallel.costmodel import (
+    ConstantCostModel,
+    CostModel,
+    LogNormalCostModel,
+    MeasuredCostModel,
+    POISSON_PAPER_COSTS,
+    TSUNAMI_PAPER_COSTS,
+)
+from repro.parallel.layout import ProcessLayout, WorkGroup
+from repro.parallel.loadbalancer import (
+    DynamicLoadBalancer,
+    LevelLoad,
+    RebalanceDecision,
+    StaticLoadBalancer,
+)
+from repro.parallel.parallel_mlmcmc import ParallelMLMCMCResult, ParallelMLMCMCSampler
+from repro.parallel.scaling import (
+    ScalingPoint,
+    ScalingStudyResult,
+    strong_scaling_study,
+    weak_scaling_study,
+)
+from repro.parallel.simmpi import Message, RankProcess, VirtualWorld
+from repro.parallel.trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "CostModel",
+    "ConstantCostModel",
+    "LogNormalCostModel",
+    "MeasuredCostModel",
+    "POISSON_PAPER_COSTS",
+    "TSUNAMI_PAPER_COSTS",
+    "ProcessLayout",
+    "WorkGroup",
+    "DynamicLoadBalancer",
+    "StaticLoadBalancer",
+    "LevelLoad",
+    "RebalanceDecision",
+    "ParallelMLMCMCResult",
+    "ParallelMLMCMCSampler",
+    "ScalingPoint",
+    "ScalingStudyResult",
+    "strong_scaling_study",
+    "weak_scaling_study",
+    "Message",
+    "RankProcess",
+    "VirtualWorld",
+    "TraceEvent",
+    "TraceRecorder",
+]

@@ -1,0 +1,174 @@
+"""Forward-model cost models.
+
+The virtual duration of one forward-model (density) evaluation per level.  The
+paper reports mean evaluation times per level (Table 3 for the Poisson
+application, Table 4 / Section 5.2 for the tsunami) and stresses that the
+tsunami run times have "a large variability as the model's timestep depends on
+the uncertain parameters" — making scheduling hard.  The cost models below
+cover all three situations:
+
+* :class:`ConstantCostModel` — fixed duration per level,
+* :class:`LogNormalCostModel` — heterogeneous durations with a configurable
+  coefficient of variation (the tsunami case),
+* :class:`MeasuredCostModel` — wraps another cost model but replaces its mean
+  with measured wall-clock times as they come in (what the phonebook's
+  load-balancing rate limiter does with sample frequencies).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "CostModel",
+    "ConstantCostModel",
+    "LogNormalCostModel",
+    "MeasuredCostModel",
+    "POISSON_PAPER_COSTS",
+    "TSUNAMI_PAPER_COSTS",
+]
+
+#: Mean per-evaluation run times reported in the paper (seconds).
+POISSON_PAPER_COSTS = (3.35e-3, 45.64e-3, 931.81e-3)  # Table 3 (t_l given in ms)
+TSUNAMI_PAPER_COSTS = (7.38, 97.3, 438.1)  # Section 5.2
+
+
+class CostModel(ABC):
+    """Duration of one forward-model evaluation on a given level."""
+
+    @abstractmethod
+    def mean(self, level: int) -> float:
+        """Mean evaluation time for the level."""
+
+    @abstractmethod
+    def sample(self, level: int, rng: np.random.Generator) -> float:
+        """Draw one evaluation time."""
+
+    def group_size(self, level: int) -> int:
+        """Recommended number of worker ranks per work group on this level."""
+        return 1
+
+
+class ConstantCostModel(CostModel):
+    """Deterministic per-level evaluation times.
+
+    Parameters
+    ----------
+    costs:
+        Mean evaluation time per level, coarse to fine.
+    group_sizes:
+        Worker-group size per level (defaults to 1 everywhere).
+    """
+
+    def __init__(self, costs: Sequence[float], group_sizes: Sequence[int] | None = None) -> None:
+        self._costs = [float(c) for c in costs]
+        if any(c <= 0 for c in self._costs):
+            raise ValueError("costs must be positive")
+        self._group_sizes = (
+            [int(g) for g in group_sizes] if group_sizes is not None else [1] * len(self._costs)
+        )
+
+    def mean(self, level: int) -> float:
+        return self._costs[min(level, len(self._costs) - 1)]
+
+    def sample(self, level: int, rng: np.random.Generator) -> float:
+        return self.mean(level)
+
+    def group_size(self, level: int) -> int:
+        return self._group_sizes[min(level, len(self._group_sizes) - 1)]
+
+
+class LogNormalCostModel(CostModel):
+    """Log-normally distributed evaluation times.
+
+    Parameters
+    ----------
+    means:
+        Mean evaluation time per level.
+    coefficient_of_variation:
+        Standard deviation relative to the mean (0.3 reproduces run-time
+        variability similar to the tsunami model's parameter-dependent time
+        step count).
+    group_sizes:
+        Worker-group size per level.
+    """
+
+    def __init__(
+        self,
+        means: Sequence[float],
+        coefficient_of_variation: float = 0.3,
+        group_sizes: Sequence[int] | None = None,
+    ) -> None:
+        self._means = [float(m) for m in means]
+        if any(m <= 0 for m in self._means):
+            raise ValueError("means must be positive")
+        if coefficient_of_variation < 0:
+            raise ValueError("coefficient of variation must be non-negative")
+        self.cv = float(coefficient_of_variation)
+        sigma2 = np.log(1.0 + self.cv**2)
+        self._sigma = float(np.sqrt(sigma2))
+        self._group_sizes = (
+            [int(g) for g in group_sizes] if group_sizes is not None else [1] * len(self._means)
+        )
+
+    def mean(self, level: int) -> float:
+        return self._means[min(level, len(self._means) - 1)]
+
+    def sample(self, level: int, rng: np.random.Generator) -> float:
+        mean = self.mean(level)
+        if self.cv == 0:
+            return mean
+        mu = np.log(mean) - 0.5 * self._sigma**2
+        return float(rng.lognormal(mean=mu, sigma=self._sigma))
+
+    def group_size(self, level: int) -> int:
+        return self._group_sizes[min(level, len(self._group_sizes) - 1)]
+
+
+class MeasuredCostModel(CostModel):
+    """Cost model updated online from observed evaluation times.
+
+    Starts from a prior cost model and blends in an exponential moving average
+    of observed durations per level; mirrors the phonebook inferring model run
+    times "by the frequency of samples provided" to rate-limit rebalancing.
+    """
+
+    def __init__(self, prior: CostModel, smoothing: float = 0.2) -> None:
+        self._prior = prior
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must lie in (0, 1]")
+        self._smoothing = float(smoothing)
+        self._observed: dict[int, float] = {}
+        self._counts: dict[int, int] = {}
+
+    def observe(self, level: int, duration: float) -> None:
+        """Record one observed evaluation duration."""
+        if duration <= 0:
+            return
+        if level in self._observed:
+            self._observed[level] = (
+                (1.0 - self._smoothing) * self._observed[level] + self._smoothing * duration
+            )
+        else:
+            self._observed[level] = float(duration)
+        self._counts[level] = self._counts.get(level, 0) + 1
+
+    def num_observations(self, level: int) -> int:
+        """Number of observations recorded for a level."""
+        return self._counts.get(level, 0)
+
+    def mean(self, level: int) -> float:
+        if level in self._observed:
+            return self._observed[level]
+        return self._prior.mean(level)
+
+    def sample(self, level: int, rng: np.random.Generator) -> float:
+        if level in self._observed:
+            return self._observed[level]
+        return self._prior.sample(level, rng)
+
+    def group_size(self, level: int) -> int:
+        return self._prior.group_size(level)

@@ -1,0 +1,214 @@
+"""Parallel process layout.
+
+Mirrors the paper's Fig. 8: one root rank, one phonebook rank, a set of
+collector ranks per level, and the remaining ranks organised into *work
+groups* (one controller plus zero or more workers) that are initially assigned
+to levels and may later be reassigned by the dynamic load balancer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["WorkGroup", "ProcessLayout"]
+
+
+@dataclass(frozen=True)
+class WorkGroup:
+    """A controller rank plus the worker ranks evaluating its forward model."""
+
+    group_id: int
+    controller_rank: int
+    worker_ranks: tuple[int, ...]
+    initial_level: int
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the group (controller + workers)."""
+        return 1 + len(self.worker_ranks)
+
+
+@dataclass
+class ProcessLayout:
+    """Role assignment for a given number of ranks.
+
+    Attributes
+    ----------
+    num_ranks:
+        Total number of (virtual) MPI ranks.
+    root_rank, phonebook_rank:
+        The two fixed bookkeeping ranks.
+    collector_ranks:
+        Mapping level -> tuple of collector ranks.
+    work_groups:
+        All work groups with their initial level assignment.
+    """
+
+    num_ranks: int
+    root_rank: int
+    phonebook_rank: int
+    collector_ranks: dict[int, tuple[int, ...]]
+    work_groups: list[WorkGroup] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_levels(self) -> int:
+        """Number of levels covered by collectors."""
+        return len(self.collector_ranks)
+
+    @property
+    def num_work_groups(self) -> int:
+        """Number of work groups."""
+        return len(self.work_groups)
+
+    @property
+    def controller_ranks(self) -> list[int]:
+        """All controller ranks."""
+        return [g.controller_rank for g in self.work_groups]
+
+    @property
+    def worker_ranks(self) -> list[int]:
+        """All worker ranks."""
+        return [rank for g in self.work_groups for rank in g.worker_ranks]
+
+    @property
+    def bookkeeping_ranks(self) -> list[int]:
+        """Root, phonebook and collector ranks."""
+        collectors = [r for ranks in self.collector_ranks.values() for r in ranks]
+        return [self.root_rank, self.phonebook_rank] + collectors
+
+    def groups_for_level(self, level: int) -> list[WorkGroup]:
+        """Work groups initially assigned to ``level``."""
+        return [g for g in self.work_groups if g.initial_level == level]
+
+    def describe(self) -> dict[str, object]:
+        """Summary dictionary (used in benchmark reports)."""
+        return {
+            "num_ranks": self.num_ranks,
+            "num_work_groups": self.num_work_groups,
+            "bookkeeping_ranks": len(self.bookkeeping_ranks),
+            "groups_per_level": {
+                level: len(self.groups_for_level(level))
+                for level in sorted(self.collector_ranks)
+            },
+        }
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def create(
+        num_ranks: int,
+        num_levels: int,
+        workers_per_group: Sequence[int] | int = 0,
+        collectors_per_level: int = 1,
+        level_weights: Sequence[float] | None = None,
+    ) -> "ProcessLayout":
+        """Build a layout for ``num_ranks`` ranks and ``num_levels`` levels.
+
+        Parameters
+        ----------
+        num_ranks:
+            Total rank budget.
+        num_levels:
+            Number of levels in the model hierarchy.
+        workers_per_group:
+            Work-group size per level, **excluding** the controller.  A scalar
+            applies to all levels.  Large forward models (the tsunami's level 2
+            uses a full node in the paper) warrant larger groups.
+        collectors_per_level:
+            Number of collector ranks per level.
+        level_weights:
+            Relative amount of work expected per level, used to distribute the
+            initial work groups (e.g. ``N_l * t_l``); uniform when omitted.
+
+        Raises
+        ------
+        ValueError
+            If the rank budget cannot accommodate the bookkeeping ranks plus at
+            least one work group per level.
+        """
+        if num_levels < 1:
+            raise ValueError("num_levels must be at least 1")
+        if isinstance(workers_per_group, int):
+            workers = [int(workers_per_group)] * num_levels
+        else:
+            workers = [int(w) for w in workers_per_group]
+            if len(workers) != num_levels:
+                raise ValueError("workers_per_group must have one entry per level")
+        if any(w < 0 for w in workers):
+            raise ValueError("workers_per_group entries must be non-negative")
+        collectors_per_level = max(1, int(collectors_per_level))
+
+        next_rank = 0
+        root_rank = next_rank
+        next_rank += 1
+        phonebook_rank = next_rank
+        next_rank += 1
+
+        collector_ranks: dict[int, tuple[int, ...]] = {}
+        for level in range(num_levels):
+            ranks = tuple(range(next_rank, next_rank + collectors_per_level))
+            collector_ranks[level] = ranks
+            next_rank += collectors_per_level
+
+        remaining = num_ranks - next_rank
+        min_needed = sum(1 + w for w in workers)
+        if remaining < min_needed:
+            raise ValueError(
+                f"{num_ranks} ranks cannot host bookkeeping ({next_rank}) plus one work "
+                f"group per level ({min_needed} ranks); increase the rank budget"
+            )
+
+        # Decide how many groups each level gets.
+        weights = (
+            np.asarray(level_weights, dtype=float)
+            if level_weights is not None
+            else np.ones(num_levels)
+        )
+        if weights.shape[0] != num_levels or np.any(weights <= 0):
+            raise ValueError("level_weights must be positive and match num_levels")
+        weights = weights / weights.sum()
+
+        groups_per_level = [1] * num_levels
+        budget = remaining - min_needed
+        # Greedily hand out additional groups to the level whose current share
+        # is furthest below its weight.
+        while True:
+            group_costs = [1 + workers[level] for level in range(num_levels)]
+            affordable = [level for level in range(num_levels) if group_costs[level] <= budget]
+            if not affordable:
+                break
+            totals = np.array(groups_per_level, dtype=float)
+            shares = totals / totals.sum()
+            deficits = weights - shares
+            level = int(max(affordable, key=lambda l: deficits[l]))
+            groups_per_level[level] += 1
+            budget -= group_costs[level]
+
+        work_groups: list[WorkGroup] = []
+        group_id = 0
+        for level in range(num_levels):
+            for _ in range(groups_per_level[level]):
+                controller = next_rank
+                next_rank += 1
+                worker_ranks = tuple(range(next_rank, next_rank + workers[level]))
+                next_rank += workers[level]
+                work_groups.append(
+                    WorkGroup(
+                        group_id=group_id,
+                        controller_rank=controller,
+                        worker_ranks=worker_ranks,
+                        initial_level=level,
+                    )
+                )
+                group_id += 1
+
+        return ProcessLayout(
+            num_ranks=num_ranks,
+            root_rank=root_rank,
+            phonebook_rank=phonebook_rank,
+            collector_ranks=collector_ranks,
+            work_groups=work_groups,
+        )

@@ -1,0 +1,252 @@
+"""Parallel MLMCMC driver.
+
+Builds the virtual machine (root, phonebook, collectors, work groups of
+controllers and workers), runs the discrete-event simulation and assembles the
+multilevel estimator from the collectors' output.  The result also carries the
+full execution trace, the load balancer's decision log and per-role
+statistics, which is what the scaling and load-balancing benchmarks consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.estimators import MultilevelEstimate
+from repro.core.factory import MIComponentFactory
+from repro.core.sample_collection import CorrectionCollection
+from repro.parallel.costmodel import ConstantCostModel, CostModel
+from repro.parallel.layout import ProcessLayout
+from repro.parallel.roles import (
+    CollectorProcess,
+    ControllerProcess,
+    PhonebookProcess,
+    RootProcess,
+    RunConfiguration,
+    WorkerProcess,
+)
+from repro.parallel.simmpi.world import VirtualWorld
+from repro.parallel.trace import TraceRecorder
+from repro.utils.random import RandomSource
+
+__all__ = ["ParallelMLMCMCResult", "ParallelMLMCMCSampler"]
+
+
+@dataclass
+class ParallelMLMCMCResult:
+    """Output of one parallel MLMCMC run."""
+
+    estimate: MultilevelEstimate
+    corrections: dict[int, CorrectionCollection]
+    virtual_time: float
+    trace: TraceRecorder
+    layout: ProcessLayout
+    messages_sent: int
+    events_processed: int
+    rebalance_log: list = field(default_factory=list)
+    samples_per_level: dict[int, int] = field(default_factory=dict)
+    level_finish_times: dict[int, float] = field(default_factory=dict)
+    controller_assignments: dict[int, list[int]] = field(default_factory=dict)
+
+    @property
+    def mean(self) -> np.ndarray:
+        """The multilevel estimate of ``E[Q_L]``."""
+        return self.estimate.mean
+
+    def worker_utilization(self) -> float:
+        """Mean busy fraction of controller + worker ranks."""
+        ranks = self.layout.controller_ranks + self.layout.worker_ranks
+        return self.trace.utilization(ranks)
+
+    def summary(self) -> dict[str, float | int]:
+        """Headline numbers of the run."""
+        return {
+            "virtual_time": self.virtual_time,
+            "num_ranks": self.layout.num_ranks,
+            "num_work_groups": self.layout.num_work_groups,
+            "messages_sent": self.messages_sent,
+            "events_processed": self.events_processed,
+            "num_rebalances": len(self.rebalance_log),
+            "worker_utilization": self.worker_utilization(),
+        }
+
+
+class ParallelMLMCMCSampler:
+    """Facade assembling and running the parallel MLMCMC machine.
+
+    Parameters
+    ----------
+    factory:
+        The model hierarchy (same interface the sequential sampler uses).
+    num_samples:
+        Target number of correction samples per level, coarse to fine.
+    num_ranks:
+        Total virtual MPI ranks.
+    cost_model:
+        Virtual evaluation-time model; defaults to constant unit cost per
+        level scaled by ``problem.evaluation_cost()`` is *not* attempted —
+        pass an explicit model to reproduce paper timings.
+    burnin:
+        Burn-in per level for every chain (default: 10% of the level target).
+    subsampling_rates:
+        ``rho_l`` per level (default: the factory's values).
+    workers_per_group:
+        Worker ranks per work group per level (excluding the controller).
+    collectors_per_level:
+        Collector ranks per level.
+    dynamic_load_balancing:
+        Enable the phonebook's load balancer.
+    latency:
+        Virtual message latency in seconds.
+    level_weights:
+        Initial distribution of work groups over levels; defaults to
+        ``num_samples[l] * cost_model.mean(l)``.
+    seed:
+        Seed for all chain generators.
+    trace_enabled:
+        Record the full execution trace (disable for very large runs).
+    """
+
+    def __init__(
+        self,
+        factory: MIComponentFactory,
+        num_samples: Sequence[int],
+        num_ranks: int,
+        cost_model: CostModel | None = None,
+        burnin: Sequence[int] | None = None,
+        subsampling_rates: Sequence[int] | None = None,
+        workers_per_group: Sequence[int] | int = 0,
+        collectors_per_level: int = 1,
+        dynamic_load_balancing: bool = True,
+        latency: float = 1e-3,
+        level_weights: Sequence[float] | None = None,
+        seed: int | None = None,
+        trace_enabled: bool = True,
+        correction_batch: int = 10,
+    ) -> None:
+        self.factory = factory
+        num_levels = len(factory.index_set())
+        if len(num_samples) != num_levels:
+            raise ValueError("num_samples must have one entry per level")
+        self.num_samples = [int(n) for n in num_samples]
+        self.cost_model = cost_model or ConstantCostModel([1.0] * num_levels)
+        self.burnin = (
+            [int(b) for b in burnin]
+            if burnin is not None
+            else [max(1, n // 10) for n in self.num_samples]
+        )
+        indices = factory.index_set().coarse_to_fine()
+        self.subsampling_rates = (
+            [int(r) for r in subsampling_rates]
+            if subsampling_rates is not None
+            else [max(0, factory.subsampling_rate(ix)) for ix in indices]
+        )
+        if level_weights is None:
+            # Expected number of chain steps per level: a level must produce its
+            # own correction samples plus rho_{l+1} proposals for every step the
+            # next finer level takes (the data-dependency chain of Algorithm 2).
+            steps = [0.0] * num_levels
+            for level in reversed(range(num_levels)):
+                own = self.num_samples[level] + self.burnin[level]
+                if level == num_levels - 1:
+                    steps[level] = float(own)
+                else:
+                    feed = steps[level + 1] * max(1, self.subsampling_rates[level + 1])
+                    steps[level] = float(own) + feed
+            level_weights = [
+                max(1e-12, steps[l]) * self.cost_model.mean(l) for l in range(num_levels)
+            ]
+        self.layout = ProcessLayout.create(
+            num_ranks=num_ranks,
+            num_levels=num_levels,
+            workers_per_group=workers_per_group,
+            collectors_per_level=collectors_per_level,
+            level_weights=level_weights,
+        )
+        self.config = RunConfiguration(
+            factory=factory,
+            layout=self.layout,
+            cost_model=self.cost_model,
+            num_samples=self.num_samples,
+            burnin=self.burnin,
+            subsampling_rates=self.subsampling_rates,
+            correction_batch=correction_batch,
+            dynamic_load_balancing=dynamic_load_balancing,
+            seed=seed,
+        )
+        self.latency = float(latency)
+        self.seed = seed
+        self.trace_enabled = bool(trace_enabled)
+
+    # ------------------------------------------------------------------
+    def build_world(self) -> tuple[VirtualWorld, RootProcess, PhonebookProcess]:
+        """Construct the virtual world with all role processes."""
+        trace = TraceRecorder(enabled=self.trace_enabled)
+        world = VirtualWorld(latency=self.latency, trace=trace)
+        random_source = RandomSource(self.seed)
+
+        root = RootProcess(self.layout.root_rank, self.config)
+        phonebook = PhonebookProcess(self.layout.phonebook_rank, self.config)
+        world.add_process(root)
+        world.add_process(phonebook)
+
+        for level, collector_ranks in self.layout.collector_ranks.items():
+            for rank in collector_ranks:
+                world.add_process(CollectorProcess(rank, self.config))
+
+        for group in self.layout.work_groups:
+            world.add_process(
+                ControllerProcess(
+                    group.controller_rank,
+                    self.config,
+                    worker_ranks=group.worker_ranks,
+                    random_source=random_source,
+                )
+            )
+            for worker_rank in group.worker_ranks:
+                world.add_process(WorkerProcess(worker_rank, group.controller_rank))
+        return world, root, phonebook
+
+    def run(self) -> ParallelMLMCMCResult:
+        """Run the parallel MLMCMC machine to completion."""
+        world, root, phonebook = self.build_world()
+        world.run()
+
+        unfinished = world.unfinished_ranks()
+        if unfinished and root.rank in unfinished:
+            raise RuntimeError(
+                "parallel MLMCMC did not terminate: the root never received all "
+                f"collector reports; unfinished ranks: {unfinished}"
+            )
+
+        corrections = dict(sorted(root.collected.items()))
+        num_levels = self.config.num_levels
+        ordered = [
+            corrections.get(level, CorrectionCollection(level)) for level in range(num_levels)
+        ]
+        costs = [self.cost_model.mean(level) for level in range(num_levels)]
+        estimate = MultilevelEstimate.from_corrections(ordered, costs_per_sample=costs)
+
+        samples_per_level: dict[int, int] = {}
+        controller_assignments: dict[int, list[int]] = {}
+        for process in world.processes.values():
+            if isinstance(process, ControllerProcess):
+                controller_assignments[process.rank] = list(process.assignment_history)
+                for level, count in process.samples_generated.items():
+                    samples_per_level[level] = samples_per_level.get(level, 0) + count
+
+        return ParallelMLMCMCResult(
+            estimate=estimate,
+            corrections=corrections,
+            virtual_time=root.finish_time if root.finish_time > 0 else world.now,
+            trace=world.trace,
+            layout=self.layout,
+            messages_sent=world.messages_sent,
+            events_processed=world.events_processed,
+            rebalance_log=list(phonebook.rebalance_log),
+            samples_per_level=samples_per_level,
+            level_finish_times=dict(root.level_finish_times),
+            controller_assignments=controller_assignments,
+        )

@@ -1,0 +1,76 @@
+"""Collector processes.
+
+Collectors gather correction samples for one level of the telescoping sum
+(paper, Section 4.2): they request samples from controllers via the phonebook
+and accumulate them in a distributed collection; several collectors may share
+a level, in which case the root merges their partial collections.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.core.sample_collection import CorrectionCollection
+from repro.parallel.roles.protocol import RunConfiguration, Tags
+from repro.parallel.simmpi.process import RankProcess
+
+__all__ = ["CollectorProcess"]
+
+
+class CollectorProcess(RankProcess):
+    """Dynamic-role rank accumulating one level's correction samples."""
+
+    role = "collector"
+
+    def __init__(self, rank: int, config: RunConfiguration) -> None:
+        super().__init__(rank)
+        self.config = config
+        self.level: int | None = None
+        self.target = 0
+        self.collection: CorrectionCollection | None = None
+
+    # ------------------------------------------------------------------
+    def run(self) -> Generator:
+        config = self.config
+        message = yield self.recv(Tags.COLLECT, Tags.SHUTDOWN)
+        if message.tag == Tags.SHUTDOWN:
+            return
+        self.level = int(message.payload["level"])
+        self.target = int(message.payload["target"])
+        self.collection = CorrectionCollection(level=self.level)
+
+        outstanding = 0
+        while len(self.collection) < self.target:
+            # Keep one batched request in flight at a time.
+            if outstanding == 0:
+                remaining = self.target - len(self.collection)
+                count = min(config.correction_batch, remaining)
+                yield self.send(
+                    config.layout.phonebook_rank,
+                    Tags.CORRECTION_REQUEST,
+                    {"level": self.level, "requester": self.rank, "count": count},
+                )
+                outstanding = count
+            message = yield self.recv(Tags.CORRECTIONS, Tags.SHUTDOWN)
+            if message.tag == Tags.SHUTDOWN:
+                return
+            pairs = message.payload["pairs"]
+            # Responses produced by a controller that has since switched levels
+            # are discarded; the request is simply re-issued on the next round.
+            if int(message.payload.get("level", self.level)) == self.level:
+                for fine_qoi, coarse_qoi in pairs:
+                    if len(self.collection) >= self.target:
+                        break
+                    self.collection.add(fine_qoi, coarse_qoi if self.level > 0 else None)
+            outstanding = 0
+
+        yield self.send(
+            config.layout.root_rank,
+            Tags.COLLECTOR_DONE,
+            {"level": self.level, "collection": self.collection},
+        )
+        # Wait for the global shutdown so late messages are absorbed.
+        while True:
+            message = yield self.recv(Tags.SHUTDOWN, Tags.CORRECTIONS)
+            if message.tag == Tags.SHUTDOWN:
+                return

@@ -1,0 +1,362 @@
+"""Controller processes.
+
+A controller runs one (multilevel) MCMC chain for the level it is currently
+assigned to (paper, Section 4.2):
+
+* it evaluates the forward model together with its worker ranks (lock step),
+* for levels above 0 it obtains coarse proposals by requesting subsampled
+  samples of level ``l-1`` chains through the phonebook,
+* it publishes its own subsampled states so finer chains can use them as
+  proposals, and hands correction samples (fine QOI coupled with the coarse
+  proposal's QOI) to collectors,
+* it honours ``REASSIGN`` orders from the phonebook's load balancer by
+  winding down its current chain and starting a fresh chain (including
+  burn-in) on the new level.
+
+The statistical work is done by the exact same kernel/chain classes as the
+sequential driver (:mod:`repro.core`); only the *scheduling* of model
+evaluations and the transport of samples differ.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator
+
+from repro.core.chain import SingleChainMCMC
+from repro.core.kernels.mh import MHKernel
+from repro.core.kernels.multilevel import MultilevelKernel
+from repro.core.proposals.subsampling import BufferedChainSource
+from repro.parallel.roles.protocol import RunConfiguration, Tags
+from repro.parallel.simmpi.message import Message
+from repro.parallel.simmpi.process import RankProcess
+from repro.utils.random import RandomSource
+
+__all__ = ["ControllerProcess"]
+
+
+class ControllerProcess(RankProcess):
+    """Dynamic-role rank running a single MCMC chain for its assigned level."""
+
+    role = "controller"
+
+    def __init__(
+        self,
+        rank: int,
+        config: RunConfiguration,
+        worker_ranks: tuple[int, ...],
+        random_source: RandomSource,
+    ) -> None:
+        super().__init__(rank)
+        self.config = config
+        self.worker_ranks = tuple(worker_ranks)
+        self._random_source = random_source
+        self._assignment_counter = 0
+        #: statistics: per level, number of post-burn-in samples generated
+        self.samples_generated: dict[int, int] = {}
+        #: levels this controller worked on, in order
+        self.assignment_history: list[int] = []
+        self.total_steps = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> Generator:
+        message = yield self.recv(Tags.ASSIGN, Tags.SHUTDOWN)
+        if message.tag == Tags.SHUTDOWN:
+            yield from self._shutdown_workers()
+            return
+        level = int(message.payload["level"])
+        while True:
+            outcome, payload = yield from self._run_level(level)
+            if outcome == "shutdown":
+                yield from self._shutdown_workers()
+                return
+            level = int(payload)
+
+    def _shutdown_workers(self) -> Generator:
+        for worker in self.worker_ranks:
+            yield self.send(worker, Tags.WORKER_SHUTDOWN, {})
+
+    # ------------------------------------------------------------------
+    def _build_chain(self, level: int) -> tuple[SingleChainMCMC, BufferedChainSource | None]:
+        config = self.config
+        factory = config.factory
+        index = config.index_for_level(level)
+        problem = config.problems.problem(index)
+        rng = self._random_source.child("controller", self.rank, self._assignment_counter)
+        self._assignment_counter += 1
+
+        if level == 0:
+            kernel = MHKernel(problem, factory.proposal(index, problem))
+            buffered = None
+        else:
+            coarse_index = config.index_for_level(level - 1)
+            coarse_problem = config.problems.problem(coarse_index)
+            buffered = BufferedChainSource(
+                subsampling_rate=int(config.subsampling_rates[level])
+            )
+            coarse_proposal = factory.coarse_proposal(index, coarse_problem, buffered)
+            fine_proposal = (
+                factory.proposal(index, problem)
+                if factory.needs_fine_proposal(index)
+                else None
+            )
+            kernel = MultilevelKernel(
+                fine_problem=problem,
+                coarse_problem=coarse_problem,
+                coarse_proposal=coarse_proposal,
+                fine_proposal=fine_proposal,
+                interpolation=factory.interpolation(index),
+            )
+        chain = SingleChainMCMC(
+            kernel=kernel,
+            starting_point=factory.starting_point(index),
+            rng=rng,
+            burnin=int(config.burnin[level]),
+            level=level,
+        )
+        return chain, buffered
+
+    # ------------------------------------------------------------------
+    def _run_level(self, level: int) -> Generator:
+        """Run a chain on ``level`` until reassigned or shut down.
+
+        Returns ``("reassign", new_level)`` or ``("shutdown", None)``.
+        """
+        config = self.config
+        phonebook = config.layout.phonebook_rank
+        self.assignment_history.append(level)
+
+        chain, buffered = self._build_chain(level)
+        problem = config.problems.problem(config.index_for_level(level))
+
+        yield self.send(phonebook, Tags.REGISTER, {"rank": self.rank, "level": level})
+        for worker in self.worker_ranks:
+            yield self.send(worker, Tags.WORKER_ASSIGN, {"level": level})
+
+        publish_rate = config.publish_rate(level)
+        steps_since_publish = 0
+        chain_buffer: deque = deque()
+        corrections_served = 0
+        corrections_notified = 0
+        pending_sample_fetches: deque[int] = deque()
+        pending_correction_fetches: deque[tuple[int, int]] = deque()
+        controller_rng = self._random_source.child("controller-cost", self.rank, level)
+
+        def serve_sample(requester: int) -> Generator:
+            if chain_buffer:
+                state = chain_buffer.popleft()
+                yield self.send(
+                    requester, Tags.COARSE_SAMPLE, {"state": state, "level": level}
+                )
+            else:
+                pending_sample_fetches.append(requester)
+
+        def serve_correction(requester: int, count: int) -> Generator:
+            nonlocal corrections_served
+            available = len(chain.corrections) - corrections_served
+            take = min(count, available)
+            if take <= 0:
+                pending_correction_fetches.append((requester, count))
+                return
+            pairs = [
+                chain.corrections.pair(corrections_served + i) for i in range(take)
+            ]
+            corrections_served += take
+            yield self.send(
+                requester, Tags.CORRECTIONS, {"pairs": pairs, "level": level}
+            )
+
+        def handle_message(message: Message) -> Generator:
+            """Serve fetch orders; returns control outcomes through StopIteration value."""
+            if message.tag == Tags.FETCH_SAMPLE:
+                fetch_level = int(message.payload.get("level", level))
+                requester = int(message.payload["requester"])
+                if fetch_level != level:
+                    # This fetch was routed to us before we switched levels; put
+                    # the request back into the phonebook's queue so another
+                    # controller on the right level answers it.
+                    yield self.send(
+                        phonebook,
+                        Tags.SAMPLE_REQUEST,
+                        {"level": fetch_level, "requester": requester},
+                    )
+                else:
+                    yield from serve_sample(requester)
+            elif message.tag == Tags.FETCH_CORRECTION:
+                fetch_level = int(message.payload.get("level", level))
+                requester = int(message.payload["requester"])
+                count = int(message.payload.get("count", 1))
+                if fetch_level != level:
+                    yield self.send(
+                        phonebook,
+                        Tags.CORRECTION_REQUEST,
+                        {"level": fetch_level, "requester": requester, "count": count},
+                    )
+                else:
+                    yield from serve_correction(requester, count)
+            # Stray coarse samples (e.g. requested before a reassignment) are dropped.
+
+        while True:
+            # --- handle already-delivered control / fetch messages -----------
+            while True:
+                pending = self.try_recv(
+                    Tags.FETCH_SAMPLE,
+                    Tags.FETCH_CORRECTION,
+                    Tags.REASSIGN,
+                    Tags.SHUTDOWN,
+                    Tags.COARSE_SAMPLE,
+                )
+                if pending is None:
+                    break
+                if pending.tag == Tags.SHUTDOWN:
+                    return "shutdown", None
+                if pending.tag == Tags.REASSIGN:
+                    yield from self._flush_obligations(
+                        pending_sample_fetches, pending_correction_fetches, chain,
+                        chain_buffer, corrections_served,
+                    )
+                    yield self.send(
+                        phonebook, Tags.UNREGISTER, {"rank": self.rank, "level": level}
+                    )
+                    return "reassign", int(pending.payload["level"])
+                yield from handle_message(pending)
+
+            # --- obtain a coarse proposal when sampling a correction level ----
+            if buffered is not None and len(buffered) == 0:
+                yield self.send(
+                    phonebook,
+                    Tags.SAMPLE_REQUEST,
+                    {"level": level - 1, "requester": self.rank},
+                )
+                while True:
+                    message = yield self.recv(
+                        Tags.COARSE_SAMPLE,
+                        Tags.FETCH_SAMPLE,
+                        Tags.FETCH_CORRECTION,
+                        Tags.REASSIGN,
+                        Tags.SHUTDOWN,
+                    )
+                    if message.tag == Tags.COARSE_SAMPLE:
+                        # Guard against stale samples requested before a reassignment:
+                        # only accept samples coming from the expected coarser level.
+                        if int(message.payload.get("level", level - 1)) == level - 1:
+                            buffered.push(message.payload["state"])
+                            break
+                        # Wrong level: our outstanding request was consumed by a
+                        # stale delivery — issue a fresh one and keep waiting.
+                        yield self.send(
+                            phonebook,
+                            Tags.SAMPLE_REQUEST,
+                            {"level": level - 1, "requester": self.rank},
+                        )
+                        continue
+                    if message.tag == Tags.SHUTDOWN:
+                        return "shutdown", None
+                    if message.tag == Tags.REASSIGN:
+                        yield from self._flush_obligations(
+                            pending_sample_fetches, pending_correction_fetches, chain,
+                            chain_buffer, corrections_served,
+                        )
+                        yield self.send(
+                            phonebook, Tags.UNREGISTER, {"rank": self.rank, "level": level}
+                        )
+                        return "reassign", int(message.payload["level"])
+                    yield from handle_message(message)
+
+            # --- one chain step: evaluate the model, then accept/reject -------
+            duration = self.config.cost_model.sample(level, controller_rng)
+            kind = "burnin" if chain.in_burnin else "model_eval"
+            for worker in self.worker_ranks:
+                yield self.send(
+                    worker,
+                    Tags.WORKER_EVAL,
+                    {"duration": duration, "kind": kind, "level": level},
+                )
+            yield self.compute(duration, kind=kind, level=level, label=f"level{level}")
+            chain.step()
+            self.total_steps += 1
+
+            if chain.in_burnin:
+                continue
+            self.samples_generated[level] = self.samples_generated.get(level, 0) + 1
+
+            # --- publish correction availability ------------------------------
+            new_corrections = len(chain.corrections) - corrections_notified
+            if new_corrections > 0:
+                corrections_notified += new_corrections
+                yield self.send(
+                    phonebook,
+                    Tags.CORRECTION_READY,
+                    {
+                        "rank": self.rank,
+                        "level": level,
+                        "count": new_corrections,
+                        "duration": duration,
+                    },
+                )
+
+            # --- publish subsampled chain states for finer levels --------------
+            if publish_rate > 0:
+                steps_since_publish += 1
+                if steps_since_publish >= publish_rate:
+                    steps_since_publish = 0
+                    state = chain.current_state.copy()
+                    problem.qoi(state)  # cache the QOI so consumers never re-run this model
+                    chain_buffer.append(state)
+                    yield self.send(
+                        phonebook,
+                        Tags.SAMPLE_READY,
+                        {
+                            "rank": self.rank,
+                            "level": level,
+                            "count": 1,
+                            "duration": duration,
+                        },
+                    )
+
+            # --- serve obligations that were waiting for fresh output ----------
+            while pending_sample_fetches and chain_buffer:
+                yield from serve_sample(pending_sample_fetches.popleft())
+            while pending_correction_fetches and (
+                len(chain.corrections) - corrections_served > 0
+            ):
+                requester, count = pending_correction_fetches.popleft()
+                yield from serve_correction(requester, count)
+
+    # ------------------------------------------------------------------
+    def _flush_obligations(
+        self,
+        pending_sample_fetches: deque,
+        pending_correction_fetches: deque,
+        chain: SingleChainMCMC,
+        chain_buffer: deque,
+        corrections_served: int,
+    ) -> Generator:
+        """Before leaving a level, answer every fetch we still owe.
+
+        Sample fetches are served with the freshest available state (buffered
+        or current); correction fetches are answered with whatever is left —
+        possibly an empty batch, which makes the collector re-request through
+        the phonebook and be matched with another controller.
+        """
+        while pending_sample_fetches:
+            requester = pending_sample_fetches.popleft()
+            if chain_buffer:
+                state = chain_buffer.popleft()
+            else:
+                state = chain.current_state.copy()
+            yield self.send(
+                requester, Tags.COARSE_SAMPLE, {"state": state, "level": chain.level}
+            )
+        available = len(chain.corrections) - corrections_served
+        while pending_correction_fetches:
+            requester, count = pending_correction_fetches.popleft()
+            take = min(count, available)
+            pairs = [
+                chain.corrections.pair(corrections_served + i) for i in range(take)
+            ]
+            corrections_served += take
+            available -= take
+            yield self.send(
+                requester, Tags.CORRECTIONS, {"pairs": pairs, "level": chain.level}
+            )

@@ -1,0 +1,268 @@
+"""The phonebook process.
+
+The phonebook is the directory of the parallel method (paper, Section 4.2):
+it knows which controllers currently sample which level, which of them hold
+fresh samples, and it matches sample requests (from finer chains and from
+collectors) to providers.  Because every request and every availability
+notification passes through it, it can infer the computational load per level
+— the basis of the dynamic load balancer (Section 4.3) it hosts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator
+
+from repro.parallel.costmodel import MeasuredCostModel
+from repro.parallel.loadbalancer import (
+    DynamicLoadBalancer,
+    LevelLoad,
+    RebalanceDecision,
+    StaticLoadBalancer,
+)
+from repro.parallel.roles.protocol import RunConfiguration, Tags
+from repro.parallel.simmpi.message import Message
+from repro.parallel.simmpi.process import RankProcess
+
+__all__ = ["PhonebookProcess"]
+
+
+class _ControllerInfo:
+    """Phonebook-side view of one controller."""
+
+    def __init__(self, rank: int, level: int) -> None:
+        self.rank = rank
+        self.level = level
+        self.available_samples = 0
+        self.available_corrections = 0
+
+
+class PhonebookProcess(RankProcess):
+    """Fixed-role rank 1: sample matchmaking and dynamic load balancing."""
+
+    role = "phonebook"
+
+    def __init__(self, rank: int, config: RunConfiguration) -> None:
+        super().__init__(rank)
+        self.config = config
+        self.measured_costs = MeasuredCostModel(config.cost_model)
+        # A freshly reassigned work group only contributes after re-running its
+        # burn-in, so decisions are spaced by a fraction of the typical burn-in time.
+        burnin_times = [
+            config.burnin[level] * config.cost_model.mean(level)
+            for level in range(config.num_levels)
+        ]
+        min_interval = 0.25 * float(sum(burnin_times) / max(1, len(burnin_times)))
+        self.balancer = (
+            DynamicLoadBalancer(cost_model=self.measured_costs, min_interval=min_interval)
+            if config.dynamic_load_balancing
+            else StaticLoadBalancer()
+        )
+        # directory state
+        self._controllers: dict[int, _ControllerInfo] = {}
+        self._chain_requests: dict[int, deque[int]] = {
+            level: deque() for level in range(config.num_levels)
+        }
+        self._collector_requests: dict[int, deque[tuple[int, int]]] = {
+            level: deque() for level in range(config.num_levels)
+        }
+        self._level_done: dict[int, bool] = {level: False for level in range(config.num_levels)}
+        self._migrating: set[int] = set()
+        #: record of all rebalancing decisions (time, source level, target level)
+        self.rebalance_log: list[tuple[float, RebalanceDecision]] = []
+        # Time-averaged load signals: instantaneous queue lengths fluctuate on the
+        # scale of single messages, so the balancer integrates them over the
+        # window since its last decision ("sample requests remain queued" is a
+        # statement about persistence, not about one instant).
+        self._load_window_start = 0.0
+        self._last_integration_time = 0.0
+        self._load_integrals: dict[int, dict[str, float]] = {
+            level: {"chain": 0.0, "coll": 0.0, "avail": 0.0}
+            for level in range(config.num_levels)
+        }
+        # After moving a group to a level, hold off further decisions until that
+        # group had a realistic chance to finish its burn-in and provide its
+        # first sample ("a new group ... only reduces that level's load once it
+        # actually provides its first sample", Section 4.3).
+        self._rebalance_cooldown_until = 0.0
+
+    # ------------------------------------------------------------------
+    def run(self) -> Generator:
+        while True:
+            message = yield self.recv()
+            if message.tag == Tags.SHUTDOWN:
+                return
+            self._integrate_loads()
+            self._handle(message)
+            decision = self._maybe_rebalance()
+            if decision is not None:
+                yield from self._apply_rebalance(decision)
+            # Forward any matches made possible by this message.
+            yield from self._dispatch_matches()
+
+    # ------------------------------------------------------------------
+    def _handle(self, message: Message) -> None:
+        tag, payload = message.tag, message.payload
+        if tag == Tags.REGISTER:
+            rank, level = int(payload["rank"]), int(payload["level"])
+            self._controllers[rank] = _ControllerInfo(rank, level)
+            self._migrating.discard(rank)
+        elif tag == Tags.UNREGISTER:
+            self._controllers.pop(int(payload["rank"]), None)
+        elif tag == Tags.SAMPLE_READY:
+            info = self._controllers.get(int(payload["rank"]))
+            if info is not None:
+                info.available_samples += int(payload.get("count", 1))
+            duration = payload.get("duration")
+            if duration is not None:
+                self.measured_costs.observe(int(payload["level"]), float(duration))
+        elif tag == Tags.CORRECTION_READY:
+            info = self._controllers.get(int(payload["rank"]))
+            if info is not None:
+                info.available_corrections += int(payload.get("count", 1))
+            duration = payload.get("duration")
+            if duration is not None:
+                self.measured_costs.observe(int(payload["level"]), float(duration))
+        elif tag == Tags.SAMPLE_REQUEST:
+            level = int(payload["level"])
+            self._chain_requests[level].append(int(payload["requester"]))
+        elif tag == Tags.CORRECTION_REQUEST:
+            level = int(payload["level"])
+            self._collector_requests[level].append(
+                (int(payload["requester"]), int(payload.get("count", 1)))
+            )
+        elif tag == Tags.LEVEL_DONE:
+            self._level_done[int(payload["level"])] = True
+
+    # ------------------------------------------------------------------
+    def _controllers_on_level(self, level: int) -> list[_ControllerInfo]:
+        return [info for info in self._controllers.values() if info.level == level]
+
+    def _dispatch_matches(self) -> Generator:
+        """Match queued requests against available samples and send FETCH orders."""
+        for level in range(self.config.num_levels):
+            # Chain requests first: an unanswered chain request stalls a chain.
+            queue = self._chain_requests[level]
+            while queue:
+                provider = next(
+                    (c for c in self._controllers_on_level(level) if c.available_samples > 0),
+                    None,
+                )
+                if provider is None:
+                    break
+                requester = queue.popleft()
+                provider.available_samples -= 1
+                yield self.send(
+                    provider.rank,
+                    Tags.FETCH_SAMPLE,
+                    {"requester": requester, "level": level},
+                )
+            cqueue = self._collector_requests[level]
+            while cqueue:
+                provider = next(
+                    (c for c in self._controllers_on_level(level) if c.available_corrections > 0),
+                    None,
+                )
+                if provider is None:
+                    break
+                requester, count = cqueue.popleft()
+                take = min(count, provider.available_corrections)
+                provider.available_corrections -= take
+                yield self.send(
+                    provider.rank,
+                    Tags.FETCH_CORRECTION,
+                    {"requester": requester, "count": take, "level": level},
+                )
+
+    # ------------------------------------------------------------------
+    def _integrate_loads(self) -> None:
+        """Accumulate time-weighted queue lengths since the last integration."""
+        dt = self.now - self._last_integration_time
+        if dt <= 0:
+            return
+        for level in range(self.config.num_levels):
+            controllers = self._controllers_on_level(level)
+            integrals = self._load_integrals[level]
+            integrals["chain"] += dt * len(self._chain_requests[level])
+            integrals["coll"] += dt * sum(c for _, c in self._collector_requests[level])
+            integrals["avail"] += dt * (
+                sum(c.available_samples for c in controllers)
+                + sum(c.available_corrections for c in controllers)
+            )
+        self._last_integration_time = self.now
+
+    def _reset_load_window(self) -> None:
+        for integrals in self._load_integrals.values():
+            integrals["chain"] = integrals["coll"] = integrals["avail"] = 0.0
+        self._load_window_start = self.now
+        self._last_integration_time = self.now
+
+    def _current_loads(self) -> dict[int, LevelLoad]:
+        """Time-averaged load view over the window since the last rebalance."""
+        window = max(self.now - self._load_window_start, 1e-12)
+        loads: dict[int, LevelLoad] = {}
+        for level in range(self.config.num_levels):
+            controllers = self._controllers_on_level(level)
+            # A level is needed as a proposal source as long as ANY finer level
+            # still has work to do: level l feeds l+1, which feeds l+2, and so on.
+            finer_done = all(
+                self._level_done.get(finer, True)
+                for finer in range(level + 1, self.config.num_levels)
+            )
+            integrals = self._load_integrals[level]
+            loads[level] = LevelLoad(
+                level=level,
+                queued_chain_requests=integrals["chain"] / window,
+                queued_collector_requests=integrals["coll"] / window,
+                available_samples=integrals["avail"] / window,
+                available_corrections=0.0,
+                num_groups=len(controllers),
+                done=self._level_done[level],
+                needed_as_proposal_source=not finer_done,
+            )
+        return loads
+
+    def _maybe_rebalance(self) -> RebalanceDecision | None:
+        if self.now < self._rebalance_cooldown_until:
+            return None
+        # Let load signals accumulate over a meaningful window before acting.
+        min_window = getattr(self.balancer, "min_interval", 0.0)
+        if self.now - self._load_window_start < max(min_window, 1e-9):
+            return None
+        decision = self.balancer.decide(self._current_loads(), self.now)
+        if decision is not None:
+            self._reset_load_window()
+            # The reassigned group must redo burn-in before it helps; freeze
+            # further decisions for that long (plus one model evaluation of slack).
+            target = decision.target_level
+            burnin_time = self.config.burnin[target] * self.measured_costs.mean(target)
+            self._rebalance_cooldown_until = self.now + burnin_time + self.measured_costs.mean(target)
+        return decision
+
+    def _apply_rebalance(self, decision: RebalanceDecision) -> Generator:
+        """Pick a controller on the donor level and order it to switch levels."""
+        candidates = [
+            c
+            for c in self._controllers_on_level(decision.source_level)
+            if c.rank not in self._migrating
+        ]
+        if not candidates:
+            return
+        # Prefer the controller with the fewest buffered samples (least disruptive).
+        chosen = min(candidates, key=lambda c: c.available_samples + c.available_corrections)
+        self._migrating.add(chosen.rank)
+        # Remove it from the donor level's directory immediately so repeated
+        # decisions do not keep choosing the same group; it re-registers on arrival.
+        self._controllers.pop(chosen.rank, None)
+        self.rebalance_log.append((self.now, decision))
+        yield self.send(
+            chosen.rank,
+            Tags.REASSIGN,
+            {"level": decision.target_level, "reason": decision.reason},
+        )
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict[str, object]:
+        info = super().describe()
+        info["num_rebalances"] = len(self.rebalance_log)
+        return info

@@ -1,0 +1,157 @@
+"""Message protocol and shared run configuration for the parallel roles.
+
+Every role communicates through a small vocabulary of message tags mimicking
+the request-based MPI interfaces of the paper's implementation.  The
+:class:`RunConfiguration` bundles everything the roles need to know about the
+run (factory, sample targets, burn-in, subsampling, cost model, layout ranks)
+and the :class:`SharedProblemCache` ensures each sampling problem (which may
+own an expensive PDE solver) is constructed only once per Python process even
+though many virtual controllers use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.factory import MIComponentFactory
+from repro.core.problem import AbstractSamplingProblem
+from repro.multiindex import MultiIndex
+from repro.parallel.costmodel import CostModel
+from repro.parallel.layout import ProcessLayout
+
+__all__ = ["Tags", "RunConfiguration", "SharedProblemCache"]
+
+
+class Tags:
+    """Message tags used by the parallel MLMCMC protocol."""
+
+    # root -> controllers / collectors
+    ASSIGN = "ASSIGN"
+    COLLECT = "COLLECT"
+    SHUTDOWN = "SHUTDOWN"
+    LEVEL_DONE = "LEVEL_DONE"
+
+    # controller <-> phonebook
+    REGISTER = "REGISTER"
+    UNREGISTER = "UNREGISTER"
+    SAMPLE_READY = "SAMPLE_READY"
+    CORRECTION_READY = "CORRECTION_READY"
+    SAMPLE_REQUEST = "SAMPLE_REQUEST"
+    CORRECTION_REQUEST = "CORRECTION_REQUEST"
+    FETCH_SAMPLE = "FETCH_SAMPLE"
+    FETCH_CORRECTION = "FETCH_CORRECTION"
+    REASSIGN = "REASSIGN"
+
+    # controller -> requester
+    COARSE_SAMPLE = "COARSE_SAMPLE"
+    CORRECTIONS = "CORRECTIONS"
+
+    # controller <-> workers
+    WORKER_ASSIGN = "WORKER_ASSIGN"
+    WORKER_EVAL = "WORKER_EVAL"
+    WORKER_SHUTDOWN = "WORKER_SHUTDOWN"
+
+    # collector -> root
+    COLLECTOR_DONE = "COLLECTOR_DONE"
+
+
+class SharedProblemCache:
+    """Construct-once cache of per-level sampling problems.
+
+    All virtual controllers live in the same Python process, so sharing the
+    (stateless with respect to sampling) problem objects avoids rebuilding PDE
+    solvers per controller.  Proposals are *not* shared — each chain gets its
+    own instance so adaptive proposals adapt independently.
+    """
+
+    def __init__(self, factory: MIComponentFactory) -> None:
+        self._factory = factory
+        self._problems: dict[tuple[int, ...], AbstractSamplingProblem] = {}
+
+    def problem(self, index: MultiIndex) -> AbstractSamplingProblem:
+        """The sampling problem for a model index (constructed on first use)."""
+        key = MultiIndex(index).values
+        if key not in self._problems:
+            self._problems[key] = self._factory.sampling_problem(MultiIndex(index))
+        return self._problems[key]
+
+
+@dataclass
+class RunConfiguration:
+    """Everything the role processes need to know about one parallel run.
+
+    Attributes
+    ----------
+    factory:
+        The model hierarchy.
+    layout:
+        Process layout (role assignment of ranks).
+    cost_model:
+        Virtual duration of forward-model evaluations per level.
+    num_samples:
+        Target number of correction samples per level (coarse to fine).
+    burnin:
+        Burn-in steps per level for every chain (each controller runs its own
+        burn-in, as in the paper).
+    subsampling_rates:
+        ``rho_l``: how many level ``l-1`` chain steps separate successive
+        samples handed to level ``l`` (entry 0 unused).
+    correction_batch:
+        How many correction samples a collector requests per message round
+        trip.
+    dynamic_load_balancing:
+        Whether the phonebook may reassign work groups between levels.
+    seed:
+        Root seed for all chain generators.
+    """
+
+    factory: MIComponentFactory
+    layout: ProcessLayout
+    cost_model: CostModel
+    num_samples: Sequence[int]
+    burnin: Sequence[int]
+    subsampling_rates: Sequence[int]
+    correction_batch: int = 10
+    dynamic_load_balancing: bool = True
+    seed: int | None = None
+    problems: SharedProblemCache = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.problems = SharedProblemCache(self.factory)
+        num_levels = len(self.layout.collector_ranks)
+        if len(self.num_samples) != num_levels:
+            raise ValueError("num_samples must have one entry per level")
+        if len(self.burnin) != num_levels:
+            raise ValueError("burnin must have one entry per level")
+        if len(self.subsampling_rates) != num_levels:
+            raise ValueError("subsampling_rates must have one entry per level")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_levels(self) -> int:
+        """Number of levels."""
+        return len(self.layout.collector_ranks)
+
+    @property
+    def finest_level(self) -> int:
+        """Index of the finest level."""
+        return self.num_levels - 1
+
+    def indices(self) -> list[MultiIndex]:
+        """Model indices coarse to fine."""
+        return self.factory.index_set().coarse_to_fine()
+
+    def index_for_level(self, level: int) -> MultiIndex:
+        """Model index of an integer level."""
+        return self.indices()[level]
+
+    def publish_rate(self, level: int) -> int:
+        """How often (in steps) a level-``level`` chain publishes a proposal sample.
+
+        Level ``l`` publishes at the subsampling rate requested by level
+        ``l+1``; the finest level never publishes.
+        """
+        if level >= self.finest_level:
+            return 0
+        return max(1, int(self.subsampling_rates[level + 1]))

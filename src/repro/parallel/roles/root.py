@@ -1,0 +1,94 @@
+"""The root process.
+
+Responsibilities (paper, Section 4.2): launch the parallel method, assign
+initial tasks to work groups, request collectors to gather a given number of
+samples per level, track completion and finally shut the whole machine down.
+Custom (adaptive) sampling strategies would be implemented here; the default
+strategy simply requests the configured number of samples per level.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.core.sample_collection import CorrectionCollection
+from repro.parallel.roles.protocol import RunConfiguration, Tags
+from repro.parallel.simmpi.process import RankProcess
+
+__all__ = ["RootProcess"]
+
+
+class RootProcess(RankProcess):
+    """Fixed-role rank 0: job control."""
+
+    role = "root"
+
+    def __init__(self, rank: int, config: RunConfiguration) -> None:
+        super().__init__(rank)
+        self.config = config
+        #: per-level correction collections received from collectors
+        self.collected: dict[int, CorrectionCollection] = {}
+        #: virtual time at which each level finished
+        self.level_finish_times: dict[int, float] = {}
+        self.finish_time: float = 0.0
+
+    # ------------------------------------------------------------------
+    def run(self) -> Generator:
+        config = self.config
+        layout = config.layout
+
+        # 1. Assign every work group to its initial level.
+        for group in layout.work_groups:
+            yield self.send(
+                group.controller_rank,
+                Tags.ASSIGN,
+                {"level": group.initial_level, "group": group},
+            )
+
+        # 2. Ask collectors to gather their share of the per-level targets.
+        outstanding = 0
+        for level, collector_ranks in sorted(layout.collector_ranks.items()):
+            target_total = int(config.num_samples[level])
+            shares = self._split(target_total, len(collector_ranks))
+            for collector_rank, share in zip(collector_ranks, shares):
+                yield self.send(
+                    collector_rank, Tags.COLLECT, {"level": level, "target": share}
+                )
+                outstanding += 1
+
+        # 3. Wait for all collectors to report completion.
+        done_per_level: dict[int, int] = {level: 0 for level in layout.collector_ranks}
+        while outstanding > 0:
+            message = yield self.recv(Tags.COLLECTOR_DONE)
+            outstanding -= 1
+            level = int(message.payload["level"])
+            collection: CorrectionCollection = message.payload["collection"]
+            if level in self.collected:
+                self.collected[level].merge(collection)
+            else:
+                self.collected[level] = collection
+            done_per_level[level] += 1
+            if done_per_level[level] == len(layout.collector_ranks[level]):
+                self.level_finish_times[level] = self.now
+                # Tell the phonebook the level's collection target is met so the
+                # load balancer may move its work groups elsewhere.
+                yield self.send(layout.phonebook_rank, Tags.LEVEL_DONE, {"level": level})
+
+        # 4. Shut everything down.
+        self.finish_time = self.now
+        yield self.send(layout.phonebook_rank, Tags.SHUTDOWN, {})
+        for group in layout.work_groups:
+            yield self.send(group.controller_rank, Tags.SHUTDOWN, {})
+        for collector_ranks in layout.collector_ranks.values():
+            for collector_rank in collector_ranks:
+                yield self.send(collector_rank, Tags.SHUTDOWN, {})
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _split(total: int, parts: int) -> list[int]:
+        """Split ``total`` into ``parts`` nearly equal positive integers."""
+        if parts <= 0:
+            return []
+        base = total // parts
+        remainder = total % parts
+        return [base + (1 if i < remainder else 0) for i in range(parts)]

@@ -1,0 +1,48 @@
+"""Worker processes.
+
+Workers share the load of running a single forward-model evaluation (paper,
+Section 4.2): they are called synchronously by their controller, so user
+models can assume lock-step parallelism.  In the simulated substrate a worker
+simply mirrors the virtual compute time of every evaluation its controller
+performs, which is what makes work-group utilisation visible in the traces.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.parallel.roles.protocol import Tags
+from repro.parallel.simmpi.process import RankProcess
+
+__all__ = ["WorkerProcess"]
+
+
+class WorkerProcess(RankProcess):
+    """Dynamic-role rank: lock-step model evaluation."""
+
+    role = "worker"
+
+    def __init__(self, rank: int, controller_rank: int) -> None:
+        super().__init__(rank)
+        self.controller_rank = controller_rank
+        self.level: int | None = None
+        self.evaluations = 0
+
+    def run(self) -> Generator:
+        while True:
+            message = yield self.recv(
+                Tags.WORKER_EVAL, Tags.WORKER_ASSIGN, Tags.WORKER_SHUTDOWN
+            )
+            if message.tag == Tags.WORKER_SHUTDOWN:
+                return
+            if message.tag == Tags.WORKER_ASSIGN:
+                self.level = int(message.payload["level"])
+                continue
+            payload = message.payload
+            self.evaluations += 1
+            yield self.compute(
+                float(payload["duration"]),
+                kind=str(payload.get("kind", "model_eval")),
+                level=payload.get("level"),
+                label="worker",
+            )

@@ -1,0 +1,219 @@
+"""Discrete-event simulation engine driving the virtual ranks.
+
+The world owns the event queue (a heap ordered by virtual time), the message
+delivery fabric and the per-rank generators.  Processes run until they yield a
+primitive:
+
+* ``Compute`` schedules the process's resumption ``duration`` later and records
+  a trace interval,
+* ``Send`` enqueues a delivery event at ``now + latency`` (plus an optional
+  per-byte-ish payload cost) — sends are treated as non-blocking (buffered),
+* ``Receive`` either consumes a matching message already in the mailbox or
+  blocks the process until one is delivered.
+
+Determinism: ties in time are broken by an increasing sequence number, and all
+randomness lives in the processes' own NumPy generators, so a run is exactly
+reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from repro.parallel.simmpi.message import Message
+from repro.parallel.simmpi.process import Compute, RankProcess, Receive, Send
+from repro.parallel.trace import TraceRecorder
+
+__all__ = ["VirtualWorld"]
+
+
+class VirtualWorld:
+    """The simulated machine: ranks, messages and the virtual clock.
+
+    Parameters
+    ----------
+    latency:
+        Message delivery latency in virtual seconds.
+    trace:
+        Optional :class:`TraceRecorder`; one is created when omitted.
+    max_events:
+        Safety valve against runaway simulations.
+    """
+
+    def __init__(
+        self,
+        latency: float = 1e-3,
+        trace: TraceRecorder | None = None,
+        max_events: int = 20_000_000,
+    ) -> None:
+        self.latency = float(latency)
+        self.trace = trace if trace is not None else TraceRecorder()
+        self.max_events = int(max_events)
+        self.now = 0.0
+        self._processes: dict[int, RankProcess] = {}
+        self._generators: dict[int, object] = {}
+        self._event_queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._events_processed = 0
+        self._messages_sent = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of registered ranks."""
+        return len(self._processes)
+
+    @property
+    def processes(self) -> dict[int, RankProcess]:
+        """All registered processes by rank."""
+        return dict(self._processes)
+
+    @property
+    def messages_sent(self) -> int:
+        """Total number of messages posted."""
+        return self._messages_sent
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of DES events processed."""
+        return self._events_processed
+
+    def add_process(self, process: RankProcess) -> None:
+        """Register a rank process (ranks must be unique)."""
+        if process.rank in self._processes:
+            raise ValueError(f"rank {process.rank} already registered")
+        process.world = self
+        self._processes[process.rank] = process
+
+    def stop(self) -> None:
+        """Request an orderly stop of the event loop (used by the root on shutdown)."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    def _schedule(self, time: float, action: Callable[[], None]) -> None:
+        heapq.heappush(self._event_queue, (time, next(self._sequence), action))
+
+    def _post_message(self, message: Message) -> None:
+        message.send_time = self.now
+        message.delivery_time = self.now + self.latency
+        self._messages_sent += 1
+
+        def deliver() -> None:
+            target = self._processes.get(message.dest)
+            if target is None:
+                return
+            state = target._state
+            if state.finished:
+                return
+            spec = state.waiting_on
+            if spec is not None and RankProcess.matches(message, spec):
+                state.waiting_on = None
+                waited = self.now - state.blocked_since
+                if waited > 0:
+                    self.trace.record(
+                        target.rank, state.blocked_since, self.now, "wait", None, ""
+                    )
+                self._resume(target, message)
+            else:
+                state.mailbox.append(message)
+
+        self._schedule(message.delivery_time, deliver)
+
+    # ------------------------------------------------------------------
+    def _start_process(self, process: RankProcess) -> None:
+        generator = process.run()
+        self._generators[process.rank] = generator
+        self._schedule(self.now, lambda: self._advance(process, None, first=True))
+
+    def _resume(self, process: RankProcess, value: Message | None) -> None:
+        self._schedule(self.now, lambda: self._advance(process, value))
+
+    def _advance(self, process: RankProcess, value: Message | None, first: bool = False) -> None:
+        generator = self._generators.get(process.rank)
+        if generator is None:
+            return
+        state = process._state
+        try:
+            item = generator.send(None if first else value) if not first else next(generator)
+        except StopIteration:
+            state.finished = True
+            return
+
+        while True:
+            if isinstance(item, Compute):
+                start = self.now
+                end = start + max(0.0, item.duration)
+                self.trace.record(
+                    process.rank, start, end, item.kind, item.level, item.label
+                )
+                self._schedule(end, lambda p=process: self._advance(p, None))
+                return
+            if isinstance(item, Send):
+                self._post_message(
+                    Message(
+                        source=process.rank,
+                        dest=item.dest,
+                        tag=item.tag,
+                        payload=item.payload,
+                    )
+                )
+                try:
+                    item = generator.send(None)
+                except StopIteration:
+                    state.finished = True
+                    return
+                continue
+            if isinstance(item, Receive):
+                matched = RankProcess.match_in_mailbox(state.mailbox, item)
+                if matched is not None:
+                    state.mailbox.remove(matched)
+                    try:
+                        item = generator.send(matched)
+                    except StopIteration:
+                        state.finished = True
+                        return
+                    continue
+                state.waiting_on = item
+                state.blocked_since = self.now
+                return
+            raise TypeError(f"process {process.rank} yielded unsupported item {item!r}")
+
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None) -> float:
+        """Run the simulation until all processes finish, deadlock, or ``until``.
+
+        Returns the final virtual time.
+        """
+        for process in self._processes.values():
+            self._start_process(process)
+
+        while self._event_queue and not self._stopped:
+            time, _, action = heapq.heappop(self._event_queue)
+            if until is not None and time > until:
+                self.now = until
+                break
+            self.now = max(self.now, time)
+            action()
+            self._events_processed += 1
+            if self._events_processed > self.max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {self.max_events} events; likely a livelock"
+                )
+        return self.now
+
+    # ------------------------------------------------------------------
+    def unfinished_ranks(self) -> list[int]:
+        """Ranks whose generator has not finished (useful to diagnose deadlocks)."""
+        return [rank for rank, proc in self._processes.items() if not proc._state.finished]
+
+    def summary(self) -> dict[str, float | int]:
+        """Simulation-wide statistics."""
+        return {
+            "virtual_time": self.now,
+            "num_ranks": self.size,
+            "messages_sent": self._messages_sent,
+            "events_processed": self._events_processed,
+        }

@@ -1,0 +1,133 @@
+"""Execution traces of parallel runs.
+
+The paper's Fig. 9 visualises the dynamic load balancer as a Gantt chart: one
+row per process, green boxes for model evaluations, yellow boxes for burn-in
+phases.  :class:`TraceRecorder` collects exactly that information from the
+virtual world (every ``Compute`` primitive and every blocked-receive interval)
+and offers utilisation summaries used by the scaling and load-balancing
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One interval in a rank's timeline."""
+
+    rank: int
+    start: float
+    end: float
+    kind: str  # "model_eval" | "burnin" | "wait" | "compute" | ...
+    level: int | None = None
+    label: str = ""
+
+    @property
+    def duration(self) -> float:
+        """Interval length."""
+        return self.end - self.start
+
+
+class TraceRecorder:
+    """Collects trace events and computes utilisation statistics."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self._events: list[TraceEvent] = []
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        rank: int,
+        start: float,
+        end: float,
+        kind: str,
+        level: int | None = None,
+        label: str = "",
+    ) -> None:
+        """Record one interval (no-op when disabled or empty)."""
+        if not self.enabled or end <= start:
+            return
+        self._events.append(TraceEvent(rank, float(start), float(end), kind, level, label))
+
+    def events(self, kinds: Iterable[str] | None = None) -> list[TraceEvent]:
+        """All events, optionally filtered by kind."""
+        if kinds is None:
+            return list(self._events)
+        wanted = set(kinds)
+        return [e for e in self._events if e.kind in wanted]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # ------------------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        """Latest event end time."""
+        return max((e.end for e in self._events), default=0.0)
+
+    def busy_time(self, rank: int, kinds: Iterable[str] = ("model_eval", "burnin", "compute")) -> float:
+        """Total time ``rank`` spent in the given activity kinds."""
+        wanted = set(kinds)
+        return sum(e.duration for e in self._events if e.rank == rank and e.kind in wanted)
+
+    def utilization(self, ranks: Iterable[int] | None = None) -> float:
+        """Mean fraction of the makespan the given ranks spent busy."""
+        span = self.makespan
+        if span <= 0:
+            return 0.0
+        if ranks is None:
+            ranks = sorted({e.rank for e in self._events})
+        ranks = list(ranks)
+        if not ranks:
+            return 0.0
+        fractions = [self.busy_time(rank) / span for rank in ranks]
+        return float(np.mean(fractions))
+
+    def per_level_busy_time(self) -> dict[int, float]:
+        """Total model-evaluation time per level across all ranks."""
+        totals: dict[int, float] = {}
+        for event in self._events:
+            if event.kind in ("model_eval", "burnin") and event.level is not None:
+                totals[event.level] = totals.get(event.level, 0.0) + event.duration
+        return totals
+
+    # ------------------------------------------------------------------
+    def gantt_rows(self) -> dict[int, list[tuple[float, float, str, int | None]]]:
+        """Per-rank interval lists ``(start, end, kind, level)`` — the Fig. 9 data."""
+        rows: dict[int, list[tuple[float, float, str, int | None]]] = {}
+        for event in sorted(self._events, key=lambda e: (e.rank, e.start)):
+            rows.setdefault(event.rank, []).append(
+                (event.start, event.end, event.kind, event.level)
+            )
+        return rows
+
+    def render_ascii(self, width: int = 80, kinds_symbols: dict[str, str] | None = None) -> str:
+        """A coarse ASCII rendering of the Gantt chart (for examples / logs)."""
+        symbols = kinds_symbols or {
+            "model_eval": "#",
+            "burnin": "o",
+            "wait": ".",
+            "compute": "+",
+        }
+        span = self.makespan
+        if span <= 0:
+            return "(empty trace)"
+        lines = []
+        for rank, intervals in sorted(self.gantt_rows().items()):
+            row = [" "] * width
+            for start, end, kind, _level in intervals:
+                lo = int(start / span * (width - 1))
+                hi = max(lo + 1, int(end / span * (width - 1)))
+                symbol = symbols.get(kind, "?")
+                for pos in range(lo, min(hi, width)):
+                    row[pos] = symbol
+            lines.append(f"rank {rank:4d} |{''.join(row)}|")
+        return "\n".join(lines)

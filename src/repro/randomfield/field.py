@@ -1,0 +1,112 @@
+"""High-level Gaussian random field facade.
+
+Couples a covariance kernel, a KL parameterisation and an optional mean into
+the object the Poisson model hierarchy consumes: a map from KL coefficients to
+(log-)diffusion-coefficient values at arbitrary points, at any mesh resolution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.randomfield.covariance import CovarianceKernel, ExponentialCovariance
+from repro.randomfield.kl import KarhunenLoeveExpansion
+
+__all__ = ["GaussianRandomField"]
+
+
+class GaussianRandomField:
+    """A (possibly log-transformed) Gaussian random field with KL parameterisation.
+
+    Parameters
+    ----------
+    kernel:
+        Covariance kernel of the underlying Gaussian field; defaults to the
+        paper's exponential covariance with correlation length 0.15 and unit
+        variance.
+    num_modes:
+        Number of KL modes, i.e. the Bayesian parameter dimension (113 in the
+        paper).
+    mean:
+        Constant mean of the Gaussian field (0 in the paper).
+    log_transform:
+        If True, :meth:`evaluate` returns ``exp(field)`` — the log-normal
+        diffusion coefficient ``kappa``; :meth:`evaluate_log` always returns
+        the Gaussian field itself.
+    domain:
+        Rectangular domain bounds.
+    quadrature_points_per_dim:
+        Nystrom resolution for the KL decomposition.
+    """
+
+    def __init__(
+        self,
+        kernel: CovarianceKernel | None = None,
+        num_modes: int = 113,
+        mean: float = 0.0,
+        log_transform: bool = True,
+        domain: tuple[tuple[float, float], ...] = ((0.0, 1.0), (0.0, 1.0)),
+        quadrature_points_per_dim: int = 24,
+    ) -> None:
+        self._kernel = kernel or ExponentialCovariance(variance=1.0, correlation_length=0.15)
+        self._kl = KarhunenLoeveExpansion(
+            self._kernel,
+            num_modes=num_modes,
+            domain=domain,
+            quadrature_points_per_dim=quadrature_points_per_dim,
+        )
+        self._mean = float(mean)
+        self._log_transform = bool(log_transform)
+
+    # ------------------------------------------------------------------
+    @property
+    def kernel(self) -> CovarianceKernel:
+        """The covariance kernel."""
+        return self._kernel
+
+    @property
+    def kl(self) -> KarhunenLoeveExpansion:
+        """The underlying KL expansion."""
+        return self._kl
+
+    @property
+    def num_modes(self) -> int:
+        """Parameter (KL coefficient) dimension."""
+        return self._kl.num_modes
+
+    @property
+    def log_transform(self) -> bool:
+        """Whether :meth:`evaluate` exponentiates the Gaussian field."""
+        return self._log_transform
+
+    # ------------------------------------------------------------------
+    def evaluate_log(self, points: np.ndarray, coefficients: np.ndarray) -> np.ndarray:
+        """The Gaussian (log) field at ``points`` for the given KL coefficients."""
+        return self._mean + self._kl.evaluate(points, coefficients)
+
+    def evaluate(self, points: np.ndarray, coefficients: np.ndarray) -> np.ndarray:
+        """The field consumed by the PDE (``exp`` of the Gaussian field when log-transformed)."""
+        log_field = self.evaluate_log(points, coefficients)
+        return np.exp(log_field) if self._log_transform else log_field
+
+    def sample_coefficients(self, rng: np.random.Generator) -> np.ndarray:
+        """Standard-normal KL coefficients."""
+        return self._kl.sample_coefficients(rng)
+
+    def evaluate_on_grid(
+        self, coefficients: np.ndarray, resolution: int, log: bool = False
+    ) -> np.ndarray:
+        """Evaluate on a uniform ``(resolution+1) x (resolution+1)`` nodal grid.
+
+        Returns a 2-D array indexed ``[i, j]`` over x- and y-nodes; handy for
+        QOI grids (the paper's 1/32-width QOI grid) and for plotting.
+        """
+        (x0, x1), (y0, y1) = self._kl.domain[:2]
+        xs = np.linspace(x0, x1, resolution + 1)
+        ys = np.linspace(y0, y1, resolution + 1)
+        grid_x, grid_y = np.meshgrid(xs, ys, indexing="ij")
+        points = np.stack([grid_x.ravel(), grid_y.ravel()], axis=-1)
+        values = self.evaluate_log(points, coefficients)
+        if not log and self._log_transform:
+            values = np.exp(values)
+        return values.reshape(resolution + 1, resolution + 1)

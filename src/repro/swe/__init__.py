@@ -1,0 +1,52 @@
+"""Shallow water equation substrate (ExaHyPE substitute).
+
+The tsunami forward model of the paper solves the first-order hyperbolic
+shallow water system (water column height, momenta, bathymetry) with an
+ADER-DG scheme plus an a-posteriori finite-volume subcell limiter.  This
+subpackage provides:
+
+* a robust, well-balanced 2-D finite-volume solver with wetting and drying
+  (:mod:`repro.swe.fv2d`) — the production forward model of the tsunami
+  hierarchy,
+* a 1-D ADER-DG scheme with a-posteriori FV subcell limiting
+  (:mod:`repro.swe.dg1d`) demonstrating the discretisation family used by
+  ExaHyPE,
+* a synthetic Tohoku-like scenario (bathymetry, source parameterisation,
+  buoys) replacing GEBCO bathymetry and DART buoy data
+  (:mod:`repro.swe.scenario`),
+* gauge recording and the (max wave height, arrival time) observables used by
+  the likelihood (:mod:`repro.swe.gauges`).
+"""
+
+from repro.swe.state import ShallowWaterState, DRY_TOLERANCE
+from repro.swe.bathymetry import (
+    BathymetryField,
+    tohoku_like_bathymetry,
+    smooth_bathymetry,
+    depth_averaged_bathymetry,
+)
+from repro.swe.riemann import rusanov_flux, hll_flux, physical_flux_x
+from repro.swe.fv2d import ShallowWaterSolver2D, SimulationResult
+from repro.swe.gauges import Gauge, GaugeRecord, wave_observables
+from repro.swe.dg1d import ADERDGSolver1D
+from repro.swe.scenario import TohokuLikeScenario, SourceParameters
+
+__all__ = [
+    "ShallowWaterState",
+    "DRY_TOLERANCE",
+    "BathymetryField",
+    "tohoku_like_bathymetry",
+    "smooth_bathymetry",
+    "depth_averaged_bathymetry",
+    "rusanov_flux",
+    "hll_flux",
+    "physical_flux_x",
+    "ShallowWaterSolver2D",
+    "SimulationResult",
+    "Gauge",
+    "GaugeRecord",
+    "wave_observables",
+    "ADERDGSolver1D",
+    "TohokuLikeScenario",
+    "SourceParameters",
+]

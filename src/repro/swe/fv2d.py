@@ -1,0 +1,325 @@
+"""Well-balanced 2-D finite-volume shallow water solver with wetting and drying.
+
+This is the production forward model behind the tsunami hierarchy.  The scheme
+is a first-order Godunov-type finite-volume method with
+
+* Rusanov or HLL interface fluxes (dimension-by-dimension),
+* Audusse-style hydrostatic reconstruction of interface depths, which makes
+  the scheme *well balanced*: the "lake at rest" steady state (flat free
+  surface over arbitrary bathymetry) is preserved exactly, a property the
+  paper's ADER-DG + FV-limiter scheme also has and without which a tsunami
+  signal of a few centimetres would drown in numerical noise,
+* positivity-preserving wetting and drying with a dry tolerance,
+* CFL-controlled adaptive time stepping,
+* zero-gradient (outflow) boundaries on all four domain edges, and
+* gauge recording at fixed buoy locations.
+
+The role of the paper's a-posteriori subcell limiter — falling back to a
+robust FV scheme wherever a high-order candidate is troubled, in particular at
+coastlines — is played here by the solver being robust-FV everywhere; the
+1-D ADER-DG module (:mod:`repro.swe.dg1d`) demonstrates the limiter machinery
+itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from repro.swe.gauges import Gauge, GaugeRecord
+from repro.swe.riemann import hll_flux, rusanov_flux
+from repro.swe.state import DRY_TOLERANCE, GRAVITY, ShallowWaterState
+
+__all__ = ["ShallowWaterSolver2D", "SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Output of a shallow-water simulation.
+
+    Attributes
+    ----------
+    state:
+        Final state.
+    gauge_records:
+        One record per requested gauge, in input order.
+    num_timesteps:
+        Number of time steps taken.
+    simulated_time:
+        Final simulation time (seconds).
+    dof_updates:
+        Total number of degree-of-freedom updates (cells x conserved variables
+        x timesteps) — the work metric reported in the paper's Table 2.
+    max_eta_field:
+        Maximum free-surface anomaly attained per cell over the simulation.
+    """
+
+    state: ShallowWaterState
+    gauge_records: list[GaugeRecord]
+    num_timesteps: int
+    simulated_time: float
+    dof_updates: int
+    max_eta_field: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
+
+
+class ShallowWaterSolver2D:
+    """First-order well-balanced FV solver on a uniform rectangular grid.
+
+    Parameters
+    ----------
+    nx, ny:
+        Number of cells per direction.
+    extent:
+        ``(x0, x1, y0, y1)`` physical bounds in metres.
+    bathymetry:
+        Cell-centred bathymetry array of shape ``(nx, ny)``.
+    gravity:
+        Gravitational acceleration.
+    cfl:
+        CFL number (<= 0.5 recommended for the dimension-unsplit update).
+    flux:
+        ``"rusanov"`` (default) or ``"hll"``.
+    dry_tolerance:
+        Depth below which a cell is treated as dry.
+    """
+
+    def __init__(
+        self,
+        nx: int,
+        ny: int,
+        extent: tuple[float, float, float, float],
+        bathymetry: np.ndarray,
+        gravity: float = GRAVITY,
+        cfl: float = 0.45,
+        flux: Literal["rusanov", "hll"] = "rusanov",
+        dry_tolerance: float = DRY_TOLERANCE,
+    ) -> None:
+        self.nx = int(nx)
+        self.ny = int(ny)
+        self.extent = extent
+        x0, x1, y0, y1 = extent
+        self.dx = (x1 - x0) / self.nx
+        self.dy = (y1 - y0) / self.ny
+        bathy = np.asarray(bathymetry, dtype=float)
+        if bathy.shape != (self.nx, self.ny):
+            raise ValueError(
+                f"bathymetry shape {bathy.shape} does not match grid ({self.nx}, {self.ny})"
+            )
+        self.bathymetry = bathy.copy()
+        self.gravity = float(gravity)
+        self.cfl = float(cfl)
+        if not 0.0 < self.cfl <= 1.0:
+            raise ValueError("CFL number must be in (0, 1]")
+        self._flux = rusanov_flux if flux == "rusanov" else hll_flux
+        self.dry_tolerance = float(dry_tolerance)
+
+    # ------------------------------------------------------------------
+    def cell_centers(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cell centre coordinate arrays ``(x, y)`` of shape ``(nx, ny)``."""
+        x0, x1, y0, y1 = self.extent
+        xs = x0 + (np.arange(self.nx) + 0.5) * self.dx
+        ys = y0 + (np.arange(self.ny) + 0.5) * self.dy
+        return np.meshgrid(xs, ys, indexing="ij")
+
+    def locate_cell(self, x: float, y: float) -> tuple[int, int]:
+        """Indices of the cell containing the physical point ``(x, y)``."""
+        x0, _, y0, _ = self.extent
+        i = int(np.clip((x - x0) / self.dx, 0, self.nx - 1))
+        j = int(np.clip((y - y0) / self.dy, 0, self.ny - 1))
+        return i, j
+
+    def initial_state(self, surface_displacement: np.ndarray | None = None) -> ShallowWaterState:
+        """Lake-at-rest state with an optional instantaneous surface displacement.
+
+        Following the paper (and Saito et al.), the co-seismic sea-floor
+        displacement is translated directly to the sea surface: the water
+        column height of wet cells is increased by the displacement.
+        """
+        state = ShallowWaterState.lake_at_rest(self.bathymetry)
+        state.dry_tolerance = self.dry_tolerance
+        if surface_displacement is not None:
+            disp = np.asarray(surface_displacement, dtype=float)
+            if disp.shape != (self.nx, self.ny):
+                raise ValueError("surface displacement shape does not match the grid")
+            wet = state.h > self.dry_tolerance
+            state.h[wet] = np.maximum(state.h[wet] + disp[wet], 0.0)
+        return state
+
+    # ------------------------------------------------------------------
+    def _interface_fluxes_x(self, state: ShallowWaterState) -> tuple[np.ndarray, ...]:
+        """Hydrostatically reconstructed fluxes across x-interfaces.
+
+        Returns per-interface flux arrays of shape ``(nx + 1, ny)`` together
+        with the reconstructed left/right depths needed for the well-balanced
+        source term.
+        """
+        h, hu, hv, b = state.h, state.hu, state.hv, state.b
+        # Extend with zero-gradient ghost cells in x.
+        h_ext = np.concatenate([h[:1], h, h[-1:]], axis=0)
+        hu_ext = np.concatenate([hu[:1], hu, hu[-1:]], axis=0)
+        hv_ext = np.concatenate([hv[:1], hv, hv[-1:]], axis=0)
+        b_ext = np.concatenate([b[:1], b, b[-1:]], axis=0)
+
+        h_l, h_r = h_ext[:-1], h_ext[1:]
+        hu_l, hu_r = hu_ext[:-1], hu_ext[1:]
+        hv_l, hv_r = hv_ext[:-1], hv_ext[1:]
+        b_l, b_r = b_ext[:-1], b_ext[1:]
+
+        return self._reconstructed_flux(h_l, hu_l, hv_l, b_l, h_r, hu_r, hv_r, b_r)
+
+    def _interface_fluxes_y(self, state: ShallowWaterState) -> tuple[np.ndarray, ...]:
+        """Same as :meth:`_interface_fluxes_x` for y-interfaces (roles of hu/hv swapped)."""
+        h, hu, hv, b = state.h, state.hu, state.hv, state.b
+        h_ext = np.concatenate([h[:, :1], h, h[:, -1:]], axis=1)
+        hu_ext = np.concatenate([hu[:, :1], hu, hu[:, -1:]], axis=1)
+        hv_ext = np.concatenate([hv[:, :1], hv, hv[:, -1:]], axis=1)
+        b_ext = np.concatenate([b[:, :1], b, b[:, -1:]], axis=1)
+
+        h_l, h_r = h_ext[:, :-1], h_ext[:, 1:]
+        hu_l, hu_r = hu_ext[:, :-1], hu_ext[:, 1:]
+        hv_l, hv_r = hv_ext[:, :-1], hv_ext[:, 1:]
+        b_l, b_r = b_ext[:, :-1], b_ext[:, 1:]
+
+        # In the y-sweep the "normal" momentum is hv; reuse the x-flux with
+        # swapped momentum components and swap the returned components back.
+        (flux_h, flux_hn, flux_ht, h_star_l, h_star_r) = self._reconstructed_flux(
+            h_l, hv_l, hu_l, b_l, h_r, hv_r, hu_r, b_r
+        )
+        return flux_h, flux_ht, flux_hn, h_star_l, h_star_r
+
+    def _reconstructed_flux(
+        self,
+        h_l: np.ndarray,
+        hn_l: np.ndarray,
+        ht_l: np.ndarray,
+        b_l: np.ndarray,
+        h_r: np.ndarray,
+        hn_r: np.ndarray,
+        ht_r: np.ndarray,
+        b_r: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Audusse hydrostatic reconstruction + numerical flux at a set of interfaces.
+
+        ``hn`` is the momentum normal to the interface, ``ht`` the transverse
+        momentum.  Returns ``(flux_h, flux_hn, flux_ht, h*_l, h*_r)``.
+        """
+        wet_l = h_l > self.dry_tolerance
+        wet_r = h_r > self.dry_tolerance
+        un_l = np.where(wet_l, hn_l / np.where(wet_l, h_l, 1.0), 0.0)
+        ut_l = np.where(wet_l, ht_l / np.where(wet_l, h_l, 1.0), 0.0)
+        un_r = np.where(wet_r, hn_r / np.where(wet_r, h_r, 1.0), 0.0)
+        ut_r = np.where(wet_r, ht_r / np.where(wet_r, h_r, 1.0), 0.0)
+
+        # Hydrostatic reconstruction of interface depths.
+        b_star = np.maximum(b_l, b_r)
+        eta_l = h_l + b_l
+        eta_r = h_r + b_r
+        h_star_l = np.maximum(eta_l - b_star, 0.0)
+        h_star_r = np.maximum(eta_r - b_star, 0.0)
+
+        q_l = (h_star_l, h_star_l * un_l, h_star_l * ut_l)
+        q_r = (h_star_r, h_star_r * un_r, h_star_r * ut_r)
+        flux_h, flux_hn, flux_ht = self._flux(q_l, q_r, self.gravity)
+        return flux_h, flux_hn, flux_ht, h_star_l, h_star_r
+
+    # ------------------------------------------------------------------
+    def step(self, state: ShallowWaterState, dt: float) -> None:
+        """Advance the state by one explicit Euler step of size ``dt`` (in place)."""
+        g = self.gravity
+
+        # --- x-direction ---------------------------------------------------
+        flux_h_x, flux_hu_x, flux_hv_x, h_star_l_x, h_star_r_x = self._interface_fluxes_x(state)
+        # Well-balanced source contribution: for cell i the x-interfaces are
+        # i (left) and i+1 (right); the hydrostatic-reconstruction source is
+        #   g/2 * (h*_{i,left-of-right-interface}^2 - h*_{i,right-of-left-interface}^2
+        #          - (h_i)^2 + (h_i)^2 ) ... expressed compactly below.
+        h = state.h
+        src_hu = (
+            0.5 * g * (h_star_l_x[1:, :] ** 2 - h_star_r_x[:-1, :] ** 2)
+        )
+        dh_x = -(flux_h_x[1:, :] - flux_h_x[:-1, :]) / self.dx
+        dhu_x = -(flux_hu_x[1:, :] - flux_hu_x[:-1, :]) / self.dx + src_hu / self.dx
+        dhv_x = -(flux_hv_x[1:, :] - flux_hv_x[:-1, :]) / self.dx
+
+        # --- y-direction ---------------------------------------------------
+        flux_h_y, flux_hu_y, flux_hv_y, h_star_l_y, h_star_r_y = self._interface_fluxes_y(state)
+        src_hv = (
+            0.5 * g * (h_star_l_y[:, 1:] ** 2 - h_star_r_y[:, :-1] ** 2)
+        )
+        dh_y = -(flux_h_y[:, 1:] - flux_h_y[:, :-1]) / self.dy
+        dhu_y = -(flux_hu_y[:, 1:] - flux_hu_y[:, :-1]) / self.dy
+        dhv_y = -(flux_hv_y[:, 1:] - flux_hv_y[:, :-1]) / self.dy + src_hv / self.dy
+
+        state.h += dt * (dh_x + dh_y)
+        state.hu += dt * (dhu_x + dhu_y)
+        state.hv += dt * (dhv_x + dhv_y)
+        state.enforce_positivity()
+
+    def stable_timestep(self, state: ShallowWaterState) -> float:
+        """CFL-stable time step for the current state."""
+        max_speed = state.max_wave_speed(self.gravity)
+        if max_speed <= 0.0:
+            return 0.1 * min(self.dx, self.dy)
+        return self.cfl * min(self.dx, self.dy) / max_speed
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        initial_state: ShallowWaterState,
+        end_time: float,
+        gauges: list[Gauge] | None = None,
+        max_steps: int = 1_000_000,
+        record_max_eta: bool = True,
+    ) -> SimulationResult:
+        """Run the simulation to ``end_time`` recording gauges every step."""
+        state = initial_state.copy()
+        gauges = gauges or []
+        records = [GaugeRecord(gauge=g) for g in gauges]
+        gauge_cells = [self.locate_cell(g.x, g.y) for g in gauges]
+        reference_eta = [
+            state.free_surface[i, j] if state.h[i, j] > self.dry_tolerance else 0.0
+            for i, j in gauge_cells
+        ]
+
+        max_eta = np.zeros_like(state.h) if record_max_eta else np.zeros((0, 0))
+        time = 0.0
+        steps = 0
+        self._record_gauges(state, time, records, gauge_cells, reference_eta)
+        while time < end_time and steps < max_steps:
+            dt = min(self.stable_timestep(state), end_time - time)
+            if dt <= 0.0:
+                break
+            self.step(state, dt)
+            time += dt
+            steps += 1
+            self._record_gauges(state, time, records, gauge_cells, reference_eta)
+            if record_max_eta:
+                wet = state.h > self.dry_tolerance
+                anomaly = np.where(wet, state.free_surface, 0.0)
+                np.maximum(max_eta, anomaly, out=max_eta)
+
+        dof_updates = steps * self.nx * self.ny * 4  # 4 conserved variables
+        return SimulationResult(
+            state=state,
+            gauge_records=records,
+            num_timesteps=steps,
+            simulated_time=time,
+            dof_updates=dof_updates,
+            max_eta_field=max_eta,
+        )
+
+    def _record_gauges(
+        self,
+        state: ShallowWaterState,
+        time: float,
+        records: list[GaugeRecord],
+        cells: list[tuple[int, int]],
+        reference_eta: list[float],
+    ) -> None:
+        for record, (i, j), ref in zip(records, cells, reference_eta):
+            if state.h[i, j] > self.dry_tolerance:
+                record.append(time, state.free_surface[i, j] - ref)
+            else:
+                record.append(time, 0.0)

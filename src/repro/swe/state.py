@@ -1,0 +1,122 @@
+"""Shallow water state container.
+
+The conserved variables are the water column height ``h``, the momenta
+``hu = h*u`` and ``hv = h*v``, and the (static in time, but part of the
+hyperbolic system in the paper's formulation) bathymetry ``b``.  The sea
+surface elevation is ``eta = h + b`` with the convention that ``b`` is
+negative below the undisturbed sea level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ShallowWaterState", "DRY_TOLERANCE", "GRAVITY"]
+
+#: water depth below which a cell is treated as dry (velocities zeroed)
+DRY_TOLERANCE = 1.0e-3
+#: gravitational acceleration [m/s^2]
+GRAVITY = 9.81
+
+
+@dataclass
+class ShallowWaterState:
+    """Cell-centred conserved variables of the 2-D shallow water equations.
+
+    Attributes
+    ----------
+    h:
+        Water column height per cell, shape ``(nx, ny)`` (non-negative).
+    hu, hv:
+        Momenta per cell.
+    b:
+        Bathymetry per cell (negative below sea level).
+    """
+
+    h: np.ndarray
+    hu: np.ndarray
+    hv: np.ndarray
+    b: np.ndarray
+    dry_tolerance: float = field(default=DRY_TOLERANCE)
+
+    def __post_init__(self) -> None:
+        shapes = {self.h.shape, self.hu.shape, self.hv.shape, self.b.shape}
+        if len(shapes) != 1:
+            raise ValueError(f"inconsistent field shapes: {shapes}")
+        self.h = np.asarray(self.h, dtype=float)
+        self.hu = np.asarray(self.hu, dtype=float)
+        self.hv = np.asarray(self.hv, dtype=float)
+        self.b = np.asarray(self.b, dtype=float)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def lake_at_rest(cls, bathymetry: np.ndarray, sea_level: float = 0.0) -> "ShallowWaterState":
+        """The "lake at rest" steady state: flat free surface, zero velocity.
+
+        Cells whose bathymetry is above the sea level are dry (``h = 0``).
+        """
+        b = np.asarray(bathymetry, dtype=float)
+        h = np.maximum(sea_level - b, 0.0)
+        return cls(h=h, hu=np.zeros_like(h), hv=np.zeros_like(h), b=b.copy())
+
+    def copy(self) -> "ShallowWaterState":
+        """Deep copy of the state."""
+        return ShallowWaterState(
+            h=self.h.copy(),
+            hu=self.hu.copy(),
+            hv=self.hv.copy(),
+            b=self.b.copy(),
+            dry_tolerance=self.dry_tolerance,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Grid shape."""
+        return self.h.shape
+
+    @property
+    def free_surface(self) -> np.ndarray:
+        """Sea surface elevation ``eta = h + b`` (equals ``b`` on dry cells)."""
+        return self.h + self.b
+
+    @property
+    def wet(self) -> np.ndarray:
+        """Boolean mask of wet cells."""
+        return self.h > self.dry_tolerance
+
+    def velocities(self) -> tuple[np.ndarray, np.ndarray]:
+        """Velocities ``(u, v)`` with a desingularised division on nearly dry cells."""
+        wet = self.wet
+        u = np.zeros_like(self.h)
+        v = np.zeros_like(self.h)
+        u[wet] = self.hu[wet] / self.h[wet]
+        v[wet] = self.hv[wet] / self.h[wet]
+        return u, v
+
+    def max_wave_speed(self, gravity: float = GRAVITY) -> float:
+        """Maximum characteristic speed ``max(|u| + sqrt(g h))`` over wet cells."""
+        wet = self.wet
+        if not np.any(wet):
+            return 0.0
+        u, v = self.velocities()
+        celerity = np.sqrt(gravity * self.h[wet])
+        speed = np.maximum(np.abs(u[wet]), np.abs(v[wet])) + celerity
+        return float(speed.max())
+
+    def total_mass(self, cell_area: float = 1.0) -> float:
+        """Total water volume (a conserved quantity away from open boundaries)."""
+        return float(self.h.sum() * cell_area)
+
+    def total_momentum(self, cell_area: float = 1.0) -> tuple[float, float]:
+        """Total momentum components."""
+        return float(self.hu.sum() * cell_area), float(self.hv.sum() * cell_area)
+
+    def enforce_positivity(self) -> None:
+        """Clip tiny negative depths produced by round-off and zero dry-cell momenta."""
+        np.maximum(self.h, 0.0, out=self.h)
+        dry = ~self.wet
+        self.hu[dry] = 0.0
+        self.hv[dry] = 0.0

@@ -1,0 +1,34 @@
+"""Shared utilities: RNG management, running statistics, options, logging, timing.
+
+These helpers are deliberately dependency-light; every other subpackage builds
+on them.  They mirror the kind of infrastructure MUQ provides in C++
+(boost::property_tree-style option handling, sample statistics, etc.).
+"""
+
+from repro.utils.options import Options
+from repro.utils.random import RandomSource, spawn_rngs
+from repro.utils.stats import (
+    RunningMoments,
+    WeightedRunningMoments,
+    batch_means_variance,
+    integrated_autocorrelation_time,
+    effective_sample_size,
+    autocorrelation,
+)
+from repro.utils.timing import Timer, TimingRegistry
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "Options",
+    "RandomSource",
+    "spawn_rngs",
+    "RunningMoments",
+    "WeightedRunningMoments",
+    "batch_means_variance",
+    "integrated_autocorrelation_time",
+    "effective_sample_size",
+    "autocorrelation",
+    "Timer",
+    "TimingRegistry",
+    "get_logger",
+]

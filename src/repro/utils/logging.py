@@ -1,0 +1,41 @@
+"""Logging helpers.
+
+A single place to obtain configured ``logging.Logger`` instances so that
+library modules never call ``logging.basicConfig`` themselves (which would
+stomp on user configuration).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+
+_LOGGER_PREFIX = "repro"
+_DEFAULT_LEVEL = os.environ.get("REPRO_LOG_LEVEL", "WARNING").upper()
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a library logger.
+
+    Parameters
+    ----------
+    name:
+        Sub-logger name; ``None`` returns the package root logger
+        ``"repro"``.  The root library logger gets a ``NullHandler`` so the
+        library stays silent unless the application configures logging, except
+        that the ``REPRO_LOG_LEVEL`` environment variable can force a level
+        with a basic stderr handler for quick debugging.
+    """
+    full_name = _LOGGER_PREFIX if not name else f"{_LOGGER_PREFIX}.{name}"
+    logger = logging.getLogger(full_name)
+    root = logging.getLogger(_LOGGER_PREFIX)
+    if not root.handlers:
+        root.addHandler(logging.NullHandler())
+        if _DEFAULT_LEVEL in ("DEBUG", "INFO"):
+            handler = logging.StreamHandler()
+            handler.setFormatter(
+                logging.Formatter("[%(levelname)s] %(name)s: %(message)s")
+            )
+            root.addHandler(handler)
+            root.setLevel(_DEFAULT_LEVEL)
+    return logger

@@ -1,0 +1,137 @@
+"""Hierarchical option handling.
+
+MUQ configures its MCMC stack through ``boost::property_tree`` dictionaries.
+:class:`Options` provides the Python analogue: a thin, dot-accessible mapping
+with defaulting, nesting, validation helpers and deep-merge semantics.  Every
+algorithm in :mod:`repro` accepts either a plain ``dict`` or an
+:class:`Options` instance.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections.abc import Mapping, MutableMapping
+from typing import Any, Iterator
+
+
+class Options(MutableMapping):
+    """A nested, dot-accessible configuration mapping.
+
+    Parameters
+    ----------
+    data:
+        Initial key/value pairs.  Nested mappings are converted to
+        :class:`Options` recursively.
+    **kwargs:
+        Additional key/value pairs merged on top of ``data``.
+
+    Examples
+    --------
+    >>> opts = Options({"chain": {"num_samples": 100}}, burnin=10)
+    >>> opts.chain.num_samples
+    100
+    >>> opts.get("missing", 3)
+    3
+    """
+
+    def __init__(self, data: Mapping[str, Any] | None = None, **kwargs: Any) -> None:
+        object.__setattr__(self, "_data", {})
+        if data is not None:
+            for key, value in dict(data).items():
+                self[key] = value
+        for key, value in kwargs.items():
+            self[key] = value
+
+    # -- mapping protocol -------------------------------------------------
+    def __getitem__(self, key: str) -> Any:
+        return self._data[key]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        if isinstance(value, Mapping) and not isinstance(value, Options):
+            value = Options(value)
+        self._data[key] = value
+
+    def __delitem__(self, key: str) -> None:
+        del self._data[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # -- attribute access --------------------------------------------------
+    def __getattr__(self, key: str) -> Any:
+        try:
+            return self._data[key]
+        except KeyError as exc:  # pragma: no cover - defensive
+            raise AttributeError(key) from exc
+
+    def __setattr__(self, key: str, value: Any) -> None:
+        self[key] = value
+
+    def __repr__(self) -> str:
+        return f"Options({self.to_dict()!r})"
+
+    # -- helpers -------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Return a plain nested ``dict`` copy of the options."""
+        out: dict[str, Any] = {}
+        for key, value in self._data.items():
+            out[key] = value.to_dict() if isinstance(value, Options) else copy.deepcopy(value)
+        return out
+
+    def copy(self) -> "Options":
+        """Deep copy."""
+        return Options(self.to_dict())
+
+    def merged(self, other: Mapping[str, Any] | None = None, **kwargs: Any) -> "Options":
+        """Return a new :class:`Options` with ``other`` deep-merged on top."""
+        result = self.copy()
+        result.update_deep(other or {})
+        result.update_deep(kwargs)
+        return result
+
+    def update_deep(self, other: Mapping[str, Any]) -> None:
+        """Deep-merge ``other`` into this instance in place."""
+        for key, value in dict(other).items():
+            if (
+                key in self._data
+                and isinstance(self._data[key], Options)
+                and isinstance(value, Mapping)
+            ):
+                self._data[key].update_deep(value)
+            else:
+                self[key] = value
+
+    def setdefaults(self, defaults: Mapping[str, Any]) -> "Options":
+        """Fill in any missing keys (recursively) from ``defaults``; returns self."""
+        for key, value in dict(defaults).items():
+            if key not in self._data:
+                self[key] = copy.deepcopy(value)
+            elif isinstance(self._data[key], Options) and isinstance(value, Mapping):
+                self._data[key].setdefaults(value)
+        return self
+
+    def require(self, *keys: str) -> None:
+        """Raise ``KeyError`` listing every missing required key."""
+        missing = [key for key in keys if key not in self._data]
+        if missing:
+            raise KeyError(f"Missing required option(s): {', '.join(missing)}")
+
+    @staticmethod
+    def coerce(value: "Options | Mapping[str, Any] | None", **defaults: Any) -> "Options":
+        """Normalise a user-supplied options argument.
+
+        Accepts ``None`` (returns defaults only), a mapping, or an existing
+        :class:`Options` instance, and applies ``defaults`` for missing keys.
+        """
+        if value is None:
+            opts = Options()
+        elif isinstance(value, Options):
+            opts = value.copy()
+        else:
+            opts = Options(value)
+        if defaults:
+            opts.setdefaults(defaults)
+        return opts

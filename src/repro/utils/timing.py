@@ -1,0 +1,98 @@
+"""Lightweight wall-clock timers and a per-label timing registry.
+
+The parallel layer mostly operates in *virtual* time (see
+:mod:`repro.parallel.simmpi`), but forward-model cost models can be calibrated
+from measured wall-clock times collected with these helpers.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Timer:
+    """A simple start/stop wall-clock timer accumulating total elapsed time."""
+
+    elapsed: float = 0.0
+    _started_at: float | None = field(default=None, repr=False)
+    count: int = 0
+
+    def start(self) -> "Timer":
+        """Start (or restart) the timer."""
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the timer and return the duration of the last interval."""
+        if self._started_at is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        interval = time.perf_counter() - self._started_at
+        self.elapsed += interval
+        self.count += 1
+        self._started_at = None
+        return interval
+
+    @property
+    def running(self) -> bool:
+        """Whether the timer is currently running."""
+        return self._started_at is not None
+
+    @property
+    def mean(self) -> float:
+        """Mean duration per start/stop interval."""
+        return self.elapsed / self.count if self.count else 0.0
+
+    @contextmanager
+    def measure(self) -> Iterator["Timer"]:
+        """Context manager measuring one interval."""
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+
+class TimingRegistry:
+    """A registry of named timers.
+
+    Examples
+    --------
+    >>> registry = TimingRegistry()
+    >>> with registry.measure("model.solve"):
+    ...     pass
+    >>> registry.total("model.solve") >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._timers: dict[str, Timer] = defaultdict(Timer)
+
+    def timer(self, label: str) -> Timer:
+        """Return the timer registered under ``label`` (creating it if needed)."""
+        return self._timers[label]
+
+    @contextmanager
+    def measure(self, label: str) -> Iterator[Timer]:
+        """Measure one interval under ``label``."""
+        with self.timer(label).measure() as t:
+            yield t
+
+    def total(self, label: str) -> float:
+        """Total elapsed time accumulated under ``label``."""
+        return self._timers[label].elapsed if label in self._timers else 0.0
+
+    def mean(self, label: str) -> float:
+        """Mean per-interval time under ``label``."""
+        return self._timers[label].mean if label in self._timers else 0.0
+
+    def report(self) -> dict[str, dict[str, float]]:
+        """Summary dictionary ``{label: {total, count, mean}}``."""
+        return {
+            label: {"total": t.elapsed, "count": float(t.count), "mean": t.mean}
+            for label, t in sorted(self._timers.items())
+        }

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test-suite.
+
+Fixtures construct deliberately small instances of the expensive substrates
+(KL expansions, FEM solvers, tsunami scenarios) with module scope so they are
+built once per test module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.gaussian import GaussianHierarchyFactory
+from repro.models.poisson import PoissonInverseProblemFactory
+from repro.models.tsunami import TsunamiInverseProblemFactory, TsunamiLevelSpec
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def gaussian_factory() -> GaussianHierarchyFactory:
+    """A small analytic Gaussian hierarchy with known moments."""
+    return GaussianHierarchyFactory(dim=2, num_levels=3, subsampling=5, proposal_scale=2.5)
+
+
+@pytest.fixture(scope="session")
+def small_poisson_factory() -> PoissonInverseProblemFactory:
+    """A scaled-down Poisson inverse problem (fast enough for unit tests)."""
+    return PoissonInverseProblemFactory(
+        mesh_sizes=(8, 16),
+        num_kl_modes=16,
+        quadrature_points_per_dim=10,
+        qoi_resolution=8,
+        subsampling_rates=[0, 4],
+        pcn_beta=0.4,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_tsunami_factory() -> TsunamiInverseProblemFactory:
+    """A scaled-down tsunami inverse problem (coarse grids, short simulation)."""
+    return TsunamiInverseProblemFactory(
+        level_specs=(
+            TsunamiLevelSpec(0, 12, "constant", False, 0.15, 2.5),
+            TsunamiLevelSpec(1, 24, "smoothed", True, 0.10, 1.5, smoothing_passes=2),
+        ),
+        end_time=900.0,
+        subsampling_rates=[0, 2],
+    )

@@ -1,0 +1,71 @@
+"""Tests for the adaptive (pilot + production) MLMCMC sample allocation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveMLMCMCSampler
+from repro.models.gaussian import GaussianHierarchyFactory
+
+
+@pytest.fixture(scope="module")
+def factory():
+    return GaussianHierarchyFactory(dim=1, num_levels=3, decay=0.4, subsampling=4)
+
+
+class TestAdaptiveMLMCMC:
+    def test_pilot_produces_sensible_allocation(self, factory):
+        sampler = AdaptiveMLMCMCSampler(
+            factory, target_standard_error=0.05, pilot_samples=60, seed=3
+        )
+        allocation = sampler.pilot()
+        assert len(allocation.num_samples) == 3
+        # allocation at least as large as the pilot and coarsest level gets the most
+        assert all(n >= 20 for n in allocation.num_samples)
+        assert allocation.num_samples[0] >= allocation.num_samples[2]
+        assert np.all(allocation.costs > 0)
+        assert np.all(allocation.iacts >= 1.0)
+        summary = allocation.summary()
+        assert len(summary) == 3 and summary[0]["allocated_samples"] == allocation.num_samples[0]
+
+    def test_tighter_tolerance_allocates_more_samples(self, factory):
+        loose = AdaptiveMLMCMCSampler(
+            factory, target_standard_error=0.2, pilot_samples=60, seed=5
+        ).pilot()
+        tight = AdaptiveMLMCMCSampler(
+            factory, target_standard_error=0.02, pilot_samples=60, seed=5
+        ).pilot()
+        assert sum(tight.num_samples) > sum(loose.num_samples)
+
+    def test_max_samples_cap(self, factory):
+        allocation = AdaptiveMLMCMCSampler(
+            factory,
+            target_standard_error=1e-4,
+            pilot_samples=40,
+            max_samples_per_level=500,
+            seed=1,
+        ).pilot()
+        assert max(allocation.num_samples) <= 500
+
+    def test_full_run_improves_on_pilot(self, factory):
+        sampler = AdaptiveMLMCMCSampler(
+            factory, target_standard_error=0.08, pilot_samples=40,
+            max_samples_per_level=4000, seed=7,
+        )
+        result = sampler.run()
+        exact = factory.exact_mean()
+        production_error = abs(float(result.mean[0] - exact[0]))
+        # loose sanity bound: a few standard errors of the requested tolerance
+        assert production_error < 0.5
+        assert result.production.estimate.num_levels == 3
+        # the production run used the allocation computed by the pilot
+        assert [
+            len(c) for c in result.production.corrections
+        ] == result.allocation.num_samples
+
+    def test_validation(self, factory):
+        with pytest.raises(ValueError):
+            AdaptiveMLMCMCSampler(factory, target_standard_error=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveMLMCMCSampler(factory, target_standard_error=0.1, pilot_samples=[10, 10])

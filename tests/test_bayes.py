@@ -1,0 +1,245 @@
+"""Tests for the Bayesian layer: densities, likelihoods, posterior composition."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.bayes.distributions import (
+    GaussianDensity,
+    IndependentProductDensity,
+    LogNormalDensity,
+    TruncatedGaussianDensity,
+    UniformBoxDensity,
+)
+from repro.bayes.likelihood import (
+    GaussianLikelihood,
+    UnphysicalModelOutput,
+    likelihood_from_forward_model,
+)
+from repro.bayes.posterior import Posterior
+
+
+class TestGaussianDensity:
+    def test_log_density_matches_scipy(self, rng):
+        mean = np.array([1.0, -2.0])
+        cov = np.array([[2.0, 0.3], [0.3, 1.0]])
+        density = GaussianDensity(mean, cov)
+        x = rng.normal(size=2)
+        expected = stats.multivariate_normal(mean, cov).logpdf(x)
+        assert density.log_density(x) == pytest.approx(expected, rel=1e-10)
+
+    def test_scalar_covariance_broadcast(self):
+        density = GaussianDensity(0.0, 4.0, dim=3)
+        assert density.dim == 3
+        np.testing.assert_allclose(density.covariance, 4.0 * np.eye(3))
+
+    def test_diagonal_covariance(self):
+        density = GaussianDensity(np.zeros(2), np.array([1.0, 9.0]))
+        np.testing.assert_allclose(density.covariance, np.diag([1.0, 9.0]))
+
+    def test_sampling_moments(self, rng):
+        density = GaussianDensity(np.array([2.0, -1.0]), np.array([0.5, 2.0]))
+        samples = density.sample_n(rng, 20_000)
+        np.testing.assert_allclose(samples.mean(axis=0), [2.0, -1.0], atol=0.05)
+        np.testing.assert_allclose(samples.var(axis=0), [0.5, 2.0], rtol=0.1)
+
+    def test_invalid_covariance_raises(self):
+        with pytest.raises(ValueError):
+            GaussianDensity(np.zeros(2), np.array([[1.0, 2.0], [2.0, 1.0]]))
+        with pytest.raises(ValueError):
+            GaussianDensity(0.0, -1.0, dim=2)
+
+    def test_dimension_mismatch(self):
+        density = GaussianDensity(np.zeros(2), 1.0)
+        with pytest.raises(ValueError):
+            density.log_density(np.zeros(3))
+
+    @given(st.floats(-5, 5), st.floats(0.1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_property_max_at_mean(self, mean, var):
+        density = GaussianDensity(mean, var, dim=1)
+        at_mean = density.log_density(np.array([mean]))
+        assert at_mean >= density.log_density(np.array([mean + 0.5]))
+        assert at_mean >= density.log_density(np.array([mean - 1.3]))
+
+
+class TestUniformBoxDensity:
+    def test_inside_outside(self):
+        box = UniformBoxDensity([0.0, 0.0], [2.0, 4.0])
+        assert np.isfinite(box.log_density(np.array([1.0, 1.0])))
+        assert box.log_density(np.array([3.0, 1.0])) == -math.inf
+        assert box.log_density(np.array([1.0, 1.0])) == pytest.approx(-math.log(8.0))
+
+    def test_sampling_stays_inside(self, rng):
+        box = UniformBoxDensity([-1.0, 0.0], [1.0, 5.0])
+        samples = box.sample_n(rng, 500)
+        assert np.all(samples[:, 0] >= -1.0) and np.all(samples[:, 0] <= 1.0)
+        assert np.all(samples[:, 1] >= 0.0) and np.all(samples[:, 1] <= 5.0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            UniformBoxDensity([0.0], [0.0])
+        with pytest.raises(ValueError):
+            UniformBoxDensity([0.0, 0.0], [1.0])
+
+
+class TestTruncatedGaussian:
+    def test_truncation(self, rng):
+        gaussian = GaussianDensity(np.zeros(2), 100.0)
+        truncated = TruncatedGaussianDensity(gaussian, [-1, -1], [1, 1])
+        samples = truncated.sample_n(rng, 200)
+        assert np.all(np.abs(samples) <= 1.0)
+        assert truncated.log_density(np.array([5.0, 0.0])) == -math.inf
+        assert np.isfinite(truncated.log_density(np.array([0.5, 0.5])))
+
+    def test_impossible_truncation_raises(self, rng):
+        gaussian = GaussianDensity(np.zeros(1), 1e-6)
+        truncated = TruncatedGaussianDensity(gaussian, [100.0], [101.0], max_rejections=50)
+        with pytest.raises(RuntimeError):
+            truncated.sample(rng)
+
+
+class TestLogNormalAndProduct:
+    def test_lognormal_support(self):
+        density = LogNormalDensity(0.0, 1.0, dim=2)
+        assert density.log_density(np.array([1.0, 2.0])) > -math.inf
+        assert density.log_density(np.array([-1.0, 2.0])) == -math.inf
+
+    def test_lognormal_matches_scipy(self, rng):
+        density = LogNormalDensity(0.5, 0.75, dim=1)
+        x = float(rng.lognormal())
+        expected = stats.lognorm(s=0.75, scale=math.exp(0.5)).logpdf(x)
+        assert density.log_density(np.array([x])) == pytest.approx(expected, rel=1e-9)
+
+    def test_product_density(self, rng):
+        product = IndependentProductDensity(
+            [GaussianDensity(0.0, 1.0, dim=2), UniformBoxDensity([0.0], [1.0])]
+        )
+        assert product.dim == 3
+        sample = product.sample(rng)
+        assert sample.shape == (3,)
+        value = product.log_density(sample)
+        assert np.isfinite(value)
+        assert product.log_density(np.array([0.0, 0.0, 2.0])) == -math.inf
+
+
+class TestGaussianLikelihood:
+    def test_peaks_at_data(self):
+        data = np.array([1.0, 2.0])
+        likelihood = GaussianLikelihood(data, 0.1)
+        assert likelihood.log_likelihood(data) > likelihood.log_likelihood(data + 0.3)
+
+    def test_matches_scipy(self, rng):
+        data = rng.normal(size=3)
+        cov = np.diag([0.5, 1.0, 2.0])
+        likelihood = GaussianLikelihood(data, np.array([0.5, 1.0, 2.0]))
+        prediction = rng.normal(size=3)
+        expected = stats.multivariate_normal(data, cov).logpdf(prediction)
+        assert likelihood.log_likelihood(prediction) == pytest.approx(expected, rel=1e-9)
+
+    def test_full_covariance(self, rng):
+        data = np.zeros(2)
+        cov = np.array([[1.0, 0.4], [0.4, 2.0]])
+        likelihood = GaussianLikelihood(data, cov)
+        prediction = rng.normal(size=2)
+        expected = stats.multivariate_normal(data, cov).logpdf(prediction)
+        assert likelihood.log_likelihood(prediction) == pytest.approx(expected, rel=1e-9)
+
+    def test_unphysical_prediction_gets_floor(self):
+        likelihood = GaussianLikelihood(np.zeros(2), 1.0)
+        assert likelihood.log_likelihood(np.array([np.nan, 0.0])) == likelihood.unphysical_log_likelihood
+        assert likelihood.log_likelihood(np.array([np.inf, 0.0])) == likelihood.unphysical_log_likelihood
+
+    def test_dimension_mismatch_raises(self):
+        likelihood = GaussianLikelihood(np.zeros(2), 1.0)
+        with pytest.raises(ValueError):
+            likelihood.log_likelihood(np.zeros(3))
+
+    def test_misfit_is_quadratic_form(self):
+        likelihood = GaussianLikelihood(np.zeros(2), 2.0)
+        assert likelihood.misfit(np.array([2.0, 0.0])) == pytest.approx(2.0)
+
+    def test_with_data(self):
+        likelihood = GaussianLikelihood(np.zeros(2), 1.0)
+        other = likelihood.with_data(np.ones(2))
+        np.testing.assert_allclose(other.data, 1.0)
+
+    def test_forward_model_composition_handles_unphysical(self):
+        likelihood = GaussianLikelihood(np.zeros(1), 1.0)
+
+        def forward(theta):
+            if theta[0] > 0:
+                raise UnphysicalModelOutput("bad")
+            return np.array([theta[0]])
+
+        loglike = likelihood_from_forward_model(likelihood, forward)
+        assert loglike(np.array([-1.0])) < 0
+        assert loglike(np.array([1.0])) == likelihood.unphysical_log_likelihood
+
+
+class TestPosterior:
+    def _make(self, n_calls: list[int]) -> Posterior:
+        prior = GaussianDensity(np.zeros(2), 4.0)
+        likelihood = GaussianLikelihood(np.array([0.5, 0.5]), 0.25)
+
+        def forward(theta):
+            n_calls[0] += 1
+            return theta
+
+        return Posterior(prior, likelihood, forward)
+
+    def test_log_density_is_prior_plus_likelihood(self):
+        calls = [0]
+        posterior = self._make(calls)
+        theta = np.array([0.1, -0.2])
+        expected = posterior.log_prior(theta) + posterior.log_likelihood(theta)
+        assert posterior.log_density(theta) == pytest.approx(expected)
+
+    def test_forward_model_caching(self):
+        calls = [0]
+        posterior = self._make(calls)
+        theta = np.array([0.3, 0.3])
+        posterior.log_density(theta)
+        posterior.qoi(theta)
+        posterior.forward(theta)
+        assert calls[0] == 1  # cached after the first evaluation
+        posterior.log_density(np.array([0.4, 0.4]))
+        assert calls[0] == 2
+
+    def test_default_qoi_is_parameter(self):
+        calls = [0]
+        posterior = self._make(calls)
+        theta = np.array([1.0, 2.0])
+        np.testing.assert_allclose(posterior.qoi(theta), theta)
+
+    def test_infinite_prior_shortcuts_likelihood(self):
+        calls = [0]
+        prior = UniformBoxDensity([0.0, 0.0], [1.0, 1.0])
+        likelihood = GaussianLikelihood(np.zeros(2), 1.0)
+
+        def forward(theta):
+            calls[0] += 1
+            return theta
+
+        posterior = Posterior(prior, likelihood, forward)
+        assert posterior.log_density(np.array([2.0, 2.0])) == -math.inf
+        assert calls[0] == 0
+
+    def test_unphysical_forward_gets_floor(self):
+        prior = GaussianDensity(np.zeros(1), 1.0)
+        likelihood = GaussianLikelihood(np.zeros(1), 1.0)
+
+        def forward(theta):
+            raise UnphysicalModelOutput("always bad")
+
+        posterior = Posterior(prior, likelihood, forward)
+        value = posterior.log_density(np.array([0.0]))
+        assert value == pytest.approx(
+            prior.log_density(np.array([0.0])) + likelihood.unphysical_log_likelihood
+        )

@@ -1,0 +1,277 @@
+"""Tests for MH and multilevel kernels, chains, sample collections."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.chain import SingleChainMCMC, SubsampledChainSource
+from repro.core.interpolation import BlockInterpolation, IdentityInterpolation
+from repro.core.kernels import MHKernel, MultilevelKernel
+from repro.core.problem import DensitySamplingProblem, GaussianTargetProblem
+from repro.core.proposals import (
+    BufferedChainSource,
+    GaussianRandomWalkProposal,
+    IndependenceProposal,
+    SubsamplingProposal,
+)
+from repro.bayes.distributions import GaussianDensity
+from repro.core.sample_collection import CorrectionCollection, SampleCollection
+from repro.core.state import SamplingState
+
+
+class TestMHKernel:
+    def test_samples_standard_normal(self):
+        problem = GaussianTargetProblem(np.zeros(1), 1.0)
+        kernel = MHKernel(problem, GaussianRandomWalkProposal(2.0, dim=1))
+        rng = np.random.default_rng(0)
+        state = kernel.initialize(np.zeros(1))
+        samples = []
+        for _ in range(20_000):
+            result = kernel.step(state, rng)
+            state = result.state
+            samples.append(state.parameters[0])
+        samples = np.array(samples[2000:])
+        assert samples.mean() == pytest.approx(0.0, abs=0.08)
+        assert samples.std() == pytest.approx(1.0, rel=0.08)
+        # Kolmogorov-Smirnov sanity check on thinned samples
+        ks = stats.kstest(samples[::20], "norm")
+        assert ks.pvalue > 0.001
+        assert 0.2 < kernel.acceptance_rate < 0.9
+
+    def test_rejects_minus_infinity_proposals(self):
+        def log_density(theta):
+            return 0.0 if np.all(theta >= 0) else -np.inf
+
+        problem = DensitySamplingProblem(1, log_density)
+        kernel = MHKernel(problem, GaussianRandomWalkProposal(4.0, dim=1))
+        rng = np.random.default_rng(1)
+        state = kernel.initialize(np.array([0.5]))
+        for _ in range(200):
+            state = kernel.step(state, rng).state
+            assert state.parameters[0] >= 0
+
+    def test_initialize_evaluates_density(self):
+        problem = GaussianTargetProblem(np.zeros(2), 1.0)
+        kernel = MHKernel(problem, GaussianRandomWalkProposal(1.0, dim=2))
+        state = kernel.initialize(np.ones(2))
+        assert state.log_density is not None
+
+    def test_independence_sampler_on_same_density_always_accepts(self):
+        target = GaussianDensity(np.zeros(2), 1.0)
+        problem = GaussianTargetProblem(np.zeros(2), 1.0)
+        kernel = MHKernel(problem, IndependenceProposal(target))
+        rng = np.random.default_rng(3)
+        state = kernel.initialize(np.zeros(2))
+        for _ in range(200):
+            state = kernel.step(state, rng).state
+        assert kernel.acceptance_rate == pytest.approx(1.0)
+
+
+class TestMultilevelKernel:
+    def _make_kernel(self, coarse_mean, fine_mean, buffered):
+        coarse = GaussianTargetProblem(np.array(coarse_mean), 1.0)
+        fine = GaussianTargetProblem(np.array(fine_mean), 1.0)
+        return MultilevelKernel(
+            fine_problem=fine,
+            coarse_problem=coarse,
+            coarse_proposal=SubsamplingProposal(buffered),
+            fine_proposal=None,
+            interpolation=IdentityInterpolation(),
+        )
+
+    def test_identical_levels_accept_everything(self):
+        # When nu_l == nu_{l-1}, the acceptance probability is exactly 1.
+        rng = np.random.default_rng(0)
+        buffered = BufferedChainSource()
+        kernel = self._make_kernel([0.0], [0.0], buffered)
+        state = kernel.initialize(np.zeros(1))
+        for _ in range(100):
+            coarse = SamplingState(parameters=rng.standard_normal(1))
+            kernel.coarse_problem.log_density(coarse)
+            buffered.push(coarse)
+            result = kernel.step(state, rng)
+            state = result.state
+            assert result.accepted
+            assert result.log_alpha == pytest.approx(0.0, abs=1e-12)
+
+    def test_targets_fine_posterior_with_exact_coarse_proposals(self):
+        # Coarse proposals drawn exactly from nu_{l-1}: the fine chain is an
+        # independence sampler and must reproduce the fine posterior moments.
+        rng = np.random.default_rng(7)
+        buffered = BufferedChainSource()
+        kernel = self._make_kernel([0.0], [0.6], buffered)
+        coarse_density = GaussianDensity(np.zeros(1), 1.0)
+        state = kernel.initialize(np.zeros(1))
+        samples = []
+        for _ in range(20_000):
+            coarse = SamplingState(parameters=coarse_density.sample(rng))
+            kernel.coarse_problem.log_density(coarse)
+            buffered.push(coarse)
+            state = kernel.step(state, rng).state
+            samples.append(state.parameters[0])
+        samples = np.array(samples[2000:])
+        assert samples.mean() == pytest.approx(0.6, abs=0.06)
+        assert samples.var() == pytest.approx(1.0, rel=0.1)
+
+    def test_metadata_carries_coarse_pairing(self):
+        rng = np.random.default_rng(2)
+        buffered = BufferedChainSource()
+        kernel = self._make_kernel([0.0, 0.0], [0.5, 0.5], buffered)
+        state = kernel.initialize(np.zeros(2))
+        coarse = SamplingState(parameters=np.array([1.0, 2.0]))
+        kernel.coarse_problem.log_density(coarse)
+        buffered.push(coarse)
+        result = kernel.step(state, rng)
+        np.testing.assert_allclose(result.metadata["coarse_qoi"], [1.0, 2.0])
+        assert result.metadata["coarse_state"] is coarse
+        assert np.isfinite(result.metadata["coarse_log_density"])
+
+    def test_block_interpolation_with_fine_proposal(self):
+        rng = np.random.default_rng(5)
+        coarse = GaussianTargetProblem(np.zeros(1), 1.0)
+        fine = GaussianTargetProblem(np.zeros(2), 1.0)
+        buffered = BufferedChainSource()
+        kernel = MultilevelKernel(
+            fine_problem=fine,
+            coarse_problem=coarse,
+            coarse_proposal=SubsamplingProposal(buffered),
+            fine_proposal=GaussianRandomWalkProposal(0.5, dim=1),
+            interpolation=BlockInterpolation(coarse_dim=1, fine_dim=1),
+        )
+        state = kernel.initialize(np.zeros(2))
+        for _ in range(50):
+            coarse_state = SamplingState(parameters=rng.standard_normal(1))
+            coarse.log_density(coarse_state)
+            buffered.push(coarse_state)
+            state = kernel.step(state, rng).state
+            assert state.dim == 2
+
+
+class TestInterpolation:
+    def test_identity(self):
+        interp = IdentityInterpolation()
+        np.testing.assert_allclose(interp.interpolate(np.array([1.0, 2.0]), None), [1.0, 2.0])
+        np.testing.assert_allclose(interp.coarse_part(np.array([3.0])), [3.0])
+        assert interp.fine_part(np.array([3.0])).size == 0
+
+    def test_block(self):
+        interp = BlockInterpolation(2, 1)
+        combined = interp.interpolate(np.array([1.0, 2.0]), np.array([3.0]))
+        np.testing.assert_allclose(combined, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(interp.coarse_part(combined), [1.0, 2.0])
+        np.testing.assert_allclose(interp.fine_part(combined), [3.0])
+        with pytest.raises(ValueError):
+            interp.interpolate(np.array([1.0]), np.array([3.0]))
+        with pytest.raises(ValueError):
+            interp.interpolate(np.array([1.0, 2.0]), None)
+
+
+class TestSampleCollection:
+    def test_weighted_statistics(self):
+        collection = SampleCollection()
+        collection.add(SamplingState(parameters=np.array([1.0, 0.0])))
+        collection.add(SamplingState(parameters=np.array([3.0, 2.0]), weight=3), weight=3)
+        assert collection.num_samples == 4
+        assert collection.num_unique == 2
+        np.testing.assert_allclose(collection.mean(), [2.5, 1.5])
+
+    def test_qoi_matrix_requires_evaluation(self):
+        collection = SampleCollection()
+        collection.add(SamplingState(parameters=np.zeros(1)))
+        with pytest.raises(ValueError):
+            collection.qois()
+
+    def test_merge_and_subset(self):
+        a = SampleCollection()
+        b = SampleCollection()
+        a.add(SamplingState(parameters=np.array([1.0])))
+        b.add(SamplingState(parameters=np.array([2.0])))
+        a.merge(b)
+        assert a.num_samples == 2
+        assert a.subset(1).num_samples == 1
+
+    def test_ess_of_repeated_samples_is_low(self, rng):
+        collection = SampleCollection()
+        value = SamplingState(parameters=np.array([1.0]))
+        for _ in range(50):
+            collection.add(value.copy())
+        iid = SampleCollection()
+        for _ in range(50):
+            iid.add(SamplingState(parameters=rng.standard_normal(1)))
+        assert collection.ess() <= iid.ess() + 1e-9
+
+
+class TestCorrectionCollection:
+    def test_level0_plain_mean(self):
+        collection = CorrectionCollection(level=0)
+        collection.add(np.array([1.0]))
+        collection.add(np.array([3.0]))
+        np.testing.assert_allclose(collection.mean(), [2.0])
+        assert not collection.has_coarse
+
+    def test_correction_differences(self):
+        collection = CorrectionCollection(level=1)
+        collection.add(np.array([2.0]), np.array([1.5]))
+        collection.add(np.array([1.0]), np.array([0.0]))
+        np.testing.assert_allclose(collection.differences(), [[0.5], [1.0]])
+        np.testing.assert_allclose(collection.mean(), [0.75])
+        assert collection.variance()[0] == pytest.approx(np.var([0.5, 1.0], ddof=1))
+        fine, coarse = collection.pair(0)
+        np.testing.assert_allclose(fine, [2.0])
+        np.testing.assert_allclose(coarse, [1.5])
+
+    def test_missing_coarse_rejected_above_level0(self):
+        collection = CorrectionCollection(level=1)
+        with pytest.raises(ValueError):
+            collection.add(np.array([1.0]))
+
+    def test_merge_level_mismatch(self):
+        with pytest.raises(ValueError):
+            CorrectionCollection(0).merge(CorrectionCollection(1))
+
+
+class TestSingleChain:
+    def test_burnin_excluded_from_samples(self):
+        problem = GaussianTargetProblem(np.zeros(1), 1.0)
+        kernel = MHKernel(problem, GaussianRandomWalkProposal(1.0, dim=1))
+        chain = SingleChainMCMC(kernel, np.zeros(1), np.random.default_rng(0), burnin=50)
+        chain.run(100)
+        assert chain.samples.num_samples == 100
+        assert chain.steps_taken == 150
+        assert not chain.in_burnin
+
+    def test_run_steps(self):
+        problem = GaussianTargetProblem(np.zeros(1), 1.0)
+        kernel = MHKernel(problem, GaussianRandomWalkProposal(1.0, dim=1))
+        chain = SingleChainMCMC(kernel, np.zeros(1), np.random.default_rng(0), burnin=10)
+        chain.run_steps(30)
+        assert chain.steps_taken == 30
+        assert chain.samples.num_samples == 20
+
+    def test_level0_corrections_are_plain_qois(self):
+        problem = GaussianTargetProblem(np.ones(2), 1.0)
+        kernel = MHKernel(problem, GaussianRandomWalkProposal(1.0, dim=2))
+        chain = SingleChainMCMC(kernel, np.zeros(2), np.random.default_rng(0), burnin=5, level=0)
+        chain.run(50)
+        assert len(chain.corrections) == 50
+        assert not chain.corrections.has_coarse
+
+    def test_subsampled_chain_source_advances_underlying_chain(self):
+        problem = GaussianTargetProblem(np.zeros(1), 1.0)
+        kernel = MHKernel(problem, GaussianRandomWalkProposal(1.0, dim=1))
+        chain = SingleChainMCMC(kernel, np.zeros(1), np.random.default_rng(0), burnin=0)
+        source = SubsampledChainSource(chain, subsampling_rate=7)
+        sample = source.next_sample()
+        assert chain.steps_taken == 7
+        assert sample.qoi is not None
+        source.next_sample()
+        assert chain.steps_taken == 14
+
+    def test_acceptance_rate_reported(self):
+        problem = GaussianTargetProblem(np.zeros(1), 1.0)
+        kernel = MHKernel(problem, GaussianRandomWalkProposal(0.5, dim=1))
+        chain = SingleChainMCMC(kernel, np.zeros(1), np.random.default_rng(0), burnin=0)
+        chain.run(200)
+        assert 0.0 < chain.acceptance_rate <= 1.0

@@ -1,0 +1,131 @@
+"""Tests for the Poisson inverse-problem model hierarchy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MLMCMCSampler, run_single_level_mcmc
+from repro.models.poisson import PoissonInverseProblemFactory
+
+
+class TestPoissonFactoryStructure:
+    def test_level_summary(self, small_poisson_factory):
+        rows = small_poisson_factory.level_summary()
+        assert len(rows) == 2
+        assert rows[0]["mesh_width"] == pytest.approx(1 / 8)
+        assert rows[1]["dofs"] == 17**2
+        assert rows[1]["subsampling_rate"] == 4
+
+    def test_paper_scale_defaults(self):
+        # Do not build the factory (the level-2 mode matrix is large); just
+        # check the declared defaults match the paper.
+        import inspect
+
+        signature = inspect.signature(PoissonInverseProblemFactory.__init__)
+        assert signature.parameters["mesh_sizes"].default == (16, 64, 256)
+        assert signature.parameters["num_kl_modes"].default == 113
+        assert signature.parameters["correlation_length"].default == 0.15
+        assert signature.parameters["noise_std"].default == 0.01
+        assert signature.parameters["prior_variance"].default == 4.0
+
+    def test_observation_grid_size(self, small_poisson_factory):
+        # 6 coordinates per direction -> 36 observation points
+        assert small_poisson_factory.data.shape == (36,)
+        assert small_poisson_factory.observation_points.shape == (36, 2)
+
+    def test_data_is_generated_from_finest_level(self, small_poisson_factory):
+        finest = small_poisson_factory.num_levels() - 1
+        forward = small_poisson_factory.forward_model(finest)
+        np.testing.assert_allclose(
+            forward(small_poisson_factory.true_theta), small_poisson_factory.data
+        )
+
+    def test_solution_observations_are_physical(self, small_poisson_factory):
+        # the PDE solution obeys the maximum principle: observations in [0, 1]
+        assert np.all(small_poisson_factory.data >= 0.0)
+        assert np.all(small_poisson_factory.data <= 1.0)
+
+    def test_qoi_map_positive_and_consistent_across_levels(self, small_poisson_factory, rng):
+        theta = rng.standard_normal(small_poisson_factory.field.num_modes)
+        qoi = small_poisson_factory.qoi_map(theta)
+        assert np.all(qoi > 0)
+        assert qoi.shape == (small_poisson_factory.qoi_points.shape[0],)
+        # QOI is level-independent by construction (depends only on theta)
+        problem0 = small_poisson_factory.problem_for_level(0)
+        problem1 = small_poisson_factory.problem_for_level(1)
+        np.testing.assert_allclose(problem0.qoi(theta), problem1.qoi(theta))
+
+    def test_true_qoi_shape(self, small_poisson_factory):
+        grid_shape = small_poisson_factory.qoi_grid_shape()
+        assert small_poisson_factory.true_qoi().shape == (grid_shape[0] * grid_shape[1],)
+
+    def test_posterior_peaks_near_truth(self, small_poisson_factory):
+        problem = small_poisson_factory.problem_for_level(0)
+        at_truth = problem.log_density(small_poisson_factory.true_theta)
+        at_zero = problem.log_density(np.zeros(small_poisson_factory.field.num_modes))
+        at_random = problem.log_density(
+            np.random.default_rng(1).standard_normal(small_poisson_factory.field.num_modes) * 2
+        )
+        assert at_truth > at_zero
+        assert at_truth > at_random
+
+    def test_coarse_and_fine_posteriors_are_correlated(self, small_poisson_factory, rng):
+        # Log densities across levels should broadly agree (coarse approximates fine).
+        problem0 = small_poisson_factory.problem_for_level(0)
+        problem1 = small_poisson_factory.problem_for_level(1)
+        thetas = [
+            small_poisson_factory.true_theta + 0.2 * rng.standard_normal(
+                small_poisson_factory.field.num_modes
+            )
+            for _ in range(6)
+        ]
+        coarse = np.array([problem0.log_density(t) for t in thetas])
+        fine = np.array([problem1.log_density(t) for t in thetas])
+        assert np.corrcoef(coarse, fine)[0, 1] > 0.7
+
+    def test_costs_grow_with_level(self, small_poisson_factory):
+        costs = [
+            small_poisson_factory.problem_for_level(level).evaluation_cost()
+            for level in range(small_poisson_factory.num_levels())
+        ]
+        assert costs[1] > costs[0]
+
+    def test_proposal_variants(self, small_poisson_factory):
+        problem = small_poisson_factory.problem_for_level(0)
+        for proposal_type in ("pcn", "independence", "random_walk", "adaptive"):
+            factory = PoissonInverseProblemFactory(
+                mesh_sizes=(8,),
+                num_kl_modes=8,
+                quadrature_points_per_dim=8,
+                qoi_resolution=4,
+                subsampling_rates=[0],
+                proposal=proposal_type,
+            )
+            proposal = factory.proposal_for_level(0, problem)
+            assert proposal is not None
+
+
+class TestPoissonSampling:
+    def test_short_mlmcmc_run_recovers_coarse_field_features(self, small_poisson_factory):
+        sampler = MLMCMCSampler(
+            small_poisson_factory, num_samples=[150, 40], burnin=[20, 5], seed=3
+        )
+        result = sampler.run()
+        estimate = result.mean
+        truth = small_poisson_factory.true_qoi()
+        assert estimate.shape == truth.shape
+        # The level-0 term is a plain posterior mean of a positive field, so it
+        # must be positive; the full telescoping estimate may dip below zero
+        # pointwise for very short runs, but should correlate with the truth.
+        level0_mean = result.estimate.contributions[0].mean
+        assert np.all(level0_mean > 0)
+        correlation = np.corrcoef(estimate, truth)[0, 1]
+        assert correlation > 0.2
+
+    def test_single_level_chain_runs(self, small_poisson_factory):
+        estimate, chain = run_single_level_mcmc(
+            small_poisson_factory, level=0, num_samples=100, burnin=10, seed=2
+        )
+        assert estimate.num_samples == 100
+        assert 0.0 <= chain.acceptance_rate <= 1.0

@@ -1,0 +1,147 @@
+"""Tests for the multi-index machinery."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multiindex import (
+    MultiIndex,
+    MultiIndexSet,
+    full_tensor_set,
+    multilevel_set,
+    total_degree_set,
+)
+
+
+class TestMultiIndex:
+    def test_construction_from_int_and_iterable(self):
+        assert MultiIndex(2).values == (2,)
+        assert MultiIndex([1, 2, 3]).values == (1, 2, 3)
+        assert MultiIndex(MultiIndex([4])).values == (4,)
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError):
+            MultiIndex([-1, 0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MultiIndex([])
+
+    def test_equality_and_hash(self):
+        assert MultiIndex([1, 2]) == MultiIndex([1, 2])
+        assert MultiIndex(3) == 3
+        assert MultiIndex([1, 2]) == (1, 2)
+        assert hash(MultiIndex([1, 2])) == hash(MultiIndex([1, 2]))
+        assert len({MultiIndex(1), MultiIndex(1), MultiIndex(2)}) == 2
+
+    def test_partial_order(self):
+        assert MultiIndex([1, 1]) <= MultiIndex([2, 1])
+        assert not (MultiIndex([2, 0]) <= MultiIndex([1, 1]))
+        assert MultiIndex([1, 1]) < MultiIndex([1, 2])
+        assert MultiIndex([2, 2]) > MultiIndex([1, 2])
+
+    def test_arithmetic(self):
+        assert (MultiIndex([1, 2]) + MultiIndex([0, 1])).values == (1, 3)
+        assert (MultiIndex([2, 2]) - 1).values == (1, 1)
+        with pytest.raises(ValueError):
+            MultiIndex([1, 0]) - MultiIndex([2, 0])
+        with pytest.raises(ValueError):
+            MultiIndex([1]) + MultiIndex([1, 2])
+
+    def test_order_and_max_entry(self):
+        ix = MultiIndex([2, 3, 1])
+        assert ix.order == 6
+        assert ix.max_entry == 3
+
+    def test_backward_neighbours(self):
+        assert MultiIndex([0, 0]).backward_neighbours() == []
+        neighbours = MultiIndex([2, 1]).backward_neighbours()
+        assert MultiIndex([1, 1]) in neighbours and MultiIndex([2, 0]) in neighbours
+
+    def test_forward_neighbour(self):
+        assert MultiIndex([1, 1]).forward_neighbour(1).values == (1, 2)
+
+    def test_as_level(self):
+        assert MultiIndex(3).as_level() == 3
+        with pytest.raises(ValueError):
+            MultiIndex([1, 2]).as_level()
+
+    def test_root(self):
+        assert MultiIndex.root(3).values == (0, 0, 0)
+        assert MultiIndex.root().is_root()
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_property_order_is_sum(self, values):
+        assert MultiIndex(values).order == sum(values)
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_property_backward_neighbours_are_smaller(self, values):
+        ix = MultiIndex(values)
+        for nb in ix.backward_neighbours():
+            assert nb < ix
+            assert nb.order == ix.order - 1
+
+
+class TestMultiIndexSet:
+    def test_multilevel_set(self):
+        levels = multilevel_set(4)
+        assert len(levels) == 4
+        assert levels.levels() == [0, 1, 2, 3]
+        assert levels.finest.as_level() == 3
+        assert levels.coarsest.is_root()
+
+    def test_downward_closedness_enforced(self):
+        with pytest.raises(ValueError):
+            MultiIndexSet([MultiIndex(0), MultiIndex(2)])  # missing level 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MultiIndexSet([])
+
+    def test_mixed_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            MultiIndexSet([MultiIndex(0), MultiIndex([0, 0])])
+
+    def test_full_tensor_set(self):
+        tensor = full_tensor_set([2, 1])
+        assert len(tensor) == 6
+        assert MultiIndex([2, 1]) in tensor
+        assert tensor.finest == MultiIndex([2, 1])
+
+    def test_total_degree_set(self):
+        td = total_degree_set(2, 2)
+        assert len(td) == 6  # (0,0),(1,0),(0,1),(2,0),(1,1),(0,2)
+        assert all(ix.order <= 2 for ix in td)
+
+    def test_coarse_to_fine_respects_dependencies(self):
+        td = total_degree_set(2, 3)
+        seen = set()
+        for ix in td.coarse_to_fine():
+            for nb in ix.backward_neighbours():
+                assert nb in seen
+            seen.add(ix)
+
+    def test_correction_pairs(self):
+        levels = multilevel_set(3)
+        pairs = levels.correction_pairs()
+        assert pairs[0] == (MultiIndex(0), None)
+        assert pairs[1] == (MultiIndex(1), MultiIndex(0))
+        assert pairs[2] == (MultiIndex(2), MultiIndex(1))
+
+    def test_levels_requires_1d(self):
+        with pytest.raises(ValueError):
+            full_tensor_set([1, 1]).levels()
+
+    def test_contains_handles_garbage(self):
+        levels = multilevel_set(2)
+        assert 1 in levels
+        assert (5,) not in levels
+        assert "garbage" not in levels
+
+    def test_multilevel_set_requires_positive(self):
+        with pytest.raises(ValueError):
+            multilevel_set(0)

@@ -1,0 +1,215 @@
+"""Unit-level tests for the parallel role protocol (phonebook matchmaking, collectors, workers).
+
+These tests exercise individual roles against small scripted counterparts
+rather than the full machine, so protocol regressions (lost requests, wrong
+routing after reassignments, double-served fetches) are caught close to their
+source.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sample_collection import CorrectionCollection
+from repro.models.gaussian import GaussianHierarchyFactory
+from repro.parallel.costmodel import ConstantCostModel
+from repro.parallel.layout import ProcessLayout
+from repro.parallel.roles import (
+    CollectorProcess,
+    PhonebookProcess,
+    RunConfiguration,
+    Tags,
+    WorkerProcess,
+)
+from repro.parallel.roles.protocol import SharedProblemCache
+from repro.parallel.simmpi import RankProcess, VirtualWorld
+
+
+def make_config(num_ranks: int = 10, dynamic: bool = True) -> RunConfiguration:
+    factory = GaussianHierarchyFactory(dim=1, num_levels=2, subsampling=2)
+    layout = ProcessLayout.create(num_ranks=num_ranks, num_levels=2)
+    return RunConfiguration(
+        factory=factory,
+        layout=layout,
+        cost_model=ConstantCostModel([0.01, 0.05]),
+        num_samples=[20, 10],
+        burnin=[2, 2],
+        subsampling_rates=[0, 2],
+        dynamic_load_balancing=dynamic,
+    )
+
+
+class Script(RankProcess):
+    """A scripted rank that sends predefined messages, then listens."""
+
+    role = "script"
+
+    def __init__(self, rank, actions, listen_tags=(), listen_count=0):
+        super().__init__(rank)
+        self.actions = actions
+        self.listen_tags = listen_tags
+        self.listen_count = listen_count
+        self.received = []
+
+    def run(self):
+        for dest, tag, payload in self.actions:
+            yield self.send(dest, tag, payload)
+        for _ in range(self.listen_count):
+            msg = yield self.recv(*self.listen_tags)
+            self.received.append(msg)
+
+
+class TestRunConfiguration:
+    def test_publish_rates(self):
+        config = make_config()
+        assert config.publish_rate(0) == 2  # level 0 publishes at rho_1
+        assert config.publish_rate(1) == 0  # finest level never publishes
+        assert config.num_levels == 2 and config.finest_level == 1
+
+    def test_validation(self):
+        factory = GaussianHierarchyFactory(dim=1, num_levels=2)
+        layout = ProcessLayout.create(num_ranks=10, num_levels=2)
+        with pytest.raises(ValueError):
+            RunConfiguration(
+                factory=factory, layout=layout, cost_model=ConstantCostModel([1.0, 1.0]),
+                num_samples=[10], burnin=[1, 1], subsampling_rates=[0, 1],
+            )
+
+    def test_shared_problem_cache_constructs_once(self):
+        factory = GaussianHierarchyFactory(dim=1, num_levels=2)
+        cache = SharedProblemCache(factory)
+        index = factory.index_set().finest
+        assert cache.problem(index) is cache.problem(index)
+
+
+class TestPhonebookMatchmaking:
+    def test_forwards_request_once_sample_is_ready(self):
+        config = make_config()
+        world = VirtualWorld(latency=0.01)
+        phonebook = PhonebookProcess(1, config)
+        # a scripted "controller" registers on level 0, a scripted "requester"
+        # asks for a level-0 sample before anything is available, then the
+        # controller announces availability; the phonebook must then order the
+        # controller (and only then) to serve the requester.
+        controller = Script(
+            5,
+            actions=[
+                (1, Tags.REGISTER, {"rank": 5, "level": 0}),
+            ],
+            listen_tags=(Tags.FETCH_SAMPLE,),
+            listen_count=1,
+        )
+        requester = Script(
+            6,
+            actions=[(1, Tags.SAMPLE_REQUEST, {"level": 0, "requester": 6})],
+        )
+        announcer = Script(
+            7,
+            actions=[(1, Tags.SAMPLE_READY, {"rank": 5, "level": 0, "count": 1, "duration": 0.01})],
+        )
+        shutdown = Script(8, actions=[(1, Tags.SHUTDOWN, {})])
+        for proc in (phonebook, controller, requester, announcer, shutdown):
+            world.add_process(proc)
+        world.run()
+        assert len(controller.received) == 1
+        fetch = controller.received[0]
+        assert fetch.payload["requester"] == 6
+        assert fetch.payload["level"] == 0
+
+    def test_correction_requests_matched_with_count(self):
+        config = make_config()
+        world = VirtualWorld(latency=0.01)
+        phonebook = PhonebookProcess(1, config)
+        controller = Script(
+            5,
+            actions=[
+                (1, Tags.REGISTER, {"rank": 5, "level": 1}),
+                (1, Tags.CORRECTION_READY, {"rank": 5, "level": 1, "count": 3, "duration": 0.05}),
+            ],
+            listen_tags=(Tags.FETCH_CORRECTION,),
+            listen_count=1,
+        )
+        collector = Script(
+            6,
+            actions=[(1, Tags.CORRECTION_REQUEST, {"level": 1, "requester": 6, "count": 5})],
+        )
+        shutdown = Script(8, actions=[(1, Tags.SHUTDOWN, {})])
+        for proc in (phonebook, controller, collector, shutdown):
+            world.add_process(proc)
+        world.run()
+        assert len(controller.received) == 1
+        fetch = controller.received[0]
+        # only 3 corrections were available, so only 3 may be fetched
+        assert fetch.payload["count"] == 3
+        assert fetch.payload["requester"] == 6
+
+    def test_level_done_tracking(self):
+        config = make_config()
+        phonebook = PhonebookProcess(1, config)
+        world = VirtualWorld()
+        done = Script(5, actions=[(1, Tags.LEVEL_DONE, {"level": 0}), (1, Tags.SHUTDOWN, {})])
+        world.add_process(phonebook)
+        world.add_process(done)
+        world.run()
+        assert phonebook._level_done[0] is True
+        assert phonebook._level_done[1] is False
+
+
+class TestCollectorAndWorker:
+    def test_collector_accumulates_until_target_and_reports(self):
+        config = make_config()
+        world = VirtualWorld(latency=0.01)
+        collector = CollectorProcess(4, config)
+
+        class FakeRootAndController(RankProcess):
+            """Plays both the root (sends COLLECT) and a controller serving CORRECTIONS."""
+
+            def __init__(self, rank):
+                super().__init__(rank)
+                self.done_payload = None
+
+            def run(self):
+                yield self.send(4, Tags.COLLECT, {"level": 1, "target": 7})
+                while True:
+                    msg = yield self.recv(Tags.CORRECTION_REQUEST, Tags.COLLECTOR_DONE)
+                    if msg.tag == Tags.COLLECTOR_DONE:
+                        self.done_payload = msg.payload
+                        yield self.send(4, Tags.SHUTDOWN, {})
+                        return
+                    count = msg.payload["count"]
+                    pairs = [
+                        (np.array([1.0]), np.array([0.5])) for _ in range(min(count, 3))
+                    ]
+                    yield self.send(4, Tags.CORRECTIONS, {"pairs": pairs, "level": 1})
+
+        # Route collector requests directly back to the fake process by using
+        # its rank as the phonebook rank.
+        config.layout.phonebook_rank = 9
+        config.layout.root_rank = 9
+        fake = FakeRootAndController(9)
+        world.add_process(collector)
+        world.add_process(fake)
+        world.run()
+        assert fake.done_payload is not None
+        collection: CorrectionCollection = fake.done_payload["collection"]
+        assert len(collection) == 7
+        np.testing.assert_allclose(collection.mean(), [0.5])
+
+    def test_worker_mirrors_evaluations(self):
+        world = VirtualWorld()
+        worker = WorkerProcess(3, controller_rank=2)
+
+        class FakeController(RankProcess):
+            def run(self):
+                yield self.send(3, Tags.WORKER_ASSIGN, {"level": 1})
+                for _ in range(4):
+                    yield self.send(3, Tags.WORKER_EVAL, {"duration": 0.5, "kind": "model_eval", "level": 1})
+                yield self.send(3, Tags.WORKER_SHUTDOWN, {})
+
+        world.add_process(worker)
+        world.add_process(FakeController(2))
+        world.run()
+        assert worker.evaluations == 4
+        assert worker.level == 1
+        assert world.trace.busy_time(3) == pytest.approx(2.0)

@@ -1,0 +1,217 @@
+"""Tests for the Gaussian random field substrate (covariances, KL, circulant embedding)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.randomfield.circulant import CirculantEmbeddingSampler
+from repro.randomfield.covariance import (
+    ExponentialCovariance,
+    GaussianCovariance,
+    MaternCovariance,
+    SeparableExponentialCovariance,
+)
+from repro.randomfield.field import GaussianRandomField
+from repro.randomfield.kl import KarhunenLoeveExpansion
+
+
+class TestCovarianceKernels:
+    @pytest.mark.parametrize(
+        "kernel",
+        [
+            ExponentialCovariance(1.0, 0.15),
+            GaussianCovariance(2.0, 0.3),
+            MaternCovariance(1.5, 0.2, nu=1.5),
+            SeparableExponentialCovariance(1.0, 0.25),
+        ],
+    )
+    def test_variance_at_zero_lag(self, kernel):
+        value = kernel.evaluate_lag(np.zeros((1, 2)))
+        assert value[0] == pytest.approx(kernel.variance, rel=1e-8)
+
+    @pytest.mark.parametrize(
+        "kernel",
+        [
+            ExponentialCovariance(1.0, 0.15),
+            GaussianCovariance(1.0, 0.3),
+            MaternCovariance(1.0, 0.2, nu=2.5),
+            SeparableExponentialCovariance(1.0, 0.25),
+        ],
+    )
+    def test_decay_with_distance(self, kernel):
+        near = kernel.evaluate_lag(np.array([[0.05, 0.0]]))[0]
+        far = kernel.evaluate_lag(np.array([[0.5, 0.0]]))[0]
+        assert near > far > 0
+
+    def test_matrix_is_symmetric_psd(self, rng):
+        kernel = ExponentialCovariance(1.0, 0.15)
+        points = rng.random((30, 2))
+        cov = kernel.matrix(points)
+        np.testing.assert_allclose(cov, cov.T, atol=1e-12)
+        eigvals = np.linalg.eigvalsh(cov)
+        assert eigvals.min() > -1e-10
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ExponentialCovariance(-1.0, 0.1)
+        with pytest.raises(ValueError):
+            ExponentialCovariance(1.0, 0.0)
+        with pytest.raises(ValueError):
+            MaternCovariance(1.0, 0.1, nu=0.0)
+
+    def test_matern_half_equals_exponential(self):
+        matern = MaternCovariance(1.0, 0.2, nu=0.5)
+        exponential = ExponentialCovariance(1.0, 0.2)
+        lags = np.linspace(0.01, 1.0, 20)[:, None] * np.array([[1.0, 0.0]])
+        np.testing.assert_allclose(
+            matern.evaluate_lag(lags), exponential.evaluate_lag(lags), rtol=1e-6
+        )
+
+    def test_separable_exponential_analytic_kl(self):
+        kernel = SeparableExponentialCovariance(1.0, 0.3)
+        eigvals, freqs = kernel.kl_eigen_1d(num_modes=10)
+        assert eigvals.shape == (10,)
+        assert np.all(np.diff(eigvals) <= 1e-12)  # sorted decreasingly
+        assert np.all(eigvals > 0)
+        # eigenvalue formula consistency
+        np.testing.assert_allclose(
+            eigvals, 2.0 * (1 / 0.3) / (freqs**2 + (1 / 0.3) ** 2), rtol=1e-8
+        )
+
+    @given(st.floats(0.05, 2.0), st.floats(0.05, 1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_property_cauchy_schwarz(self, variance, length):
+        kernel = ExponentialCovariance(variance, length)
+        lag = np.array([[0.3, -0.2]])
+        assert abs(kernel.evaluate_lag(lag)[0]) <= kernel.variance + 1e-12
+
+
+class TestKarhunenLoeve:
+    @pytest.fixture(scope="class")
+    def kl(self):
+        return KarhunenLoeveExpansion(
+            ExponentialCovariance(1.0, 0.3), num_modes=25, quadrature_points_per_dim=14
+        )
+
+    def test_eigenvalues_positive_decreasing(self, kl):
+        eigvals = kl.eigenvalues
+        assert np.all(eigvals >= 0)
+        assert np.all(np.diff(eigvals) <= 1e-12)
+
+    def test_energy_fraction_in_unit_interval(self, kl):
+        assert 0.0 < kl.energy_fraction() <= 1.0
+
+    def test_more_modes_capture_more_energy(self):
+        kernel = ExponentialCovariance(1.0, 0.3)
+        few = KarhunenLoeveExpansion(kernel, num_modes=5, quadrature_points_per_dim=14)
+        many = KarhunenLoeveExpansion(kernel, num_modes=40, quadrature_points_per_dim=14)
+        assert many.energy_fraction() > few.energy_fraction()
+
+    def test_truncated_covariance_bounded_by_kernel(self, kl, rng):
+        points = rng.random((15, 2))
+        truncated = kl.covariance_of_truncation(points)
+        exact_diag = np.full(15, 1.0)
+        assert np.all(np.diag(truncated) <= exact_diag + 0.05)
+
+    def test_sample_field_statistics(self, kl, rng):
+        points = np.array([[0.5, 0.5], [0.25, 0.75]])
+        samples = np.stack([kl.sample_field(points, rng) for _ in range(3000)])
+        np.testing.assert_allclose(samples.mean(axis=0), 0.0, atol=0.1)
+        truncated_var = np.diag(kl.covariance_of_truncation(points))
+        np.testing.assert_allclose(samples.var(axis=0), truncated_var, rtol=0.15)
+
+    def test_evaluate_linear_in_coefficients(self, kl, rng):
+        points = rng.random((6, 2))
+        theta_a = rng.standard_normal(kl.num_modes)
+        theta_b = rng.standard_normal(kl.num_modes)
+        combined = kl.evaluate(points, theta_a + theta_b)
+        separate = kl.evaluate(points, theta_a) + kl.evaluate(points, theta_b)
+        np.testing.assert_allclose(combined, separate, rtol=1e-9, atol=1e-9)
+
+    def test_wrong_coefficient_dimension(self, kl):
+        with pytest.raises(ValueError):
+            kl.evaluate(np.array([[0.5, 0.5]]), np.zeros(kl.num_modes + 1))
+
+    def test_too_coarse_quadrature_rejected(self):
+        with pytest.raises(ValueError):
+            KarhunenLoeveExpansion(
+                ExponentialCovariance(1.0, 0.3), num_modes=200, quadrature_points_per_dim=5
+            )
+
+
+class TestCirculantEmbedding:
+    def test_sample_shape(self, rng):
+        sampler = CirculantEmbeddingSampler(ExponentialCovariance(1.0, 0.2), (17, 9))
+        assert sampler.sample(rng).shape == (17, 9)
+
+    def test_variance_matches_kernel(self, rng):
+        sampler = CirculantEmbeddingSampler(ExponentialCovariance(1.0, 0.15), (16, 16))
+        samples = np.stack([sampler.sample(rng) for _ in range(400)])
+        assert samples.var() == pytest.approx(1.0, rel=0.15)
+        assert abs(samples.mean()) < 0.05
+
+    def test_correlation_decay(self, rng):
+        sampler = CirculantEmbeddingSampler(ExponentialCovariance(1.0, 0.1), (32, 32))
+        samples = np.stack([sampler.sample(rng) for _ in range(600)])
+        # correlation of neighbouring points should exceed distant points
+        corr_near = np.corrcoef(samples[:, 0, 0], samples[:, 1, 0])[0, 1]
+        corr_far = np.corrcoef(samples[:, 0, 0], samples[:, 20, 0])[0, 1]
+        assert corr_near > corr_far
+
+    def test_1d_sampler(self, rng):
+        sampler = CirculantEmbeddingSampler(
+            ExponentialCovariance(1.0, 0.2), (64,), domain=((0.0, 1.0),)
+        )
+        sample = sampler.sample(rng)
+        assert sample.shape == (64,)
+
+    def test_sample_pair_independent(self, rng):
+        sampler = CirculantEmbeddingSampler(ExponentialCovariance(1.0, 0.2), (16, 16))
+        a, b = sampler.sample_pair(rng)
+        assert a.shape == b.shape == (16, 16)
+        assert abs(np.corrcoef(a.ravel(), b.ravel())[0, 1]) < 0.2
+
+    def test_grid_points(self):
+        sampler = CirculantEmbeddingSampler(ExponentialCovariance(1.0, 0.2), (4, 3))
+        points = sampler.grid_points()
+        assert points.shape == (12, 2)
+        assert points.min() >= 0.0 and points.max() <= 1.0
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            CirculantEmbeddingSampler(ExponentialCovariance(1.0, 0.2), (1,))
+        with pytest.raises(ValueError):
+            CirculantEmbeddingSampler(ExponentialCovariance(1.0, 0.2), (4, 4, 4))
+
+
+class TestGaussianRandomField:
+    @pytest.fixture(scope="class")
+    def field(self):
+        return GaussianRandomField(num_modes=20, quadrature_points_per_dim=12)
+
+    def test_log_transform(self, field, rng):
+        theta = field.sample_coefficients(rng)
+        points = rng.random((5, 2))
+        log_values = field.evaluate_log(points, theta)
+        values = field.evaluate(points, theta)
+        np.testing.assert_allclose(values, np.exp(log_values))
+        assert np.all(values > 0)
+
+    def test_grid_evaluation_shape(self, field, rng):
+        theta = field.sample_coefficients(rng)
+        grid = field.evaluate_on_grid(theta, resolution=8)
+        assert grid.shape == (9, 9)
+        log_grid = field.evaluate_on_grid(theta, resolution=8, log=True)
+        np.testing.assert_allclose(np.exp(log_grid), grid)
+
+    def test_without_log_transform(self, rng):
+        field = GaussianRandomField(
+            num_modes=10, log_transform=False, quadrature_points_per_dim=10
+        )
+        theta = field.sample_coefficients(rng)
+        values = field.evaluate(np.array([[0.5, 0.5]]), theta)
+        log_values = field.evaluate_log(np.array([[0.5, 0.5]]), theta)
+        np.testing.assert_allclose(values, log_values)

@@ -1,0 +1,237 @@
+"""Tests for the shallow-water substrate: state, fluxes, FV solver, bathymetry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.swe.bathymetry import (
+    depth_averaged_bathymetry,
+    smooth_bathymetry,
+    tohoku_like_bathymetry,
+)
+from repro.swe.fv2d import ShallowWaterSolver2D
+from repro.swe.riemann import hll_flux, physical_flux_x, rusanov_flux
+from repro.swe.state import GRAVITY, ShallowWaterState
+
+
+def _flat_solver(n=20, depth=100.0, extent=(0.0, 1000.0, 0.0, 1000.0), **kwargs):
+    bathy = np.full((n, n), -depth)
+    return ShallowWaterSolver2D(n, n, extent, bathy, **kwargs)
+
+
+class TestState:
+    def test_lake_at_rest_construction(self):
+        bathy = np.array([[-10.0, -5.0], [2.0, -1.0]])
+        state = ShallowWaterState.lake_at_rest(bathy)
+        np.testing.assert_allclose(state.h, [[10.0, 5.0], [0.0, 1.0]])
+        assert state.total_momentum() == (0.0, 0.0)
+        # free surface is zero on wet cells and equals bathymetry on dry cells
+        assert state.free_surface[0, 0] == pytest.approx(0.0)
+        assert state.free_surface[1, 0] == pytest.approx(2.0)
+
+    def test_wet_mask_and_velocities(self):
+        state = ShallowWaterState(
+            h=np.array([[1.0, 0.0]]),
+            hu=np.array([[2.0, 0.0]]),
+            hv=np.array([[-1.0, 0.0]]),
+            b=np.array([[-1.0, 1.0]]),
+        )
+        u, v = state.velocities()
+        assert u[0, 0] == pytest.approx(2.0)
+        assert v[0, 0] == pytest.approx(-1.0)
+        assert u[0, 1] == 0.0 and not state.wet[0, 1]
+
+    def test_max_wave_speed(self):
+        state = ShallowWaterState.lake_at_rest(np.full((3, 3), -100.0))
+        assert state.max_wave_speed() == pytest.approx(np.sqrt(GRAVITY * 100.0), rel=1e-12)
+        dry = ShallowWaterState.lake_at_rest(np.full((3, 3), 10.0))
+        assert dry.max_wave_speed() == 0.0
+
+    def test_enforce_positivity(self):
+        state = ShallowWaterState(
+            h=np.array([[-1e-12, 1.0]]),
+            hu=np.array([[5.0, 1.0]]),
+            hv=np.array([[5.0, 1.0]]),
+            b=np.array([[0.0, -2.0]]),
+        )
+        state.enforce_positivity()
+        assert state.h[0, 0] == 0.0
+        assert state.hu[0, 0] == 0.0 and state.hv[0, 0] == 0.0
+        assert state.hu[0, 1] == 1.0
+
+    def test_inconsistent_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            ShallowWaterState(
+                h=np.zeros((2, 2)), hu=np.zeros((2, 3)), hv=np.zeros((2, 2)), b=np.zeros((2, 2))
+            )
+
+    def test_copy_is_deep(self):
+        state = ShallowWaterState.lake_at_rest(np.full((2, 2), -10.0))
+        clone = state.copy()
+        clone.h[0, 0] = 99.0
+        assert state.h[0, 0] == 10.0
+
+
+class TestRiemannFluxes:
+    def test_physical_flux_at_rest(self):
+        h = np.array([2.0])
+        flux_h, flux_hu, flux_hv = physical_flux_x(h, np.zeros(1), np.zeros(1))
+        assert flux_h[0] == 0.0
+        assert flux_hu[0] == pytest.approx(0.5 * GRAVITY * 4.0)
+        assert flux_hv[0] == 0.0
+
+    @pytest.mark.parametrize("flux", [rusanov_flux, hll_flux])
+    def test_consistency_with_physical_flux(self, flux):
+        # Equal left/right states: the numerical flux must equal the physical flux.
+        q = (np.array([2.0]), np.array([1.0]), np.array([0.5]))
+        numerical = flux(q, q)
+        physical = physical_flux_x(*q)
+        for num, phys in zip(numerical, physical):
+            np.testing.assert_allclose(num, phys, rtol=1e-12)
+
+    @pytest.mark.parametrize("flux", [rusanov_flux, hll_flux])
+    def test_dam_break_flux_direction(self, flux):
+        # Higher water on the left: mass flux must be positive (to the right).
+        q_l = (np.array([2.0]), np.array([0.0]), np.array([0.0]))
+        q_r = (np.array([1.0]), np.array([0.0]), np.array([0.0]))
+        flux_h, _, _ = flux(q_l, q_r)
+        assert flux_h[0] > 0
+
+    @pytest.mark.parametrize("flux", [rusanov_flux, hll_flux])
+    def test_dry_states_no_nan(self, flux):
+        q_l = (np.array([0.0]), np.array([0.0]), np.array([0.0]))
+        q_r = (np.array([1.0]), np.array([0.0]), np.array([0.0]))
+        values = flux(q_l, q_r)
+        assert all(np.all(np.isfinite(v)) for v in values)
+
+
+class TestBathymetry:
+    def test_tohoku_like_profile_features(self):
+        field = tohoku_like_bathymetry()
+        x0, x1, y0, y1 = field.extent
+        # deep ocean in the middle/east, dry land in the far west, trench deeper than plain
+        assert field(np.array([0.0]), np.array([0.0]))[0] < -1000.0
+        assert field(np.array([x0 + 1e3]), np.array([0.0]))[0] > 0.0
+        trench = field(np.array([60e3]), np.array([0.0]))[0]
+        plain = field(np.array([-20e3]), np.array([0.0]))[0]
+        assert trench < plain
+
+    def test_on_grid_shape(self):
+        field = tohoku_like_bathymetry()
+        assert field.on_grid(20, 30).shape == (20, 30)
+
+    def test_smoothing_reduces_roughness_preserves_mean(self, rng):
+        field = tohoku_like_bathymetry().on_grid(40, 40)
+        field = field + rng.normal(0, 50.0, size=field.shape)
+        smoothed = smooth_bathymetry(field, passes=4)
+        assert smoothed.shape == field.shape
+        rough_before = np.abs(np.diff(field, axis=0)).mean()
+        rough_after = np.abs(np.diff(smoothed, axis=0)).mean()
+        assert rough_after < rough_before
+        assert abs(smoothed.mean() - field.mean()) < 30.0
+
+    def test_zero_smoothing_passes_identity(self):
+        field = tohoku_like_bathymetry().on_grid(10, 10)
+        np.testing.assert_allclose(smooth_bathymetry(field, passes=0), field)
+
+    def test_depth_average_is_constant(self):
+        field = tohoku_like_bathymetry().on_grid(30, 30)
+        averaged = depth_averaged_bathymetry(field)
+        assert np.unique(averaged).size == 1
+        assert averaged[0, 0] < 0.0
+
+
+class TestShallowWaterSolver:
+    def test_lake_at_rest_is_preserved(self):
+        # Well-balancedness over non-trivial bathymetry (the key solver property).
+        field = tohoku_like_bathymetry()
+        bathy = field.on_grid(24, 24)
+        solver = ShallowWaterSolver2D(24, 24, field.extent, bathy)
+        state = solver.initial_state()
+        reference = state.h.copy()
+        result = solver.run(state, end_time=300.0)
+        assert np.abs(result.state.h - reference).max() < 1e-8
+        assert np.abs(result.state.hu).max() < 1e-8
+
+    def test_mass_conservation_flat_bottom(self):
+        # Domain large enough that the wave cannot reach the open boundaries
+        # within the simulated time, so the total water volume must be conserved.
+        solver = _flat_solver(n=24, depth=100.0, extent=(0.0, 100e3, 0.0, 100e3))
+        displacement = np.zeros((24, 24))
+        displacement[10:14, 10:14] = 1.0
+        state = solver.initial_state(displacement)
+        mass_before = state.total_mass()
+        result = solver.run(state, end_time=200.0)
+        assert result.state.total_mass() == pytest.approx(mass_before, rel=1e-10)
+
+    def test_positivity_of_depth(self):
+        field = tohoku_like_bathymetry()
+        bathy = field.on_grid(20, 20)
+        solver = ShallowWaterSolver2D(20, 20, field.extent, bathy)
+        displacement = 5.0 * np.exp(
+            -((np.arange(20)[:, None] - 12) ** 2 + (np.arange(20)[None, :] - 10) ** 2) / 8.0
+        )
+        state = solver.initial_state(displacement)
+        result = solver.run(state, end_time=600.0)
+        assert result.state.h.min() >= 0.0
+        assert np.all(np.isfinite(result.state.h))
+
+    def test_wave_propagates_at_gravity_wave_speed(self):
+        depth = 400.0
+        solver = _flat_solver(n=50, depth=depth, extent=(0.0, 100e3, 0.0, 100e3))
+        x, y = solver.cell_centers()
+        displacement = 1.0 * np.exp(-((x - 50e3) ** 2 + (y - 50e3) ** 2) / (2 * (5e3) ** 2))
+        state = solver.initial_state(displacement)
+        from repro.swe.gauges import Gauge
+
+        gauge = Gauge("probe", 80e3, 50e3)
+        result = solver.run(state, end_time=800.0, gauges=[gauge])
+        # The crest of the gravity wave travels at sqrt(g * depth); the probe is
+        # 30 km from the source centre.
+        peak_arrival = result.gauge_records[0].time_of_max
+        expected = 30e3 / np.sqrt(GRAVITY * depth)
+        assert peak_arrival == pytest.approx(expected, rel=0.35)
+
+    def test_gauge_recording_and_observables(self):
+        solver = _flat_solver(n=30, depth=200.0, extent=(0.0, 60e3, 0.0, 60e3))
+        x, y = solver.cell_centers()
+        displacement = 2.0 * np.exp(-((x - 30e3) ** 2 + (y - 30e3) ** 2) / (2 * (4e3) ** 2))
+        state = solver.initial_state(displacement)
+        from repro.swe.gauges import Gauge, wave_observables
+
+        gauges = [Gauge("a", 45e3, 30e3), Gauge("b", 30e3, 45e3)]
+        result = solver.run(state, end_time=400.0, gauges=gauges)
+        observables = wave_observables(result.gauge_records)
+        assert observables.shape == (4,)
+        assert observables[0] > 0.01 and observables[1] > 0.01  # both buoys see the wave
+        assert observables[2] > 0 and observables[3] > 0
+        assert result.num_timesteps > 0
+        assert result.dof_updates == result.num_timesteps * 30 * 30 * 4
+
+    def test_cfl_validation(self):
+        with pytest.raises(ValueError):
+            _flat_solver(cfl=1.5)
+        with pytest.raises(ValueError):
+            ShallowWaterSolver2D(4, 4, (0, 1, 0, 1), np.zeros((3, 3)))
+
+    def test_hll_flux_option(self):
+        solver = _flat_solver(n=16, flux="hll")
+        state = solver.initial_state()
+        result = solver.run(state, end_time=10.0)
+        assert np.all(np.isfinite(result.state.h))
+
+    @given(amplitude=st.floats(0.1, 5.0), size=st.integers(10, 24))
+    @settings(max_examples=8, deadline=None)
+    def test_property_positivity_random_bumps(self, amplitude, size):
+        solver = _flat_solver(n=size, depth=50.0, extent=(0.0, 10e3, 0.0, 10e3))
+        x, y = solver.cell_centers()
+        displacement = amplitude * np.exp(
+            -((x - 5e3) ** 2 + (y - 5e3) ** 2) / (2 * (1e3) ** 2)
+        )
+        state = solver.initial_state(displacement)
+        result = solver.run(state, end_time=50.0)
+        assert result.state.h.min() >= 0.0
+        assert np.all(np.isfinite(result.state.free_surface))

@@ -1,0 +1,197 @@
+"""Tests for repro.utils.stats: running moments and MCMC diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.utils.stats import (
+    RunningMoments,
+    WeightedRunningMoments,
+    autocorrelation,
+    batch_means_variance,
+    effective_sample_size,
+    integrated_autocorrelation_time,
+)
+
+
+class TestRunningMoments:
+    def test_matches_numpy_mean_and_variance(self, rng):
+        data = rng.normal(size=(200, 3))
+        moments = RunningMoments()
+        moments.extend(data)
+        assert moments.count == 200
+        np.testing.assert_allclose(moments.mean(), data.mean(axis=0), rtol=1e-12)
+        np.testing.assert_allclose(moments.variance(), data.var(axis=0, ddof=1), rtol=1e-12)
+        np.testing.assert_allclose(moments.std(), data.std(axis=0, ddof=1), rtol=1e-12)
+
+    def test_covariance_matches_numpy(self, rng):
+        data = rng.normal(size=(150, 4))
+        moments = RunningMoments(track_covariance=True)
+        moments.extend(data)
+        np.testing.assert_allclose(moments.covariance(), np.cov(data.T), rtol=1e-10)
+
+    def test_scalar_samples_are_promoted(self):
+        moments = RunningMoments()
+        for x in [1.0, 2.0, 3.0]:
+            moments.push(x)
+        np.testing.assert_allclose(moments.mean(), [2.0])
+
+    def test_empty_moments(self):
+        moments = RunningMoments()
+        assert moments.count == 0
+        assert moments.mean().size == 0
+        assert moments.standard_error().size == 0
+
+    def test_dimension_mismatch_raises(self):
+        moments = RunningMoments()
+        moments.push(np.zeros(2))
+        with pytest.raises(ValueError):
+            moments.push(np.zeros(3))
+
+    def test_merge_equivalent_to_single_pass(self, rng):
+        data = rng.normal(size=(300, 2))
+        full = RunningMoments(track_covariance=True)
+        full.extend(data)
+        part_a = RunningMoments(track_covariance=True)
+        part_b = RunningMoments(track_covariance=True)
+        part_a.extend(data[:100])
+        part_b.extend(data[100:])
+        part_a.merge(part_b)
+        assert part_a.count == 300
+        np.testing.assert_allclose(part_a.mean(), full.mean(), rtol=1e-10)
+        np.testing.assert_allclose(part_a.variance(), full.variance(), rtol=1e-10)
+        np.testing.assert_allclose(part_a.covariance(), full.covariance(), rtol=1e-9)
+
+    def test_merge_into_empty(self, rng):
+        data = rng.normal(size=(50, 2))
+        filled = RunningMoments()
+        filled.extend(data)
+        empty = RunningMoments()
+        empty.merge(filled)
+        np.testing.assert_allclose(empty.mean(), data.mean(axis=0))
+
+    def test_merge_empty_is_noop(self, rng):
+        data = rng.normal(size=(50, 2))
+        filled = RunningMoments()
+        filled.extend(data)
+        filled.merge(RunningMoments())
+        assert filled.count == 50
+
+    @given(
+        data=hnp.arrays(
+            dtype=float,
+            shape=st.tuples(st.integers(2, 40), st.integers(1, 4)),
+            elements=st.floats(-1e3, 1e3, allow_nan=False),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_two_pass(self, data):
+        moments = RunningMoments()
+        moments.extend(data)
+        np.testing.assert_allclose(moments.mean(), data.mean(axis=0), atol=1e-8)
+        np.testing.assert_allclose(
+            moments.variance(), data.var(axis=0, ddof=1), rtol=1e-6, atol=1e-6
+        )
+
+    @given(
+        n_split=st.integers(1, 29),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_merge_invariant_to_split_point(self, n_split, seed):
+        data = np.random.default_rng(seed).normal(size=(30, 2))
+        a = RunningMoments()
+        b = RunningMoments()
+        a.extend(data[:n_split])
+        b.extend(data[n_split:])
+        a.merge(b)
+        np.testing.assert_allclose(a.mean(), data.mean(axis=0), atol=1e-10)
+        np.testing.assert_allclose(a.variance(), data.var(axis=0, ddof=1), atol=1e-10)
+
+
+class TestWeightedRunningMoments:
+    def test_unit_weights_match_unweighted(self, rng):
+        data = rng.normal(size=(100, 2))
+        weighted = WeightedRunningMoments()
+        for row in data:
+            weighted.push(row, 1.0)
+        np.testing.assert_allclose(weighted.mean(), data.mean(axis=0), rtol=1e-12)
+        np.testing.assert_allclose(weighted.variance(), data.var(axis=0, ddof=1), rtol=1e-10)
+
+    def test_integer_weights_match_repetition(self, rng):
+        values = rng.normal(size=(20, 2))
+        weights = rng.integers(1, 5, size=20)
+        weighted = WeightedRunningMoments()
+        for value, weight in zip(values, weights):
+            weighted.push(value, float(weight))
+        expanded = np.repeat(values, weights, axis=0)
+        np.testing.assert_allclose(weighted.mean(), expanded.mean(axis=0), rtol=1e-10)
+
+    def test_zero_weight_is_ignored(self):
+        weighted = WeightedRunningMoments()
+        weighted.push(np.array([1.0]), 1.0)
+        weighted.push(np.array([100.0]), 0.0)
+        np.testing.assert_allclose(weighted.mean(), [1.0])
+
+    def test_negative_weight_raises(self):
+        weighted = WeightedRunningMoments()
+        with pytest.raises(ValueError):
+            weighted.push(np.array([1.0]), -1.0)
+
+
+class TestAutocorrelation:
+    def test_iid_series_has_unit_iact(self, rng):
+        series = rng.standard_normal(20_000)
+        tau = integrated_autocorrelation_time(series)
+        assert tau == pytest.approx(1.0, abs=0.2)
+
+    def test_ar1_series_iact_matches_theory(self, rng):
+        # AR(1) with coefficient phi has IACT = (1 + phi) / (1 - phi).
+        phi = 0.8
+        n = 60_000
+        noise = rng.standard_normal(n)
+        series = np.zeros(n)
+        for i in range(1, n):
+            series[i] = phi * series[i - 1] + noise[i]
+        tau = integrated_autocorrelation_time(series)
+        expected = (1 + phi) / (1 - phi)
+        assert tau == pytest.approx(expected, rel=0.25)
+
+    def test_autocorrelation_starts_at_one(self, rng):
+        rho = autocorrelation(rng.standard_normal(500))
+        assert rho[0] == pytest.approx(1.0)
+        assert np.all(np.abs(rho) <= 1.0 + 1e-9)
+
+    def test_constant_series(self):
+        assert integrated_autocorrelation_time(np.ones(100)) == 1.0
+
+    def test_short_series(self):
+        assert integrated_autocorrelation_time(np.array([1.0, 2.0])) == 1.0
+
+    def test_effective_sample_size_bounds(self, rng):
+        series = rng.standard_normal(5000)
+        ess = effective_sample_size(series)
+        assert 0 < ess <= 5000 * 1.2
+        # correlated series has smaller ESS
+        correlated = np.repeat(rng.standard_normal(500), 10)
+        assert effective_sample_size(correlated) < ess
+
+    def test_effective_sample_size_multivariate_takes_minimum(self, rng):
+        iid = rng.standard_normal(4000)
+        correlated = np.repeat(rng.standard_normal(400), 10)
+        combined = np.stack([iid, correlated], axis=1)
+        assert effective_sample_size(combined) <= effective_sample_size(iid)
+
+    def test_batch_means_variance_positive(self, rng):
+        series = rng.standard_normal(1000)
+        var = batch_means_variance(series)
+        assert var > 0
+        # Roughly 1/N for iid standard normals.
+        assert var == pytest.approx(1.0 / 1000, rel=1.0)
+
+    def test_batch_means_variance_short_series(self):
+        assert batch_means_variance(np.array([1.0])) == 0.0
