@@ -1,0 +1,9 @@
+"""Shim enabling legacy editable installs (``pip install -e .``) on older
+pip/setuptools toolchains that cannot build PEP 660 editable wheels.
+
+All package metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

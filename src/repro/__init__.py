@@ -38,6 +38,15 @@ from repro.core import (
     SingleChainMCMC,
     run_single_level_mcmc,
 )
+from repro.evaluation import (
+    BatchEvaluator,
+    CachingEvaluator,
+    Evaluator,
+    EvaluatorStats,
+    InProcessEvaluator,
+    PoolEvaluator,
+    make_evaluator,
+)
 from repro.models import (
     GaussianHierarchyFactory,
     PoissonInverseProblemFactory,
@@ -67,6 +76,13 @@ __all__ = [
     "MultilevelEstimate",
     "SingleChainMCMC",
     "run_single_level_mcmc",
+    "Evaluator",
+    "EvaluatorStats",
+    "InProcessEvaluator",
+    "CachingEvaluator",
+    "BatchEvaluator",
+    "PoolEvaluator",
+    "make_evaluator",
     "GaussianHierarchyFactory",
     "PoissonInverseProblemFactory",
     "TsunamiInverseProblemFactory",

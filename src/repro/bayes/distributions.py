@@ -136,6 +136,15 @@ class GaussianDensity(Density):
         quad = float(alpha @ alpha)
         return -0.5 * (quad + self._log_det + self.dim * _LOG_2PI)
 
+    def log_density_batch(self, x: np.ndarray) -> np.ndarray:
+        """Log densities of an ``(n, dim)`` block of points in one solve."""
+        points = np.atleast_2d(np.asarray(x, dtype=float))
+        if points.shape[1] != self.dim:
+            raise ValueError(f"expected dimension {self.dim}, got {points.shape[1]}")
+        alpha = np.linalg.solve(self._chol, (points - self._mean).T)
+        quad = np.sum(alpha * alpha, axis=0)
+        return -0.5 * (quad + self._log_det + self.dim * _LOG_2PI)
+
     def sample(self, rng: np.random.Generator) -> np.ndarray:
         z = rng.standard_normal(self.dim)
         return self._mean + self._chol @ z
@@ -249,6 +258,15 @@ class TruncatedGaussianDensity(Density):
         if not self._box.contains(np.asarray(x, dtype=float)):
             return -math.inf
         return self._gaussian.log_density(x)
+
+    def log_density_batch(self, x: np.ndarray) -> np.ndarray:
+        """Log densities of an ``(n, dim)`` block (``-inf`` outside the box)."""
+        points = np.atleast_2d(np.asarray(x, dtype=float))
+        values = self._gaussian.log_density_batch(points)
+        inside = np.all(points >= self._box.lower, axis=1) & np.all(
+            points <= self._box.upper, axis=1
+        )
+        return np.where(inside, values, -np.inf)
 
     def sample(self, rng: np.random.Generator) -> np.ndarray:
         for _ in range(self._max_rejections):

@@ -125,6 +125,27 @@ class GaussianLikelihood(Likelihood):
             quad = float(alpha @ alpha)
         return -0.5 * (quad + self._log_det + self.dim * _LOG_2PI)
 
+    def log_likelihood_batch(self, predictions: np.ndarray) -> np.ndarray:
+        """Log likelihoods of an ``(n, dim)`` block of predictions.
+
+        Rows with non-finite entries receive the unphysical floor value,
+        matching the scalar path.
+        """
+        preds = np.atleast_2d(np.asarray(predictions, dtype=float))
+        if preds.shape[1] != self.dim:
+            raise ValueError(
+                f"prediction dimension {preds.shape[1]} does not match data dimension {self.dim}"
+            )
+        finite = np.all(np.isfinite(preds), axis=1)
+        resid = np.where(finite[:, None], preds - self._data, 0.0)
+        if self._full_cov is None:
+            quad = np.sum(resid * resid / self._diag, axis=1)
+        else:
+            alpha = np.linalg.solve(self._chol, resid.T)
+            quad = np.sum(alpha * alpha, axis=0)
+        values = -0.5 * (quad + self._log_det + self.dim * _LOG_2PI)
+        return np.where(finite, values, self._unphysical)
+
     def misfit(self, prediction: np.ndarray) -> float:
         """Covariance-weighted squared misfit (the quadratic form only)."""
         pred = np.atleast_1d(np.asarray(prediction, dtype=float)).ravel()

@@ -21,7 +21,7 @@ __all__ = ["Posterior"]
 
 
 class Posterior:
-    """Bayesian posterior ``nu(theta) \propto L(y | F(theta)) pi(theta)``.
+    r"""Bayesian posterior ``nu(theta) \propto L(y | F(theta)) pi(theta)``.
 
     Parameters
     ----------
@@ -110,6 +110,62 @@ class Posterior:
         if not np.isfinite(lp):
             return -math.inf
         return lp + self.log_likelihood(theta)
+
+    def log_density_batch(self, thetas: np.ndarray) -> np.ndarray:
+        """Unnormalised log posterior of an ``(n, dim)`` parameter block.
+
+        Uses the vectorized fast paths of the prior (``log_density_batch``),
+        the forward model (``forward_batch``) and the likelihood
+        (``log_likelihood_batch``) where they exist, falling back to the
+        scalar path per row otherwise.
+        """
+        block = np.atleast_2d(np.asarray(thetas, dtype=float))
+        forward_batch = getattr(self._forward, "forward_batch", None)
+        if forward_batch is None:
+            return np.array([self.log_density(theta) for theta in block], dtype=float)
+
+        prior_batch = getattr(self._prior, "log_density_batch", None)
+        if prior_batch is not None:
+            log_priors = np.asarray(prior_batch(block), dtype=float)
+        else:
+            log_priors = np.array(
+                [self._prior.log_density(theta) for theta in block], dtype=float
+            )
+
+        values = np.full(block.shape[0], -math.inf)
+        supported = np.isfinite(log_priors)
+        if not np.any(supported):
+            return values
+        num_supported = int(np.count_nonzero(supported))
+        try:
+            predictions = np.asarray(forward_batch(block[supported]), dtype=float)
+        except UnphysicalModelOutput:
+            # A whole-batch failure cannot be attributed to rows; fall back to
+            # the scalar path, which handles unphysical outputs per parameter.
+            return np.array([self.log_density(theta) for theta in block], dtype=float)
+        if predictions.ndim == 1:
+            # Either one scalar observation per row, or a single prediction row.
+            predictions = (
+                predictions.reshape(1, -1)
+                if num_supported == 1
+                else predictions.reshape(-1, 1)
+            )
+        if predictions.shape[0] != num_supported:
+            raise ValueError(
+                f"forward_batch returned {predictions.shape[0]} prediction rows "
+                f"for {num_supported} parameter vectors"
+            )
+        self._evaluations += num_supported
+        likelihood_batch = getattr(self._likelihood, "log_likelihood_batch", None)
+        if likelihood_batch is not None:
+            log_likelihoods = np.asarray(likelihood_batch(predictions), dtype=float)
+        else:
+            log_likelihoods = np.array(
+                [self._likelihood.log_likelihood(pred) for pred in predictions],
+                dtype=float,
+            )
+        values[supported] = log_priors[supported] + log_likelihoods
+        return values
 
     def qoi(self, theta: np.ndarray) -> np.ndarray:
         """Quantity of interest at ``theta``.

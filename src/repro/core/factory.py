@@ -18,6 +18,7 @@ from repro.core.interpolation import IdentityInterpolation, MIInterpolation
 from repro.core.problem import AbstractSamplingProblem
 from repro.core.proposals.base import MCMCProposal
 from repro.core.proposals.subsampling import ChainSampleSource, SubsamplingProposal
+from repro.evaluation import Evaluator, make_evaluator
 from repro.multiindex import MultiIndex, MultiIndexSet, multilevel_set
 
 __all__ = ["MIComponentFactory", "MLComponentFactory"]
@@ -66,6 +67,19 @@ class MIComponentFactory(ABC):
         """Coarse-chain subsampling rate ``rho_l`` used when proposing to level ``index``."""
         return 1
 
+    def evaluator(self, index: MultiIndex) -> Evaluator | None:
+        """Evaluation backend for the given model index.
+
+        This hook is consulted by the factory's own ``sampling_problem``
+        implementation when it constructs problems (pass the returned backend
+        as the problem's ``evaluator``); the drivers never inject evaluators
+        after construction.  ``None`` (the default) lets the sampling problem
+        fall back to a plain :class:`~repro.evaluation.InProcessEvaluator`.
+        Factories must return a *fresh* evaluator per call — an evaluator
+        serves exactly one problem and refuses to be re-bound.
+        """
+        return None
+
     def index_set(self) -> MultiIndexSet:
         """All model indices, coarse to fine (default: a 1-D multilevel ladder)."""
         finest = self.finest_index()
@@ -86,6 +100,16 @@ class MLComponentFactory(MIComponentFactory):
     Sub-classes implement the ``*_for_level`` hooks in terms of integer levels;
     the multi-index plumbing is handled here.
     """
+
+    #: evaluation backend name handed to :func:`repro.evaluation.make_evaluator`
+    #: by the default :meth:`evaluator_for_level` (``None`` = in-process);
+    #: factories typically expose this as a constructor parameter.
+    evaluation_backend: str | None = None
+    #: keyword options for :func:`repro.evaluation.make_evaluator`.  Because a
+    #: fresh backend is built per level from the *same* options, instance-valued
+    #: options (e.g. the caching backend's ``inner``) must be zero-argument
+    #: callables so every level gets its own instance.
+    evaluator_options: dict | None = None
 
     # -- level-based interface ------------------------------------------------
     @abstractmethod
@@ -108,6 +132,19 @@ class MLComponentFactory(MIComponentFactory):
         """Subsampling rate ``rho_l`` for proposing from level ``level - 1``."""
         return 1
 
+    def evaluator_for_level(self, level: int) -> Evaluator | None:
+        """Evaluation backend for an integer level (``None`` = in-process default).
+
+        The default builds a fresh backend from the factory's
+        :attr:`evaluation_backend` / :attr:`evaluator_options` attributes (the
+        shipped Gaussian/Poisson/tsunami factories expose them as constructor
+        parameters); ``problem_for_level`` implementations pass the result as
+        the problem's ``evaluator``.
+        """
+        if self.evaluation_backend is None:
+            return None
+        return make_evaluator(self.evaluation_backend, **(self.evaluator_options or {}))
+
     # -- MIComponentFactory implementation ------------------------------------
     def sampling_problem(self, index: MultiIndex) -> AbstractSamplingProblem:
         return self.problem_for_level(MultiIndex(index).as_level())
@@ -123,3 +160,6 @@ class MLComponentFactory(MIComponentFactory):
 
     def subsampling_rate(self, index: MultiIndex) -> int:
         return self.subsampling_rate_for_level(MultiIndex(index).as_level())
+
+    def evaluator(self, index: MultiIndex) -> Evaluator | None:
+        return self.evaluator_for_level(MultiIndex(index).as_level())

@@ -26,6 +26,7 @@ from repro.core.factory import MIComponentFactory
 from repro.core.kernels.mh import MHKernel
 from repro.core.kernels.multilevel import MultilevelKernel
 from repro.core.sample_collection import CorrectionCollection
+from repro.evaluation import EvaluatorStats
 from repro.multiindex import MultiIndex
 from repro.utils.random import RandomSource
 
@@ -43,6 +44,8 @@ class MLMCMCResult:
     costs_per_sample: list[float]
     wall_time: float
     model_evaluations: list[int] = field(default_factory=list)
+    #: per-level evaluator statistics snapshots (counts, wall time, cache hits)
+    evaluation_stats: list[EvaluatorStats] = field(default_factory=list)
 
     @property
     def mean(self) -> np.ndarray:
@@ -162,31 +165,36 @@ class MLMCMCSampler:
         chains: list[SingleChainMCMC] = []
         acceptance_rates: list[float] = []
         costs: list[float] = []
-        evaluations: list[int] = []
 
         start = time.perf_counter()
         for level, index in enumerate(indices):
             problem = self._problem(index)
-            evals_before = problem.num_density_evaluations
+            stats_before = problem.evaluation_stats.snapshot()
 
             chain = self.build_chain(level, chain_id=f"level{level}")
-            level_start = time.perf_counter()
             chain.run(self.num_samples[level])
-            level_time = time.perf_counter() - level_start
 
             chains.append(chain)
             corrections.append(chain.corrections)
             acceptance_rates.append(chain.acceptance_rate)
-            evals_level = problem.num_density_evaluations - evals_before
-            costs.append(level_time / max(1, evals_level))
+            # Cost per fine-level density *request*, measured by the level's own
+            # evaluator: embedded coarse-chain evaluations hit the coarser
+            # problems' evaluators, so neither their count nor their wall time
+            # dilutes this level's figure.  Dividing by requests (cache hits
+            # included) rather than model evaluations keeps the "per sample"
+            # semantics of the estimate's cost accounting, so caching speedups
+            # show up in total_cost instead of being normalised away.
+            delta = problem.evaluation_stats.delta(stats_before)
+            costs.append(delta.wall_time / max(1, delta.density_requests))
         wall_time = time.perf_counter() - start
 
         # Total forward-model (density) evaluations per level across the whole
         # run, including the coarse-chain evaluations embedded in finer-level
         # estimators — this is the quantity cost accounting needs.
-        evaluations = [
-            self._problem(index).num_density_evaluations for index in indices
+        evaluation_stats = [
+            self._problem(index).evaluation_stats.snapshot() for index in indices
         ]
+        evaluations = [stats.log_density_evaluations for stats in evaluation_stats]
 
         estimate = MultilevelEstimate.from_corrections(corrections, costs_per_sample=costs)
         return MLMCMCResult(
@@ -197,6 +205,7 @@ class MLMCMCSampler:
             costs_per_sample=costs,
             wall_time=wall_time,
             model_evaluations=evaluations,
+            evaluation_stats=evaluation_stats,
         )
 
 

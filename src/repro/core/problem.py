@@ -9,6 +9,12 @@ interest.  Implementations provided here:
 * :class:`GaussianTargetProblem` — an analytic Gaussian target used by unit
   and integration tests (closed-form moments).
 * :class:`DensitySamplingProblem` — wraps arbitrary callables.
+
+Model evaluations are dispatched through a swappable
+:class:`repro.evaluation.Evaluator` backend, which also owns all evaluation
+accounting (counts, wall time, cost units, cache statistics); the problem's
+implementation hooks (``_log_density_impl`` / ``_qoi_impl`` /
+``_log_density_batch_impl``) are only ever called by the evaluator.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ import numpy as np
 from repro.bayes.distributions import GaussianDensity
 from repro.bayes.posterior import Posterior
 from repro.core.state import SamplingState
+from repro.evaluation import Evaluator, EvaluatorStats, InProcessEvaluator
 
 __all__ = [
     "AbstractSamplingProblem",
@@ -36,11 +43,27 @@ class AbstractSamplingProblem(ABC):
     The MCMC stack only ever interacts with models through this interface,
     which is what makes the method model-agnostic: any forward model that can
     be called from Python can be wrapped into a sampling problem.
+
+    Parameters
+    ----------
+    dim:
+        Parameter dimension.
+    evaluator:
+        Evaluation backend; defaults to a fresh
+        :class:`~repro.evaluation.InProcessEvaluator`.  The problem binds its
+        implementation hooks to the backend, so one evaluator serves exactly
+        one problem.
     """
 
-    def __init__(self, dim: int) -> None:
+    def __init__(self, dim: int, evaluator: Evaluator | None = None) -> None:
         self._dim = int(dim)
-        self._density_evaluations = 0
+        self._evaluator = evaluator if evaluator is not None else InProcessEvaluator()
+        self._evaluator.bind(
+            self._log_density_impl,
+            self._qoi_impl,
+            cost_fn=self.evaluation_cost,
+            batch_log_density_fn=self._log_density_batch_impl,
+        )
 
     @property
     def dim(self) -> int:
@@ -48,24 +71,49 @@ class AbstractSamplingProblem(ABC):
         return self._dim
 
     @property
+    def evaluator(self) -> Evaluator:
+        """The evaluation backend dispatching this problem's model calls."""
+        return self._evaluator
+
+    @property
+    def evaluation_stats(self) -> EvaluatorStats:
+        """Evaluation statistics (counts, wall time, cost units, cache hits)."""
+        return self._evaluator.stats
+
+    @property
     def num_density_evaluations(self) -> int:
-        """Number of log-density evaluations performed through this problem."""
-        return self._density_evaluations
+        """Number of *actual* model log-density evaluations performed.
+
+        Requests served from an evaluator cache are not included; see
+        :attr:`evaluation_stats` for the full accounting.
+        """
+        return self._evaluator.stats.log_density_evaluations
 
     # ------------------------------------------------------------------
     @abstractmethod
     def _log_density_impl(self, parameters: np.ndarray) -> float:
         """Implementation hook for the log density."""
 
+    def _log_density_batch_impl(self, parameters: np.ndarray) -> np.ndarray:
+        """Vectorized hook: log densities of an ``(n, dim)`` parameter block.
+
+        Defaults to a loop over :meth:`_log_density_impl`; subclasses with a
+        vectorized fast path override this.
+        """
+        thetas = np.atleast_2d(np.asarray(parameters, dtype=float))
+        return np.array([float(self._log_density_impl(t)) for t in thetas], dtype=float)
+
     def log_density(self, state: SamplingState | np.ndarray) -> float:
         """Log target density; caches the value on :class:`SamplingState` inputs."""
         if isinstance(state, SamplingState):
             if state.log_density is None:
-                state.log_density = float(self._log_density_impl(state.parameters))
-                self._density_evaluations += 1
+                state.log_density = float(self._evaluator.log_density(state.parameters))
             return state.log_density
-        self._density_evaluations += 1
-        return float(self._log_density_impl(np.asarray(state, dtype=float)))
+        return float(self._evaluator.log_density(np.asarray(state, dtype=float)))
+
+    def log_density_batch(self, parameters: np.ndarray) -> np.ndarray:
+        """Log densities of an ``(n, dim)`` block, routed through the evaluator."""
+        return self._evaluator.log_density_batch(parameters)
 
     # ------------------------------------------------------------------
     def _qoi_impl(self, parameters: np.ndarray) -> np.ndarray:
@@ -82,10 +130,12 @@ class AbstractSamplingProblem(ABC):
         if isinstance(state, SamplingState):
             if state.qoi is None:
                 state.qoi = np.atleast_1d(
-                    np.asarray(self._qoi_impl(state.parameters), dtype=float)
+                    np.asarray(self._evaluator.qoi(state.parameters), dtype=float)
                 ).ravel()
             return state.qoi
-        return np.atleast_1d(np.asarray(self._qoi_impl(np.asarray(state, dtype=float)), dtype=float)).ravel()
+        return np.atleast_1d(
+            np.asarray(self._evaluator.qoi(np.asarray(state, dtype=float)), dtype=float)
+        ).ravel()
 
     # ------------------------------------------------------------------
     @property
@@ -106,11 +156,17 @@ class AbstractSamplingProblem(ABC):
 class BayesianSamplingProblem(AbstractSamplingProblem):
     """Sampling problem backed by a :class:`repro.bayes.Posterior`."""
 
-    def __init__(self, posterior: Posterior, qoi_dim: int | None = None, cost: float = 1.0) -> None:
-        super().__init__(posterior.dim)
+    def __init__(
+        self,
+        posterior: Posterior,
+        qoi_dim: int | None = None,
+        cost: float = 1.0,
+        evaluator: Evaluator | None = None,
+    ) -> None:
         self._posterior = posterior
         self._qoi_dim = qoi_dim
         self._cost = float(cost)
+        super().__init__(posterior.dim, evaluator=evaluator)
 
     @property
     def posterior(self) -> Posterior:
@@ -119,6 +175,9 @@ class BayesianSamplingProblem(AbstractSamplingProblem):
 
     def _log_density_impl(self, parameters: np.ndarray) -> float:
         return self._posterior.log_density(parameters)
+
+    def _log_density_batch_impl(self, parameters: np.ndarray) -> np.ndarray:
+        return self._posterior.log_density_batch(parameters)
 
     def _qoi_impl(self, parameters: np.ndarray) -> np.ndarray:
         return self._posterior.qoi(parameters)
@@ -138,10 +197,16 @@ class GaussianTargetProblem(AbstractSamplingProblem):
     so MCMC output can be validated quantitatively.
     """
 
-    def __init__(self, mean: np.ndarray, covariance: np.ndarray | float, cost: float = 1.0) -> None:
+    def __init__(
+        self,
+        mean: np.ndarray,
+        covariance: np.ndarray | float,
+        cost: float = 1.0,
+        evaluator: Evaluator | None = None,
+    ) -> None:
         self._density = GaussianDensity(mean, covariance)
-        super().__init__(self._density.dim)
         self._cost = float(cost)
+        super().__init__(self._density.dim, evaluator=evaluator)
 
     @property
     def target(self) -> GaussianDensity:
@@ -150,6 +215,9 @@ class GaussianTargetProblem(AbstractSamplingProblem):
 
     def _log_density_impl(self, parameters: np.ndarray) -> float:
         return self._density.log_density(parameters)
+
+    def _log_density_batch_impl(self, parameters: np.ndarray) -> np.ndarray:
+        return self._density.log_density_batch(parameters)
 
     @property
     def qoi_dim(self) -> int | None:
@@ -168,14 +236,23 @@ class DensitySamplingProblem(AbstractSamplingProblem):
         log_density: Callable[[np.ndarray], float],
         qoi: Callable[[np.ndarray], np.ndarray] | None = None,
         cost: float = 1.0,
+        evaluator: Evaluator | None = None,
+        log_density_batch: Callable[[np.ndarray], np.ndarray] | None = None,
     ) -> None:
-        super().__init__(dim)
         self._log_density_fn = log_density
         self._qoi_fn = qoi
+        self._batch_fn = log_density_batch
         self._cost = float(cost)
+        super().__init__(dim, evaluator=evaluator)
 
     def _log_density_impl(self, parameters: np.ndarray) -> float:
         return float(self._log_density_fn(parameters))
+
+    def _log_density_batch_impl(self, parameters: np.ndarray) -> np.ndarray:
+        if self._batch_fn is None:
+            return super()._log_density_batch_impl(parameters)
+        thetas = np.atleast_2d(np.asarray(parameters, dtype=float))
+        return np.asarray(self._batch_fn(thetas), dtype=float).ravel()
 
     def _qoi_impl(self, parameters: np.ndarray) -> np.ndarray:
         if self._qoi_fn is None:

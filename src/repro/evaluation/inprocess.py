@@ -1,0 +1,24 @@
+"""In-process evaluation backend (the reference behaviour)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.base import Evaluator
+
+__all__ = ["InProcessEvaluator"]
+
+
+class InProcessEvaluator(Evaluator):
+    """Evaluate the model directly in the calling process.
+
+    This is the default backend and reproduces the pre-subsystem behaviour of
+    the sampling problems: every request runs the implementation callable
+    synchronously, with per-call wall time and cost units recorded.
+    """
+
+    def log_density(self, parameters: np.ndarray) -> float:
+        return self._evaluate_log_density(np.asarray(parameters, dtype=float))
+
+    def qoi(self, parameters: np.ndarray) -> np.ndarray:
+        return self._evaluate_qoi(np.asarray(parameters, dtype=float))

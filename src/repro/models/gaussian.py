@@ -18,6 +18,7 @@ from repro.core.factory import MLComponentFactory
 from repro.core.problem import AbstractSamplingProblem, GaussianTargetProblem
 from repro.core.proposals.base import MCMCProposal
 from repro.core.proposals.random_walk import GaussianRandomWalkProposal
+from repro.multiindex import MultiIndex
 
 __all__ = ["GaussianHierarchyFactory"]
 
@@ -52,6 +53,13 @@ class GaussianHierarchyFactory(MLComponentFactory):
     costs:
         Nominal evaluation cost per level (defaults to ``4^l``, the scaling of
         a 2-D PDE solve under uniform refinement).
+    evaluation_backend:
+        Name of the :mod:`repro.evaluation` backend for every level's model
+        evaluations; ``None`` keeps the in-process default.
+    evaluator_options:
+        Extra keyword arguments for :func:`repro.evaluation.make_evaluator`;
+        instance-valued options (the caching backend's ``inner``) must be
+        zero-argument callables, since each level builds a fresh backend.
     """
 
     def __init__(
@@ -64,6 +72,8 @@ class GaussianHierarchyFactory(MLComponentFactory):
         proposal_scale: float = 2.5,
         subsampling: int = 5,
         costs: list[float] | None = None,
+        evaluation_backend: str | None = None,
+        evaluator_options: dict | None = None,
     ) -> None:
         if num_levels < 1:
             raise ValueError("num_levels must be at least 1")
@@ -83,6 +93,8 @@ class GaussianHierarchyFactory(MLComponentFactory):
             if costs is not None
             else [4.0**level for level in range(num_levels)]
         )
+        self.evaluation_backend = evaluation_backend
+        self.evaluator_options = dict(evaluator_options or {})
 
     # ------------------------------------------------------------------
     def level_mean(self, level: int) -> np.ndarray:
@@ -109,7 +121,10 @@ class GaussianHierarchyFactory(MLComponentFactory):
 
     def problem_for_level(self, level: int) -> AbstractSamplingProblem:
         return GaussianTargetProblem(
-            self.level_mean(level), self.level_covariance(level), cost=self.costs[level]
+            self.level_mean(level),
+            self.level_covariance(level),
+            cost=self.costs[level],
+            evaluator=self.evaluator(MultiIndex(level)),
         )
 
     def proposal_for_level(self, level: int, problem: AbstractSamplingProblem) -> MCMCProposal:

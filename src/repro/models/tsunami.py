@@ -27,6 +27,7 @@ from repro.core.factory import MLComponentFactory
 from repro.core.problem import AbstractSamplingProblem, BayesianSamplingProblem
 from repro.core.proposals.adaptive_metropolis import AdaptiveMetropolisProposal
 from repro.core.proposals.base import MCMCProposal
+from repro.multiindex import MultiIndex
 from repro.swe.scenario import LevelConfiguration, TohokuLikeScenario
 
 __all__ = ["TsunamiLevelSpec", "TsunamiInverseProblemFactory"]
@@ -87,6 +88,15 @@ class TsunamiInverseProblemFactory(MLComponentFactory):
         If not ``None``, observation noise drawn with this seed is added to the
         synthetic data (off by default — like the paper's Poisson study this
         keeps verification simple).
+    evaluation_backend:
+        Name of the :mod:`repro.evaluation` backend for every level's model
+        evaluations (caching is a natural choice: shallow-water solves are
+        expensive and rejecting coarse chains repeat identical proposals);
+        ``None`` keeps the in-process default.
+    evaluator_options:
+        Extra keyword arguments for :func:`repro.evaluation.make_evaluator`;
+        instance-valued options (the caching backend's ``inner``) must be
+        zero-argument callables, since each level builds a fresh backend.
     """
 
     def __init__(
@@ -102,7 +112,11 @@ class TsunamiInverseProblemFactory(MLComponentFactory):
         data_noise_seed: int | None = None,
         source_amplitude: float = 5.0,
         source_radius: float = 30e3,
+        evaluation_backend: str | None = None,
+        evaluator_options: dict | None = None,
     ) -> None:
+        self.evaluation_backend = evaluation_backend
+        self.evaluator_options = dict(evaluator_options or {})
         self.specs = list(level_specs)
         self._subsampling = (
             [int(r) for r in subsampling_rates]
@@ -197,7 +211,9 @@ class TsunamiInverseProblemFactory(MLComponentFactory):
             qoi=None,  # the QOI is the parameter itself
         )
         cost = float(self.specs[level].num_cells**2) / float(self.specs[0].num_cells**2)
-        return BayesianSamplingProblem(posterior, qoi_dim=2, cost=cost)
+        return BayesianSamplingProblem(
+            posterior, qoi_dim=2, cost=cost, evaluator=self.evaluator(MultiIndex(level))
+        )
 
     def proposal_for_level(self, level: int, problem: AbstractSamplingProblem) -> MCMCProposal:
         return AdaptiveMetropolisProposal(

@@ -17,6 +17,7 @@ from repro.parallel.costmodel import (
     MeasuredCostModel,
     POISSON_PAPER_COSTS,
     TSUNAMI_PAPER_COSTS,
+    cost_model_from_stats,
 )
 from repro.parallel.layout import ProcessLayout, WorkGroup
 from repro.parallel.loadbalancer import (
@@ -40,6 +41,7 @@ __all__ = [
     "ConstantCostModel",
     "LogNormalCostModel",
     "MeasuredCostModel",
+    "cost_model_from_stats",
     "POISSON_PAPER_COSTS",
     "TSUNAMI_PAPER_COSTS",
     "ProcessLayout",

@@ -18,15 +18,18 @@ cover all three situations:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
+
+from repro.evaluation import EvaluatorStats
 
 __all__ = [
     "CostModel",
     "ConstantCostModel",
     "LogNormalCostModel",
     "MeasuredCostModel",
+    "cost_model_from_stats",
     "POISSON_PAPER_COSTS",
     "TSUNAMI_PAPER_COSTS",
 ]
@@ -156,6 +159,25 @@ class MeasuredCostModel(CostModel):
             self._observed[level] = float(duration)
         self._counts[level] = self._counts.get(level, 0) + 1
 
+    def observe_stats(self, level: int, stats: EvaluatorStats) -> None:
+        """Fold an evaluator's measured statistics into the level's estimate.
+
+        The snapshot's mean measured wall time per *density* evaluation is
+        blended in as a *single* smoothed observation (``num_observations``
+        grows by one per snapshot), so callers can hand whole
+        :class:`~repro.evaluation.EvaluatorStats` snapshots to the cost model
+        instead of keeping their own per-call counters.  The denominator is
+        ``log_density_evaluations`` because one scheduler cost unit is one
+        density evaluation (one chain step); QOI wall time — negligible for
+        the shipped models, whose QOIs reuse the cached forward solution — is
+        attributed to it.  Mind the units: the snapshot carries real wall
+        seconds, so feed it only into cost models operating on the same clock.
+        """
+        count = stats.log_density_evaluations
+        if count <= 0:
+            return
+        self.observe(level, stats.wall_time / count)
+
     def num_observations(self, level: int) -> int:
         """Number of observations recorded for a level."""
         return self._counts.get(level, 0)
@@ -172,3 +194,35 @@ class MeasuredCostModel(CostModel):
 
     def group_size(self, level: int) -> int:
         return self._prior.group_size(level)
+
+
+def cost_model_from_stats(
+    stats_by_level: Mapping[int, EvaluatorStats],
+    prior: CostModel | None = None,
+    smoothing: float = 1.0,
+) -> MeasuredCostModel:
+    """Build a cost model from measured per-level evaluator statistics.
+
+    Typical use: feed the ``evaluation_stats`` of a pilot (sequential or
+    parallel) MLMCMC run into the cost model of a production parallel run, so
+    the scheduler's virtual durations reflect measured model times instead of
+    nominal ones.
+
+    Parameters
+    ----------
+    stats_by_level:
+        Per-level :class:`~repro.evaluation.EvaluatorStats` snapshots.
+    prior:
+        Fallback for levels without measurements (default: unit cost).
+    smoothing:
+        Smoothing of the resulting :class:`MeasuredCostModel` for further
+        online updates; 1.0 makes the measured means authoritative.
+    """
+    num_levels = (max(stats_by_level) + 1) if stats_by_level else 1
+    model = MeasuredCostModel(
+        prior if prior is not None else ConstantCostModel([1.0] * num_levels),
+        smoothing=smoothing,
+    )
+    for level, stats in sorted(stats_by_level.items()):
+        model.observe_stats(level, stats)
+    return model

@@ -17,6 +17,8 @@ import numpy as np
 from repro.core.estimators import MultilevelEstimate
 from repro.core.factory import MIComponentFactory
 from repro.core.sample_collection import CorrectionCollection
+from repro.evaluation import EvaluatorStats
+from repro.multiindex import MultiIndex
 from repro.parallel.costmodel import ConstantCostModel, CostModel
 from repro.parallel.layout import ProcessLayout
 from repro.parallel.roles import (
@@ -49,16 +51,32 @@ class ParallelMLMCMCResult:
     samples_per_level: dict[int, int] = field(default_factory=dict)
     level_finish_times: dict[int, float] = field(default_factory=dict)
     controller_assignments: dict[int, list[int]] = field(default_factory=dict)
+    #: per-level model-evaluation statistics (from the problems' evaluators)
+    evaluation_stats: dict[int, EvaluatorStats] = field(default_factory=dict)
+    #: aggregate evaluation accounting of all worker ranks (virtual seconds)
+    worker_stats: EvaluatorStats = field(default_factory=EvaluatorStats)
 
     @property
     def mean(self) -> np.ndarray:
         """The multilevel estimate of ``E[Q_L]``."""
         return self.estimate.mean
 
+    @property
+    def model_evaluations(self) -> dict[int, int]:
+        """Actual model (density) evaluations per level."""
+        return {
+            level: stats.log_density_evaluations
+            for level, stats in sorted(self.evaluation_stats.items())
+        }
+
     def worker_utilization(self) -> float:
         """Mean busy fraction of controller + worker ranks."""
         ranks = self.layout.controller_ranks + self.layout.worker_ranks
         return self.trace.utilization(ranks)
+
+    def worker_busy_time(self) -> float:
+        """Total virtual seconds worker ranks spent in model evaluations."""
+        return self.worker_stats.cost_units
 
     def summary(self) -> dict[str, float | int]:
         """Headline numbers of the run."""
@@ -70,6 +88,7 @@ class ParallelMLMCMCResult:
             "events_processed": self.events_processed,
             "num_rebalances": len(self.rebalance_log),
             "worker_utilization": self.worker_utilization(),
+            "model_evaluations": sum(self.model_evaluations.values()),
         }
 
 
@@ -231,11 +250,28 @@ class ParallelMLMCMCSampler:
 
         samples_per_level: dict[int, int] = {}
         controller_assignments: dict[int, list[int]] = {}
+        worker_stats = EvaluatorStats()
         for process in world.processes.values():
             if isinstance(process, ControllerProcess):
                 controller_assignments[process.rank] = list(process.assignment_history)
                 for level, count in process.samples_generated.items():
                     samples_per_level[level] = samples_per_level.get(level, 0) + count
+            elif isinstance(process, WorkerProcess):
+                worker_stats.merge(process.stats)
+
+        # Per-level model-evaluation statistics straight from the problems'
+        # evaluators — the single source of truth for evaluation counts and
+        # measured (real, not virtual) per-evaluation cost.  Callers wanting a
+        # scheduler cost model calibrated from these measurements feed them to
+        # MeasuredCostModel.observe_stats / cost_model_from_stats explicitly;
+        # the run never mutates the cost model it was given (its other
+        # observations are in virtual-time units).
+        built = self.config.problems.built_problems()
+        evaluation_stats: dict[int, EvaluatorStats] = {}
+        for level, index in enumerate(self.config.indices()):
+            problem = built.get(MultiIndex(index).values)
+            if problem is not None:
+                evaluation_stats[level] = problem.evaluation_stats.snapshot()
 
         return ParallelMLMCMCResult(
             estimate=estimate,
@@ -249,4 +285,6 @@ class ParallelMLMCMCSampler:
             samples_per_level=samples_per_level,
             level_finish_times=dict(root.level_finish_times),
             controller_assignments=controller_assignments,
+            evaluation_stats=evaluation_stats,
+            worker_stats=worker_stats,
         )

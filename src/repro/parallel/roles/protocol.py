@@ -76,6 +76,10 @@ class SharedProblemCache:
             self._problems[key] = self._factory.sampling_problem(MultiIndex(index))
         return self._problems[key]
 
+    def built_problems(self) -> dict[tuple[int, ...], AbstractSamplingProblem]:
+        """The problems constructed so far, keyed by raw index values."""
+        return dict(self._problems)
+
 
 @dataclass
 class RunConfiguration:

@@ -5,12 +5,18 @@ Section 4.2): they are called synchronously by their controller, so user
 models can assume lock-step parallelism.  In the simulated substrate a worker
 simply mirrors the virtual compute time of every evaluation its controller
 performs, which is what makes work-group utilisation visible in the traces.
+
+Each worker accounts for its evaluations in an
+:class:`repro.evaluation.EvaluatorStats` — the same statistics type the
+sampling problems' evaluators use — so per-rank busy time and evaluation
+counts come out of one shared bookkeeping vocabulary.
 """
 
 from __future__ import annotations
 
 from typing import Generator
 
+from repro.evaluation import EvaluationRecord, EvaluatorStats
 from repro.parallel.roles.protocol import Tags
 from repro.parallel.simmpi.process import RankProcess
 
@@ -26,7 +32,13 @@ class WorkerProcess(RankProcess):
         super().__init__(rank)
         self.controller_rank = controller_rank
         self.level: int | None = None
-        self.evaluations = 0
+        #: evaluation accounting; wall_time/cost_units are virtual seconds
+        self.stats = EvaluatorStats()
+
+    @property
+    def evaluations(self) -> int:
+        """Number of model evaluations this worker took part in."""
+        return self.stats.log_density_evaluations
 
     def run(self) -> Generator:
         while True:
@@ -39,9 +51,12 @@ class WorkerProcess(RankProcess):
                 self.level = int(message.payload["level"])
                 continue
             payload = message.payload
-            self.evaluations += 1
+            duration = float(payload["duration"])
+            self.stats.record(
+                EvaluationRecord("log_density", wall_time=duration, cost=duration)
+            )
             yield self.compute(
-                float(payload["duration"]),
+                duration,
                 kind=str(payload.get("kind", "model_eval")),
                 level=payload.get("level"),
                 label="worker",
