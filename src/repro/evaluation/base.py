@@ -32,6 +32,21 @@ def _unit_cost() -> float:
     return 1.0
 
 
+def validated_batch_values(values, expected: int) -> np.ndarray:
+    """Flatten a vectorized log-density result and check it covers the batch.
+
+    Shared by every batch-capable backend so the contract (one value per
+    parameter vector) is enforced identically everywhere.
+    """
+    flat = np.asarray(values, dtype=float).ravel()
+    if flat.shape[0] != expected:
+        raise ValueError(
+            "vectorized log-density implementation returned "
+            f"{flat.shape[0]} values for {expected} inputs"
+        )
+    return flat
+
+
 @dataclass(frozen=True)
 class EvaluationRecord:
     """One evaluation event as seen by an evaluator.

@@ -6,7 +6,7 @@ import time
 
 import numpy as np
 
-from repro.evaluation.base import EvaluationRecord
+from repro.evaluation.base import EvaluationRecord, validated_batch_values
 from repro.evaluation.inprocess import InProcessEvaluator
 
 __all__ = ["BatchEvaluator"]
@@ -19,7 +19,10 @@ class BatchEvaluator(InProcessEvaluator):
     :meth:`log_density_batch` uses the problem's vectorized implementation
     (``batch_log_density_fn`` passed to :meth:`~repro.evaluation.base.Evaluator.bind`)
     when one exists — e.g. the closed-form Gaussian targets and the
-    random-field → FEM pipeline of the Poisson problem — and falls back to a
+    random-field → FEM pipeline of the Poisson problem, whose
+    ``forward_batch`` runs whole coefficient blocks through
+    :meth:`repro.fem.poisson.PoissonSolver.solve_batch` (plan-based O(nnz)
+    assembly and reduced-system solves per sample) — and falls back to a
     loop otherwise.
 
     Parameters
@@ -46,12 +49,7 @@ class BatchEvaluator(InProcessEvaluator):
         for start in range(0, thetas.shape[0], self.max_batch_size):
             block = thetas[start : start + self.max_batch_size]
             tic = time.perf_counter()
-            values = np.asarray(self._batch_fn(block), dtype=float).ravel()
-            if values.shape[0] != block.shape[0]:
-                raise ValueError(
-                    "vectorized log-density implementation returned "
-                    f"{values.shape[0]} values for {block.shape[0]} inputs"
-                )
+            values = validated_batch_values(self._batch_fn(block), block.shape[0])
             self.stats.record(
                 EvaluationRecord(
                     "log_density",

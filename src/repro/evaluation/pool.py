@@ -21,7 +21,7 @@ import time
 
 import numpy as np
 
-from repro.evaluation.base import EvaluationRecord
+from repro.evaluation.base import EvaluationRecord, validated_batch_values
 from repro.evaluation.inprocess import InProcessEvaluator
 
 __all__ = ["PoolEvaluator"]
@@ -79,7 +79,23 @@ class PoolEvaluator(InProcessEvaluator):
         self._require_bound()
         pool = self._ensure_pool()
         tic = time.perf_counter()
-        values = pool.map(self._log_density_fn, list(thetas))
+        if self._batch_fn is not None:
+            # Fan out one vectorized sub-batch per worker instead of one
+            # parameter vector per task: each worker then runs the problem's
+            # batch fast path (e.g. plan-based FEM assembly) over its chunk,
+            # and the IPC round trips drop from n to the worker count.
+            chunks = np.array_split(thetas, min(self.processes, thetas.shape[0]))
+            results = pool.map(self._batch_fn, chunks)
+            values = validated_batch_values(
+                np.concatenate(
+                    [np.asarray(result, dtype=float).ravel() for result in results]
+                ),
+                thetas.shape[0],
+            )
+        else:
+            values = np.asarray(
+                pool.map(self._log_density_fn, list(thetas)), dtype=float
+            )
         self.stats.record(
             EvaluationRecord(
                 "log_density",
@@ -88,7 +104,7 @@ class PoolEvaluator(InProcessEvaluator):
                 batch_size=thetas.shape[0],
             )
         )
-        return np.asarray(values, dtype=float)
+        return values
 
     # ------------------------------------------------------------------
     def close(self) -> None:

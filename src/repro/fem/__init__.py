@@ -10,12 +10,13 @@ solution.
 
 from repro.fem.grid import StructuredGrid
 from repro.fem.q1 import Q1Element
-from repro.fem.assembly import assemble_diffusion_system, apply_dirichlet
+from repro.fem.assembly import AssemblyPlan, assemble_diffusion_system, apply_dirichlet
 from repro.fem.poisson import PoissonSolver
 
 __all__ = [
     "StructuredGrid",
     "Q1Element",
+    "AssemblyPlan",
     "assemble_diffusion_system",
     "apply_dirichlet",
     "PoissonSolver",

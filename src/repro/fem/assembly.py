@@ -5,6 +5,18 @@ coefficient is computed once and scaled by the per-element diffusion
 coefficient, so assembling the global matrix is a vectorised scatter of
 ``num_elements`` scaled copies — important because the MCMC chain assembles a
 new operator for every proposed parameter.
+
+Two assembly paths exist:
+
+* :func:`assemble_diffusion_system` + :func:`apply_dirichlet` — the original
+  reference path; builds a fresh COO matrix per call and eliminates Dirichlet
+  rows/columns on the assembled operator.
+* :class:`AssemblyPlan` — the fast path.  Everything that depends only on the
+  ``(grid, Dirichlet set)`` pair — the CSR sparsity, a ``data = S @ kappa``
+  scatter operator, and the interior-DOF reduction — is precomputed once, so
+  per-sample assembly is a single sparse mat-vec into the CSR ``data`` array
+  with no COO round trip and no Python loops, and each sample solves the
+  smaller SPD system ``K_ii u_i = b_i - K_ib u_b`` directly.
 """
 
 from __future__ import annotations
@@ -15,7 +27,12 @@ import scipy.sparse as sp
 from repro.fem.grid import StructuredGrid
 from repro.fem.q1 import Q1Element
 
-__all__ = ["assemble_diffusion_system", "apply_dirichlet", "assemble_mass_matrix"]
+__all__ = [
+    "assemble_diffusion_system",
+    "apply_dirichlet",
+    "assemble_mass_matrix",
+    "AssemblyPlan",
+]
 
 
 def assemble_diffusion_system(
@@ -93,25 +110,217 @@ def apply_dirichlet(
 
     The boundary values are moved to the right-hand side, boundary rows and
     columns are zeroed and the diagonal set to one, keeping the reduced system
-    symmetric positive definite.
+    symmetric positive definite.  Implemented as a vectorized COO filter (no
+    ``tolil`` conversion, no Python loop over boundary nodes).
     """
     nodes = np.asarray(dirichlet_nodes, dtype=int).ravel()
     values = np.broadcast_to(np.asarray(dirichlet_values, dtype=float), nodes.shape)
-
-    matrix = matrix.tocsc(copy=True)
+    num = matrix.shape[0]
     rhs = np.array(rhs, dtype=float, copy=True)
 
-    # Move known values to the RHS: b -= K[:, nodes] @ values
-    rhs -= matrix[:, nodes] @ values
+    # Move known values to the RHS: b -= K @ g where g carries the boundary
+    # values (accumulated, so duplicate nodes behave like repeated columns).
+    boundary_vector = np.zeros(num)
+    np.add.at(boundary_vector, nodes, values)
+    rhs -= matrix @ boundary_vector
 
-    # Zero rows and columns, set unit diagonal, pin RHS.
-    mask = np.zeros(matrix.shape[0], dtype=bool)
+    # Zero rows and columns by dropping every stored entry that touches a
+    # boundary node, then set unit diagonals and pin the RHS.
+    mask = np.zeros(num, dtype=bool)
     mask[nodes] = True
+    coo = matrix.tocoo()
+    keep = ~(mask[coo.row] | mask[coo.col])
+    unique_nodes = np.unique(nodes)
+    eliminated = sp.coo_matrix(
+        (
+            np.concatenate([coo.data[keep], np.ones(unique_nodes.size)]),
+            (
+                np.concatenate([coo.row[keep], unique_nodes]),
+                np.concatenate([coo.col[keep], unique_nodes]),
+            ),
+        ),
+        shape=matrix.shape,
+    ).tocsr()
+    rhs[nodes] = values
+    return eliminated, rhs
 
-    matrix = matrix.tolil()
-    matrix[nodes, :] = 0.0
-    matrix[:, nodes] = 0.0
-    for node, value in zip(nodes, values):
-        matrix[node, node] = 1.0
-        rhs[node] = value
-    return matrix.tocsr(), rhs
+
+class AssemblyPlan:
+    """Precomputed assembly and interior-reduction structure for one grid.
+
+    Built once per ``(grid, Dirichlet node set)`` pair; afterwards every
+    per-sample operation is O(nnz) vectorized work:
+
+    * ``assemble(kappa)`` — the full stiffness matrix.  The CSR sparsity
+      (``indptr`` / ``indices``) is fixed; the ``data`` array is produced by
+      one sparse product ``scatter @ kappa``, where ``scatter`` maps the
+      per-element coefficient directly into summed CSR slots (the COO
+      triplet construction and duplicate summation happened once, at plan
+      build time).
+    * ``reduced_system(kappa, values)`` — the interior block ``K_ii`` and the
+      right-hand side ``b_i - K_ib u_b`` of the symmetric positive definite
+      reduced system.  The interior/boundary index split and the CSR
+      structures of ``K_ii`` / ``K_ib`` are precomputed; per sample only
+      their ``data`` arrays are written (``scatter_ii @ kappa`` and
+      ``scatter_ib @ kappa``).
+    * ``expand(u_i, values)`` — scatter an interior solution back to the full
+      nodal vector.
+
+    Parameters
+    ----------
+    grid:
+        The structured grid.
+    dirichlet_nodes:
+        Global node indices with essential boundary conditions (must be
+        unique); ``None`` or empty means no reduction (``interior`` covers
+        every node).
+    source:
+        Fixed right-hand side ``f`` (scalar or per element), baked into
+        :attr:`load` exactly as in :func:`assemble_diffusion_system`.
+    """
+
+    def __init__(
+        self,
+        grid: StructuredGrid,
+        dirichlet_nodes: np.ndarray | None = None,
+        source: np.ndarray | float = 0.0,
+    ) -> None:
+        self.grid = grid
+        num_nodes = grid.num_nodes
+        conn = grid.element_connectivity()
+        ke_unit = Q1Element.local_stiffness(grid.hx, grid.hy, coefficient=1.0)
+
+        # COO triplets of the full operator (element-major, 16 per element).
+        rows = np.repeat(conn, 4, axis=1).ravel()
+        cols = np.tile(conn, (1, 4)).ravel()
+
+        pattern = sp.coo_matrix(
+            (np.ones(rows.size), (rows, cols)), shape=(num_nodes, num_nodes)
+        ).tocsr()  # canonical: duplicates summed, indices sorted
+        self.indptr = pattern.indptr
+        self.indices = pattern.indices
+        nnz = pattern.nnz
+
+        # CSR slot of each COO triplet: both key arrays are (row, col) pairs
+        # encoded as row * num_nodes + col, and the CSR keys are sorted.
+        csr_rows = np.repeat(
+            np.arange(num_nodes, dtype=np.int64), np.diff(self.indptr)
+        )
+        csr_keys = csr_rows * num_nodes + self.indices
+        coo_keys = rows.astype(np.int64) * num_nodes + cols
+        slots = np.searchsorted(csr_keys, coo_keys)
+
+        #: sparse ``(nnz, num_elements)`` operator with
+        #: ``scatter @ kappa == assembled CSR data``
+        self.scatter = sp.coo_matrix(
+            (
+                np.tile(ke_unit.ravel(), grid.num_elements),
+                (slots, np.repeat(np.arange(grid.num_elements), 16)),
+            ),
+            shape=(nnz, grid.num_elements),
+        ).tocsr()
+
+        #: fixed load vector for the plan's source term
+        self.load = np.zeros(num_nodes)
+        source_arr = np.broadcast_to(
+            np.asarray(source, dtype=float), (grid.num_elements,)
+        )
+        if np.any(source_arr != 0.0):
+            contrib = source_arr * (grid.hx * grid.hy) / 4.0
+            np.add.at(self.load, conn.ravel(), np.repeat(contrib, 4))
+
+        # Interior-DOF reduction: split nodes into interior/boundary once and
+        # record, for K_ii and K_ib, which full-matrix data slot feeds each of
+        # their data slots (via a locator matrix whose data are slot ids).
+        if dirichlet_nodes is None:
+            dirichlet_nodes = np.empty(0, dtype=int)
+        self.dirichlet_nodes = np.asarray(dirichlet_nodes, dtype=int).ravel()
+        if np.unique(self.dirichlet_nodes).size != self.dirichlet_nodes.size:
+            raise ValueError("dirichlet_nodes must be unique")
+        mask = np.zeros(num_nodes, dtype=bool)
+        mask[self.dirichlet_nodes] = True
+        #: interior (non-Dirichlet) node indices, ascending
+        self.interior = np.nonzero(~mask)[0]
+
+        locator = sp.csr_matrix(
+            (np.arange(1, nnz + 1, dtype=np.int64), self.indices, self.indptr),
+            shape=(num_nodes, num_nodes),
+        )
+        interior_rows = locator[self.interior]
+        block_ii = interior_rows[:, self.interior].tocsr()
+        block_ii.sort_indices()
+        block_ib = interior_rows[:, self.dirichlet_nodes].tocsr()
+        block_ib.sort_indices()
+        self.ii_indptr, self.ii_indices = block_ii.indptr, block_ii.indices
+        self.ib_indptr, self.ib_indices = block_ib.indptr, block_ib.indices
+        #: scatter operators writing the reduced blocks' CSR data directly
+        self.scatter_ii = self.scatter[block_ii.data - 1]
+        self.scatter_ib = self.scatter[block_ib.data - 1]
+
+    # ------------------------------------------------------------------
+    @property
+    def num_interior(self) -> int:
+        """Number of interior (free) degrees of freedom."""
+        return self.interior.size
+
+    def coefficients(self, element_coefficients: np.ndarray) -> np.ndarray:
+        """Validate a per-element coefficient vector (same checks as assembly)."""
+        kappa = np.asarray(element_coefficients, dtype=float).ravel()
+        if kappa.shape[0] != self.grid.num_elements:
+            raise ValueError(
+                f"expected {self.grid.num_elements} element coefficients, "
+                f"got {kappa.shape[0]}"
+            )
+        if np.any(kappa <= 0):
+            raise ValueError("diffusion coefficients must be positive")
+        return kappa
+
+    # ------------------------------------------------------------------
+    def assemble(self, element_coefficients: np.ndarray) -> tuple[sp.csr_matrix, np.ndarray]:
+        """Full stiffness matrix and load vector (no boundary conditions).
+
+        Matches :func:`assemble_diffusion_system` to rounding of the duplicate
+        summation order.
+        """
+        kappa = self.coefficients(element_coefficients)
+        # Structure arrays are copied: callers may mutate the returned matrix
+        # (eliminate_zeros etc.) without corrupting the plan's sparsity.
+        stiffness = sp.csr_matrix(
+            (self.scatter @ kappa, self.indices.copy(), self.indptr.copy()),
+            shape=(self.grid.num_nodes, self.grid.num_nodes),
+        )
+        return stiffness, self.load.copy()
+
+    def reduced_system(
+        self,
+        element_coefficients: np.ndarray,
+        dirichlet_values: np.ndarray | float,
+    ) -> tuple[sp.csr_matrix, np.ndarray]:
+        """The SPD interior system ``(K_ii, b_i - K_ib u_b)`` for one sample."""
+        kappa = self.coefficients(element_coefficients)
+        values = np.broadcast_to(
+            np.asarray(dirichlet_values, dtype=float), self.dirichlet_nodes.shape
+        )
+        k_ii = sp.csr_matrix(
+            (self.scatter_ii @ kappa, self.ii_indices.copy(), self.ii_indptr.copy()),
+            shape=(self.num_interior, self.num_interior),
+        )
+        k_ib = sp.csr_matrix(
+            (self.scatter_ib @ kappa, self.ib_indices.copy(), self.ib_indptr.copy()),
+            shape=(self.num_interior, self.dirichlet_nodes.size),
+        )
+        rhs = self.load[self.interior] - k_ib @ values
+        return k_ii, rhs
+
+    def expand(
+        self,
+        interior_solution: np.ndarray,
+        dirichlet_values: np.ndarray | float,
+    ) -> np.ndarray:
+        """Scatter an interior solution and the boundary values to all nodes."""
+        full = np.empty(self.grid.num_nodes)
+        full[self.interior] = interior_solution
+        full[self.dirichlet_nodes] = np.broadcast_to(
+            np.asarray(dirichlet_values, dtype=float), self.dirichlet_nodes.shape
+        )
+        return full

@@ -45,6 +45,11 @@ class StructuredGrid:
         self.num_nodes_y = self.ny + 1
         self.num_nodes = self.num_nodes_x * self.num_nodes_y
         self.num_elements = self.nx * self.ny
+        # Connectivity and boundary index arrays are immutable per grid, and
+        # repeat callers (assembly plans, observation operators, per-sample
+        # solves) hit them constantly — cache them as read-only arrays.
+        self._connectivity: np.ndarray | None = None
+        self._boundary_nodes: dict[str, np.ndarray] = {}
 
     # -- node / element numbering ------------------------------------------
     def node_index(self, i: int, j: int) -> int:
@@ -64,18 +69,18 @@ class StructuredGrid:
         Local ordering is counter-clockwise starting at the lower-left node:
         (i, j), (i+1, j), (i+1, j+1), (i, j+1).
         """
-        conn = np.empty((self.num_elements, 4), dtype=int)
-        e = 0
-        for j in range(self.ny):
-            for i in range(self.nx):
-                conn[e] = (
-                    self.node_index(i, j),
-                    self.node_index(i + 1, j),
-                    self.node_index(i + 1, j + 1),
-                    self.node_index(i, j + 1),
-                )
-                e += 1
-        return conn
+        if self._connectivity is None:
+            i = np.arange(self.nx)
+            j = np.arange(self.ny)
+            lower_left = (j[:, None] * self.num_nodes_x + i[None, :]).ravel()
+            conn = np.empty((self.num_elements, 4), dtype=int)
+            conn[:, 0] = lower_left
+            conn[:, 1] = lower_left + 1
+            conn[:, 2] = lower_left + self.num_nodes_x + 1
+            conn[:, 3] = lower_left + self.num_nodes_x
+            conn.setflags(write=False)
+            self._connectivity = conn
+        return self._connectivity
 
     def element_centers(self) -> np.ndarray:
         """Element midpoint coordinates, shape ``(num_elements, 2)``."""
@@ -87,19 +92,20 @@ class StructuredGrid:
     # -- boundary handling -----------------------------------------------------
     def boundary_nodes(self, side: str) -> np.ndarray:
         """Global node indices on the given boundary (``left/right/bottom/top``)."""
-        if side == "left":
-            return np.array([self.node_index(0, j) for j in range(self.num_nodes_y)])
-        if side == "right":
-            return np.array(
-                [self.node_index(self.nx, j) for j in range(self.num_nodes_y)]
-            )
-        if side == "bottom":
-            return np.array([self.node_index(i, 0) for i in range(self.num_nodes_x)])
-        if side == "top":
-            return np.array(
-                [self.node_index(i, self.ny) for i in range(self.num_nodes_x)]
-            )
-        raise ValueError(f"unknown boundary side {side!r}")
+        if side not in self._boundary_nodes:
+            if side == "left":
+                nodes = np.arange(self.num_nodes_y) * self.num_nodes_x
+            elif side == "right":
+                nodes = np.arange(self.num_nodes_y) * self.num_nodes_x + self.nx
+            elif side == "bottom":
+                nodes = np.arange(self.num_nodes_x)
+            elif side == "top":
+                nodes = self.ny * self.num_nodes_x + np.arange(self.num_nodes_x)
+            else:
+                raise ValueError(f"unknown boundary side {side!r}")
+            nodes.setflags(write=False)
+            self._boundary_nodes[side] = nodes
+        return self._boundary_nodes[side]
 
     # -- point location --------------------------------------------------------
     def locate(self, point: np.ndarray) -> tuple[int, float, float]:
@@ -116,6 +122,22 @@ class StructuredGrid:
         xi = xi_global - i
         eta = eta_global - j
         return j * self.nx + i, float(xi), float(eta)
+
+    def locate_batch(
+        self, points: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`locate`: ``(elements, xi, eta)`` arrays for ``(n, 2)`` points.
+
+        Applies the same boundary clamp as the scalar version, so points on
+        (or beyond) the right/top edges land in the last element with local
+        coordinate just below one.
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        xi_global = np.clip((pts[:, 0] - self.x0) / self.hx, 0.0, self.nx - 1e-12)
+        eta_global = np.clip((pts[:, 1] - self.y0) / self.hy, 0.0, self.ny - 1e-12)
+        i = xi_global.astype(int)
+        j = eta_global.astype(int)
+        return j * self.nx + i, xi_global - i, eta_global - j
 
     def __repr__(self) -> str:
         return f"StructuredGrid(nx={self.nx}, ny={self.ny}, h=({self.hx:.4g}, {self.hy:.4g}))"

@@ -30,6 +30,25 @@ class Q1Element:
         )
 
     @staticmethod
+    def shape_functions_batch(xi: np.ndarray, eta: np.ndarray) -> np.ndarray:
+        """Shape functions at many points: ``(n,)`` local coords -> ``(n, 4)``.
+
+        Entry-wise identical arithmetic to :meth:`shape_functions`, so the
+        weights agree bitwise with the scalar version.
+        """
+        xi = np.asarray(xi, dtype=float)
+        eta = np.asarray(eta, dtype=float)
+        return np.stack(
+            [
+                (1 - xi) * (1 - eta),
+                xi * (1 - eta),
+                xi * eta,
+                (1 - xi) * eta,
+            ],
+            axis=-1,
+        )
+
+    @staticmethod
     def shape_gradients(xi: float, eta: float) -> np.ndarray:
         """Reference-coordinate gradients, shape ``(4, 2)`` (rows = nodes)."""
         return np.array(

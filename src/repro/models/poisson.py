@@ -79,11 +79,12 @@ class PoissonForwardModel:
         spec: PoissonLevelSpec,
         field: GaussianRandomField,
         observation_points: np.ndarray,
+        solver: str = "splu",
     ) -> None:
         self.spec = spec
         self.field = field
         self.grid = StructuredGrid(spec.mesh_size)
-        self.solver = PoissonSolver(self.grid)
+        self.solver = PoissonSolver(self.grid, solver=solver)
         self.observation_points = np.atleast_2d(np.asarray(observation_points, dtype=float))
         midpoints = self.solver.element_midpoints()
         #: precomputed scaled KL modes at element midpoints, (num_elements, m)
@@ -116,12 +117,13 @@ class PoissonForwardModel:
         """Observations for an ``(n, m)`` parameter block.
 
         The random-field stage (KL matvec + exponential) is vectorized across
-        the whole block; the sparse FEM solves remain per parameter vector.
+        the whole block and the FEM stage runs through
+        :meth:`PoissonSolver.solve_batch`: per-sample assembly reuses the
+        precomputed assembly plan and all observations are applied as one
+        sparse-operator product.
         """
         kappas = self.diffusion_coefficients_batch(thetas)
-        return np.stack(
-            [self.solver.solve_and_observe(kappa, self.observation_points) for kappa in kappas]
-        )
+        return self.solver.solve_and_observe_batch(kappas, self.observation_points)
 
 
 class PoissonInverseProblemFactory(MLComponentFactory):
@@ -171,6 +173,10 @@ class PoissonInverseProblemFactory(MLComponentFactory):
         (e.g. ``cache_size``); instance-valued options such as the caching
         backend's ``inner`` must be zero-argument callables, since each level
         builds a fresh backend from the same options.
+    fem_solver:
+        Strategy of each level's reduced FEM solve: ``"splu"`` (default,
+        direct) or ``"cg"`` (conjugate gradients with a cached prior-mean
+        preconditioner); see :class:`repro.fem.poisson.PoissonSolver`.
     """
 
     def __init__(
@@ -191,9 +197,11 @@ class PoissonInverseProblemFactory(MLComponentFactory):
         quadrature_points_per_dim: int = 24,
         evaluation_backend: str | None = None,
         evaluator_options: dict | None = None,
+        fem_solver: Literal["splu", "cg"] = "splu",
     ) -> None:
         self.evaluation_backend = evaluation_backend
         self.evaluator_options = dict(evaluator_options or {})
+        self.fem_solver = fem_solver
         self.specs = [PoissonLevelSpec(level=l, mesh_size=int(n)) for l, n in enumerate(mesh_sizes)]
         self.noise_std = float(noise_std)
         self.prior_variance = float(prior_variance)
@@ -250,7 +258,10 @@ class PoissonInverseProblemFactory(MLComponentFactory):
         """The (cached) forward model of one level."""
         if level not in self._forward_models:
             self._forward_models[level] = PoissonForwardModel(
-                self.specs[level], self.field, self.observation_points
+                self.specs[level],
+                self.field,
+                self.observation_points,
+                solver=self.fem_solver,
             )
         return self._forward_models[level]
 

@@ -277,16 +277,19 @@ class ShallowWaterSolver2D:
         state = initial_state.copy()
         gauges = gauges or []
         records = [GaugeRecord(gauge=g) for g in gauges]
-        gauge_cells = [self.locate_cell(g.x, g.y) for g in gauges]
-        reference_eta = [
-            state.free_surface[i, j] if state.h[i, j] > self.dry_tolerance else 0.0
-            for i, j in gauge_cells
-        ]
+        cells = [self.locate_cell(g.x, g.y) for g in gauges]
+        gauge_i = np.array([i for i, _ in cells], dtype=int)
+        gauge_j = np.array([j for _, j in cells], dtype=int)
+        reference_eta = np.where(
+            state.h[gauge_i, gauge_j] > self.dry_tolerance,
+            state.free_surface[gauge_i, gauge_j],
+            0.0,
+        )
 
         max_eta = np.zeros_like(state.h) if record_max_eta else np.zeros((0, 0))
         time = 0.0
         steps = 0
-        self._record_gauges(state, time, records, gauge_cells, reference_eta)
+        self._record_gauges(state, time, records, gauge_i, gauge_j, reference_eta)
         while time < end_time and steps < max_steps:
             dt = min(self.stable_timestep(state), end_time - time)
             if dt <= 0.0:
@@ -294,7 +297,7 @@ class ShallowWaterSolver2D:
             self.step(state, dt)
             time += dt
             steps += 1
-            self._record_gauges(state, time, records, gauge_cells, reference_eta)
+            self._record_gauges(state, time, records, gauge_i, gauge_j, reference_eta)
             if record_max_eta:
                 wet = state.h > self.dry_tolerance
                 anomaly = np.where(wet, state.free_surface, 0.0)
@@ -315,11 +318,18 @@ class ShallowWaterSolver2D:
         state: ShallowWaterState,
         time: float,
         records: list[GaugeRecord],
-        cells: list[tuple[int, int]],
-        reference_eta: list[float],
+        gauge_i: np.ndarray,
+        gauge_j: np.ndarray,
+        reference_eta: np.ndarray,
     ) -> None:
-        for record, (i, j), ref in zip(records, cells, reference_eta):
-            if state.h[i, j] > self.dry_tolerance:
-                record.append(time, state.free_surface[i, j] - ref)
-            else:
-                record.append(time, 0.0)
+        if not records:
+            return
+        # One fancy-indexed read per field instead of per-gauge scalar lookups
+        # (this runs every timestep).
+        anomalies = np.where(
+            state.h[gauge_i, gauge_j] > self.dry_tolerance,
+            state.free_surface[gauge_i, gauge_j] - reference_eta,
+            0.0,
+        )
+        for record, anomaly in zip(records, anomalies):
+            record.append(time, anomaly)
