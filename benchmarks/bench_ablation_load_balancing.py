@@ -1,71 +1,38 @@
 """Ablation: dynamic vs static load balancing.
 
 DESIGN.md calls out the phonebook-hosted dynamic load balancer as one of the
-design choices worth isolating.  This benchmark runs the same parallel MLMCMC
-job twice — once with the dynamic balancer, once with the initial static
-assignment frozen — under heterogeneous model run times and a deliberately
-imperfect initial work-group distribution, and compares virtual run time and
-worker utilisation.
+design choices worth isolating.  This benchmark runs the
+``ablation-load-balancing`` scenario: the same parallel MLMCMC job twice —
+once with the dynamic balancer, once with the initial static assignment frozen
+— under heterogeneous model run times and a deliberately imperfect initial
+work-group distribution (most groups start on the *coarsest* level; a static
+schedule leaves them idle once the coarse targets are met, while the dynamic
+balancer migrates them towards the finer levels, the behaviour Fig. 9
+illustrates), and compares virtual run time and worker utilisation.
 """
 
 from __future__ import annotations
 
-from benchmarks.conftest import print_rows, scaled
-from repro.parallel import LogNormalCostModel, ParallelMLMCMCSampler
+from benchmarks.conftest import print_rows
+from repro.experiments import run_scenario
 
 
-def test_ablation_dynamic_vs_static_load_balancing(benchmark, gaussian_standin_factory):
-    cost_model = LogNormalCostModel([0.02, 0.1, 0.4], coefficient_of_variation=0.4)
-    num_samples = scaled([800, 250, 80])
-    # Deliberately skewed initial allocation: most groups start on the *coarsest*
-    # level.  A static schedule leaves them idle (over-producing unused coarse
-    # samples) once the coarse targets are met, while the finest level limps
-    # along with a single work group; the dynamic balancer migrates the idle
-    # groups towards the finer levels — the behaviour Fig. 9 illustrates.
-    bad_weights = [8.0, 1.0, 1.0]
+def test_ablation_dynamic_vs_static_load_balancing(benchmark):
+    run = benchmark.pedantic(
+        lambda: run_scenario("ablation-load-balancing"), rounds=1, iterations=1
+    )
 
-    def run():
-        results = {}
-        for dynamic in (True, False):
-            sampler = ParallelMLMCMCSampler(
-                gaussian_standin_factory,
-                num_samples=num_samples,
-                num_ranks=18,
-                cost_model=cost_model,
-                subsampling_rates=[0, 4, 4],
-                dynamic_load_balancing=dynamic,
-                level_weights=bad_weights,
-                seed=77,
-            )
-            results["dynamic" if dynamic else "static"] = sampler.run()
-        return results
-
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    rows = []
-    for label, result in results.items():
-        rows.append(
-            {
-                "scheduler": label,
-                "virtual time [s]": result.virtual_time,
-                "worker utilisation": result.worker_utilization(),
-                "rebalance decisions": len(result.rebalance_log),
-                "messages": result.messages_sent,
-            }
-        )
+    rows = run.payload["rows"]
     print_rows("Ablation — dynamic vs static load balancing (skewed initial layout)", rows)
 
-    dynamic, static = results["dynamic"], results["static"]
+    by_scheduler = {row["scheduler"]: row for row in rows}
+    dynamic, static = by_scheduler["dynamic"], by_scheduler["static"]
     # Shape checks: the dynamic balancer actually acts (work groups migrate away
     # from the over-provisioned coarse level), and with this skewed initial
     # layout it must not be slower than the frozen assignment — reassigning the
     # idle coarse groups is what the paper's Fig. 9 shows.
-    assert len(dynamic.rebalance_log) >= 1
-    assert len(static.rebalance_log) == 0
-    moved_away_from_coarse = any(
-        decision.source_level == 0 and decision.target_level > 0
-        for _, decision in dynamic.rebalance_log
-    )
-    assert moved_away_from_coarse
-    assert dynamic.virtual_time <= static.virtual_time * 1.1
-    benchmark.extra_info["speedup_vs_static"] = static.virtual_time / dynamic.virtual_time
+    assert dynamic["rebalance_decisions"] >= 1
+    assert static["rebalance_decisions"] == 0
+    assert run.payload["moved_away_from_coarse"]
+    assert dynamic["virtual_time_s"] <= static["virtual_time_s"] * 1.1
+    benchmark.extra_info["speedup_vs_static"] = run.payload["speedup_vs_static"]

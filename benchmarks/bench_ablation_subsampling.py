@@ -5,64 +5,34 @@ coarse proposals: ``rho_l`` of the order of the coarse chain's integrated
 autocorrelation time yields nearly independent, well-informed proposals (high
 fine-level acceptance), while ``rho_l = 1`` hands strongly correlated states
 to the fine chain.  The paper picks rho from Table 3 / Section 5.2; this
-ablation sweeps rho on the analytic hierarchy and reports fine-level
-acceptance rates, estimate error and nominal cost.
+benchmark runs the ``ablation-subsampling`` scenario, which sweeps rho on the
+analytic hierarchy and reports fine-level acceptance rates, estimate error and
+nominal cost.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from benchmarks.conftest import print_rows, scaled
-from repro.core import MLMCMCSampler
-from repro.models.gaussian import GaussianHierarchyFactory
-
-RHO_VALUES = [1, 4, 16]
+from benchmarks.conftest import print_rows
+from repro.experiments import run_scenario
 
 
 def test_ablation_subsampling_rate(benchmark):
-    factory = GaussianHierarchyFactory(dim=2, num_levels=2, decay=0.5, proposal_scale=2.5)
-    exact = factory.exact_mean()
-    num_samples = scaled([1500, 600])
+    run = benchmark.pedantic(
+        lambda: run_scenario("ablation-subsampling"), rounds=1, iterations=1
+    )
 
-    def sweep():
-        results = {}
-        for rho in RHO_VALUES:
-            sampler = MLMCMCSampler(
-                factory,
-                num_samples=num_samples,
-                subsampling_rates=[0, rho],
-                seed=100 + rho,
-            )
-            results[rho] = sampler.run()
-        return results
-
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
-
-    rows = []
-    for rho, result in results.items():
-        coarse_evals, fine_evals = result.model_evaluations
-        rows.append(
-            {
-                "rho_1": rho,
-                "fine acceptance": result.acceptance_rates[1],
-                "error |E - exact|": float(np.linalg.norm(result.mean - exact)),
-                "coarse evaluations": coarse_evals,
-                "fine evaluations": fine_evals,
-                "V[Q_1 - Q_0]": float(np.mean(result.estimate.contributions[1].variance)),
-            }
-        )
+    rows = run.payload["rows"]
     print_rows("Ablation — subsampling rate rho_1 (2-level Gaussian hierarchy)", rows)
 
-    by_rho = {row["rho_1"]: row for row in rows}
+    by_rho = {row["rho"]: row for row in rows}
     # Shape checks:
     # 1. larger rho costs proportionally more coarse-chain work,
-    assert by_rho[16]["coarse evaluations"] > 3 * by_rho[1]["coarse evaluations"]
+    assert by_rho[16]["coarse_evaluations"] > 3 * by_rho[1]["coarse_evaluations"]
     # 2. all configurations produce an estimate in the right neighbourhood,
-    assert all(row["error |E - exact|"] < 0.6 for row in rows)
+    assert all(row["error"] < 0.6 for row in rows)
     # 3. acceptance stays high for every rho (coarse and fine posteriors are
     #    close), and the well-decorrelated configuration is not worse than the
     #    fully correlated one.
-    assert all(row["fine acceptance"] > 0.3 for row in rows)
-    assert by_rho[16]["error |E - exact|"] <= by_rho[1]["error |E - exact|"] + 0.3
+    assert all(row["fine_acceptance"] > 0.3 for row in rows)
+    assert by_rho[16]["error"] <= by_rho[1]["error"] + 0.3
     benchmark.extra_info["rows"] = rows

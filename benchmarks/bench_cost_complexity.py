@@ -3,63 +3,31 @@
 Section 2 of the paper quotes the theoretical complexity bounds
 ``C_MCMC(eps) ~ eps^-(d+2)`` vs ``C_MLMCMC(eps) ~ eps^-(d+1)``: for the same
 target accuracy the multilevel estimator is one order cheaper because almost
-all of its samples are drawn on the cheap coarse models.  This benchmark
-demonstrates the effect on the analytic Gaussian hierarchy (whose exact
-posterior mean is known, so the error can be measured directly): both methods
-are run with comparable error, and their *nominal model-evaluation cost*
-(evaluations weighted by the per-level cost) is compared.
+all of its samples are drawn on the cheap coarse models.  This benchmark runs
+the ``cost-complexity`` scenario, which demonstrates the effect on the
+analytic Gaussian hierarchy (whose exact posterior mean is known, so the error
+can be measured directly): both methods are run with comparable error, and
+their *nominal model-evaluation cost* (evaluations weighted by the per-level
+cost) is compared.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from benchmarks.conftest import print_rows, scaled
-from repro.core import MLMCMCSampler, run_single_level_mcmc
-from repro.models.gaussian import GaussianHierarchyFactory
+from benchmarks.conftest import print_rows
+from repro.experiments import run_scenario
 
 
 def test_cost_complexity_multilevel_vs_single_level(benchmark):
-    factory = GaussianHierarchyFactory(
-        dim=2, num_levels=3, decay=0.5, subsampling=8, proposal_scale=2.5,
-        costs=[1.0, 16.0, 256.0],
+    run = benchmark.pedantic(
+        lambda: run_scenario("cost-complexity"), rounds=1, iterations=1
     )
-    exact = factory.exact_mean()
-    ml_samples = scaled([4000, 800, 200])
-    sl_samples = scaled([1500])[0]
 
-    def run_both():
-        ml = MLMCMCSampler(factory, num_samples=ml_samples, seed=1).run()
-        sl, _ = run_single_level_mcmc(factory, level=2, num_samples=sl_samples, seed=2)
-        return ml, sl
-
-    ml_result, sl_estimate = benchmark.pedantic(run_both, rounds=1, iterations=1)
-
-    costs = [factory.problem_for_level(level).evaluation_cost() for level in range(3)]
-    ml_cost = sum(
-        evals * costs[level] for level, evals in enumerate(ml_result.model_evaluations)
-    )
-    sl_cost = sl_samples * costs[2] * 1.1  # including burn-in steps
-
-    rows = [
-        {
-            "method": "MLMCMC (3 levels)",
-            "samples": "/".join(str(n) for n in ml_samples),
-            "error": float(np.linalg.norm(ml_result.mean - exact)),
-            "nominal cost": float(ml_cost),
-        },
-        {
-            "method": "single-level MCMC (finest)",
-            "samples": str(sl_samples),
-            "error": float(np.linalg.norm(sl_estimate.mean - exact)),
-            "nominal cost": float(sl_cost),
-        },
-    ]
+    rows = run.payload["rows"]
     print_rows("Complexity comparison — error vs nominal model-evaluation cost", rows)
 
     ml_error, sl_error = rows[0]["error"], rows[1]["error"]
     # Shape check (the headline claim): at comparable accuracy the multilevel
     # estimator is substantially cheaper than the single-level one.
     assert ml_error < max(2.5 * sl_error, 0.5)
-    assert rows[0]["nominal cost"] < 0.7 * rows[1]["nominal cost"]
-    benchmark.extra_info["ml_over_sl_cost"] = rows[0]["nominal cost"] / rows[1]["nominal cost"]
+    assert rows[0]["nominal_cost"] < 0.7 * rows[1]["nominal_cost"]
+    benchmark.extra_info["ml_over_sl_cost"] = run.payload["ml_over_sl_cost"]

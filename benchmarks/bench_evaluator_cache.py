@@ -3,11 +3,12 @@
 Multilevel kernels re-propose identical coarse states whenever the coarse
 chain rejects a full subsampling window, so an LRU cache keyed on parameter
 bytes (:class:`repro.evaluation.CachingEvaluator`) removes real forward
-solves from the hot path.  This benchmark runs the same sequential MLMCMC
-estimation on the Poisson hierarchy with the in-process and the caching
-backend and reports, per level: model evaluations, cache hits, measured model
-wall time — asserting that caching reduces evaluations while leaving the
-estimate bit-identical (same seed, same floats, fewer solves).
+solves from the hot path.  This benchmark runs the ``evaluator-cache``
+scenario: the same sequential MLMCMC estimation on the Poisson hierarchy with
+the in-process and the caching backend, reporting per level: model
+evaluations, cache hits, measured model wall time — asserting that caching
+reduces evaluations while leaving the estimate bit-identical (same seed, same
+floats, fewer solves).
 
 Runnable standalone (``python benchmarks/bench_evaluator_cache.py``) or under
 pytest-benchmark like the other paper benchmarks.
@@ -16,7 +17,6 @@ pytest-benchmark like the other paper benchmarks.
 from __future__ import annotations
 
 import sys
-import time
 from pathlib import Path
 
 if __package__ in (None, ""):  # executed as a plain script
@@ -24,92 +24,44 @@ if __package__ in (None, ""):  # executed as a plain script
     sys.path.insert(0, str(_root))
     sys.path.insert(0, str(_root / "src"))
 
-import numpy as np
-
-from benchmarks.conftest import print_rows, scaled
-from repro.core import MLMCMCSampler
-from repro.models.poisson import PoissonInverseProblemFactory
-
-SEED = 77
+from benchmarks.conftest import print_rows
+from repro.experiments import run_scenario
 
 
-def _factory(evaluation_backend: str | None) -> PoissonInverseProblemFactory:
-    """The scaled-down Poisson hierarchy, identical up to the backend choice."""
-    return PoissonInverseProblemFactory(
-        mesh_sizes=(8, 16, 32),
-        num_kl_modes=24,
-        quadrature_points_per_dim=12,
-        qoi_resolution=16,
-        subsampling_rates=[0, 8, 4],
-        noise_std=0.05,
-        pcn_beta=0.2,
-        evaluation_backend=evaluation_backend,
-        evaluator_options={"cache_size": 65536} if evaluation_backend else None,
-    )
-
-
-def run_cache_comparison(num_samples: list[int]) -> dict:
-    """Run the caching-off / caching-on pair and assemble the comparison."""
-    runs = {}
-    for label, backend in (("inprocess", None), ("caching", "caching")):
-        sampler = MLMCMCSampler(_factory(backend), num_samples=num_samples, seed=SEED)
-        start = time.perf_counter()
-        result = sampler.run()
-        runs[label] = {"result": result, "wall_time": time.perf_counter() - start}
-
-    plain, cached = runs["inprocess"]["result"], runs["caching"]["result"]
-    rows = []
-    for level in range(len(num_samples)):
-        p_stats = plain.evaluation_stats[level]
-        c_stats = cached.evaluation_stats[level]
-        rows.append(
-            {
-                "level": level,
-                "evals (no cache)": p_stats.log_density_evaluations,
-                "evals (cache)": c_stats.log_density_evaluations,
-                "cache hits": c_stats.cache_hits,
-                "hit rate": c_stats.hit_rate,
-                "model t (no cache) [s]": p_stats.wall_time,
-                "model t (cache) [s]": c_stats.wall_time,
-            }
-        )
-    return {"runs": runs, "rows": rows, "plain": plain, "cached": cached}
-
-
-def _check_and_report(comparison: dict) -> None:
-    plain, cached = comparison["plain"], comparison["cached"]
-    rows = comparison["rows"]
-    print_rows("Evaluator cache — Poisson hierarchy, caching off vs on", rows)
+def _check_and_report(run) -> None:
+    payload = run.payload
+    print_rows("Evaluator cache — Poisson hierarchy, caching off vs on", payload["rows"])
     summary = [
         {
             "backend": label,
-            "wall_time [s]": run["wall_time"],
-            "total evals": sum(run["result"].model_evaluations),
+            "wall_time [s]": payload[f"wall_time_{key}_s"],
+            "total evals": sum(row[f"evals_{key}"] for row in payload["rows"]),
         }
-        for label, run in comparison["runs"].items()
+        for label, key in (("inprocess", "no_cache"), ("caching", "cache"))
     ]
     print_rows("Totals", summary)
 
     # Same seed, same floats: caching must not change the estimate at all ...
-    np.testing.assert_array_equal(plain.mean, cached.mean)
+    assert payload["estimates_identical"], (
+        f"estimates differ by {payload['max_abs_estimate_diff']}"
+    )
     # ... but it must remove model evaluations from the hot path.
-    assert sum(cached.model_evaluations) < sum(plain.model_evaluations)
-    assert sum(stats.cache_hits for stats in cached.evaluation_stats) > 0
+    total_plain = sum(row["evals_no_cache"] for row in payload["rows"])
+    total_cached = sum(row["evals_cache"] for row in payload["rows"])
+    assert total_cached < total_plain
+    assert sum(row["cache_hits"] for row in payload["rows"]) > 0
 
 
 def test_evaluator_cache_reduces_poisson_evaluations(benchmark):
-    comparison = benchmark.pedantic(
-        run_cache_comparison, args=(scaled([300, 80, 25]),), rounds=1, iterations=1
+    run = benchmark.pedantic(
+        lambda: run_scenario("evaluator-cache"), rounds=1, iterations=1
     )
-    _check_and_report(comparison)
-    benchmark.extra_info["evaluations_without_cache"] = sum(
-        comparison["plain"].model_evaluations
-    )
-    benchmark.extra_info["evaluations_with_cache"] = sum(
-        comparison["cached"].model_evaluations
-    )
+    _check_and_report(run)
+    rows = run.payload["rows"]
+    benchmark.extra_info["evaluations_without_cache"] = sum(r["evals_no_cache"] for r in rows)
+    benchmark.extra_info["evaluations_with_cache"] = sum(r["evals_cache"] for r in rows)
 
 
 if __name__ == "__main__":
-    _check_and_report(run_cache_comparison(scaled([300, 80, 25])))
+    _check_and_report(run_scenario("evaluator-cache"))
     print("\nOK: bit-identical estimate with fewer model evaluations.")

@@ -2,68 +2,33 @@
 
 The paper shows one realisation of ``log kappa`` (zero-mean Gaussian field,
 exponential-type covariance, correlation length 0.15, variance 1, m = 113 KL
-modes) and the corresponding coefficient field ``kappa``.  This benchmark
-regenerates the synthetic-truth realisation through both generators provided
-by the library (truncated KL expansion and circulant embedding) and reports
-the field statistics the figure conveys visually.
+modes) and the corresponding coefficient field ``kappa``.  This benchmark runs
+the ``fig02-random-field`` scenario, which regenerates the synthetic-truth
+realisation through both generators provided by the library (truncated KL
+expansion and circulant embedding) and reports the field statistics the
+figure conveys visually.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from benchmarks.conftest import print_rows
-from repro.randomfield import CirculantEmbeddingSampler, ExponentialCovariance, GaussianRandomField
+from repro.experiments import run_scenario
 
 
 def test_fig02_random_field_realisation(benchmark):
-    kernel = ExponentialCovariance(variance=1.0, correlation_length=0.15)
-    field = GaussianRandomField(kernel=kernel, num_modes=64, quadrature_points_per_dim=16)
-    rng = np.random.default_rng(2021)
-    theta = field.sample_coefficients(rng)
+    run = benchmark.pedantic(
+        lambda: run_scenario("fig02-random-field"), rounds=1, iterations=1
+    )
 
-    def realise():
-        return field.evaluate_on_grid(theta, resolution=64, log=True)
-
-    log_kappa = benchmark.pedantic(realise, rounds=1, iterations=1)
-    kappa = np.exp(log_kappa)
-
-    sampler = CirculantEmbeddingSampler(kernel, shape=(65, 65))
-    ce_realisation = sampler.sample(np.random.default_rng(7))
-
-    rows = [
-        {
-            "generator": "KL expansion (m=64)",
-            "field": "log kappa",
-            "min": float(log_kappa.min()),
-            "max": float(log_kappa.max()),
-            "mean": float(log_kappa.mean()),
-            "std": float(log_kappa.std()),
-        },
-        {
-            "generator": "KL expansion (m=64)",
-            "field": "kappa",
-            "min": float(kappa.min()),
-            "max": float(kappa.max()),
-            "mean": float(kappa.mean()),
-            "std": float(kappa.std()),
-        },
-        {
-            "generator": "circulant embedding",
-            "field": "log kappa",
-            "min": float(ce_realisation.min()),
-            "max": float(ce_realisation.max()),
-            "mean": float(ce_realisation.mean()),
-            "std": float(ce_realisation.std()),
-        },
-    ]
+    rows = run.payload["rows"]
     print_rows("Fig. 2 — synthetic log-permeability realisation", rows)
 
+    kl_log, kl_kappa, ce = rows
     # Shape checks: zero-mean unit-variance Gaussian field (KL truncation loses
     # some variance), kappa = exp(log kappa) strictly positive and skewed.
-    assert abs(log_kappa.mean()) < 0.6
-    assert 0.3 < log_kappa.std() < 1.3
-    assert kappa.min() > 0
-    assert kappa.max() > kappa.mean() > kappa.min()
-    assert 0.5 < ce_realisation.std() < 1.5
-    benchmark.extra_info["log_kappa_std"] = float(log_kappa.std())
+    assert abs(kl_log["mean"]) < 0.6
+    assert 0.3 < kl_log["std"] < 1.3
+    assert kl_kappa["min"] > 0
+    assert kl_kappa["max"] > kl_kappa["mean"] > kl_kappa["min"]
+    assert 0.5 < ce["std"] < 1.5
+    benchmark.extra_info["log_kappa_std"] = kl_log["std"]

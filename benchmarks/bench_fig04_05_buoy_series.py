@@ -2,54 +2,28 @@
 
 The paper compares simulated sea-surface-height anomalies at DART buoys 21418
 (Fig. 4) and 21419 (Fig. 5) for level-0 and level-1 samples against the
-measured data.  This benchmark runs the level-0 and level-1 forward models at
-the reference source and at one perturbed source, records the buoy time
-series, and reports the per-buoy summary statistics the figures convey (peak
-height, time of peak, signal duration).
+measured data.  This benchmark runs the ``fig04-05-buoy-series`` scenario,
+which evaluates the level-0 and level-1 forward models at the reference source
+and at one perturbed source, records the buoy time series, and reports the
+per-buoy summary statistics the figures convey (peak height, time of peak,
+signal duration).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from benchmarks.conftest import print_rows
-from repro.swe.scenario import SourceParameters
+from repro.experiments import run_scenario
 
 
-def test_fig04_05_buoy_time_series(benchmark, tsunami_factory):
-    scenario = tsunami_factory.scenario
-    sources = {
-        "reference (0, 0)": SourceParameters.from_theta([0.0, 0.0]),
-        "perturbed (25, -15) km": SourceParameters.from_theta([25.0, -15.0]),
-    }
+def test_fig04_05_buoy_time_series(benchmark):
+    run = benchmark.pedantic(
+        lambda: run_scenario("fig04-05-buoy-series"), rounds=1, iterations=1
+    )
 
-    def run():
-        records = {}
-        for label, source in sources.items():
-            for level in (0, 1):
-                result = scenario.simulate(level, source)
-                records[(label, level)] = result.gauge_records
-        return records
-
-    records = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    rows = []
-    for (label, level), gauge_records in records.items():
-        for record in gauge_records:
-            times, ssha = record.as_arrays()
-            rows.append(
-                {
-                    "source": label,
-                    "level": level,
-                    "buoy": record.gauge.name,
-                    "peak ssha [m]": record.max_height,
-                    "t(peak) [min]": record.time_of_max / 60.0,
-                    "arrival [min]": record.arrival_time(threshold=0.02) / 60.0,
-                    "samples": len(times),
-                }
-            )
+    rows = run.payload["rows"]
     print_rows("Figs. 4/5 — buoy sea-surface-height summaries", rows)
 
+    records = run.raw
     # Shape checks: both buoys register a positive wave on both levels; the
     # nearer buoy (21418) peaks earlier than the farther one (21419); level 0
     # and level 1 runs are correlated but not identical.

@@ -3,43 +3,32 @@
 The paper draws 10^4 / 10^3 / 10^2 samples on levels 0/1/2 with the Table-3
 subsampling rates and measures run time from 32 to 1024 ranks, observing
 (slightly super-) linear speed-up until burn-in overhead and too few samples
-per chain saturate it.  This benchmark replays the experiment on the simulated
-MPI substrate with the paper's per-level evaluation times; sample counts and
-rank counts are scaled down by default (see ``EXPERIMENTS.md``).
+per chain saturate it.  This benchmark runs the ``fig11-strong-scaling``
+scenario, which replays the experiment on the simulated MPI substrate with the
+paper's per-level evaluation times; sample counts and rank counts are scaled
+down by default.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.conftest import print_rows, scaled
-from repro.parallel import LogNormalCostModel, POISSON_PAPER_COSTS, strong_scaling_study
-
-RANK_COUNTS = [16, 32, 64, 128]
+from benchmarks.conftest import print_rows
+from repro.experiments import run_scenario
 
 
-def test_fig11_strong_scaling(benchmark, gaussian_standin_factory):
-    num_samples = scaled([2000, 500, 150])
-    cost_model = LogNormalCostModel(POISSON_PAPER_COSTS, coefficient_of_variation=0.2)
+def test_fig11_strong_scaling(benchmark):
+    run = benchmark.pedantic(
+        lambda: run_scenario("fig11-strong-scaling"), rounds=1, iterations=1
+    )
 
-    def run():
-        return strong_scaling_study(
-            gaussian_standin_factory,
-            num_samples=num_samples,
-            rank_counts=RANK_COUNTS,
-            cost_model=cost_model,
-            subsampling_rates=[0, 8, 4],
-            # Burn-in is a fixed number of steps per chain (not a fraction of the
-            # ever-larger per-level targets), as in the paper's runs.
-            burnin=[60, 25, 10],
-            seed=11,
-        )
+    payload = run.payload
+    print_rows(
+        "Fig. 11 — strong scaling (virtual time, paper per-level costs)", payload["rows"]
+    )
 
-    study = benchmark.pedantic(run, rounds=1, iterations=1)
-    print_rows("Fig. 11 — strong scaling (virtual time, paper per-level costs)", study.table())
-
-    times = study.times()
-    speedups = study.speedups()
+    times = payload["times"]
+    speedups = payload["speedups"]
     # Shape checks mirroring the paper:
     # 1. run time decreases substantially from the smallest to the larger runs,
     assert min(times[1:]) < 0.75 * times[0]
@@ -49,6 +38,6 @@ def test_fig11_strong_scaling(benchmark, gaussian_standin_factory):
     best = int(np.argmax(speedups))
     assert speedups[-1] > 0.3 * speedups[best]
     # 3. worker utilisation stays healthy for at least one configuration.
-    assert max(p.utilization for p in study.points) > 0.4
+    assert payload["max_utilization"] > 0.4
     benchmark.extra_info["times"] = times
     benchmark.extra_info["speedups"] = speedups

@@ -4,42 +4,28 @@ The paper starts from 64 ranks computing 10^4 / 10^3 / 10^2 samples and scales
 the per-level sample counts linearly with the rank count from 32 to 1024,
 reporting the parallel efficiency ``t_ref / t_N`` relative to the fastest run;
 efficiencies stay near (initially above) 100% until the largest run.  This
-benchmark replays the sweep on the simulated substrate with the paper's
-per-level evaluation times.
+benchmark runs the ``fig12-weak-scaling`` scenario, which replays the sweep on
+the simulated substrate with the paper's per-level evaluation times.
 """
 
 from __future__ import annotations
 
-from benchmarks.conftest import print_rows, scaled
-from repro.parallel import LogNormalCostModel, POISSON_PAPER_COSTS, weak_scaling_study
-
-RANK_COUNTS = [16, 32, 64, 128]
-BASE_RANKS = 32
+from benchmarks.conftest import print_rows
+from repro.experiments import run_scenario
 
 
-def test_fig12_weak_scaling(benchmark, gaussian_standin_factory):
-    base_samples = scaled([1200, 300, 100])
-    cost_model = LogNormalCostModel(POISSON_PAPER_COSTS, coefficient_of_variation=0.2)
+def test_fig12_weak_scaling(benchmark):
+    run = benchmark.pedantic(
+        lambda: run_scenario("fig12-weak-scaling"), rounds=1, iterations=1
+    )
 
-    def run():
-        return weak_scaling_study(
-            gaussian_standin_factory,
-            base_num_samples=base_samples,
-            base_num_ranks=BASE_RANKS,
-            rank_counts=RANK_COUNTS,
-            cost_model=cost_model,
-            subsampling_rates=[0, 8, 4],
-            # Fixed per-chain burn-in so the burn-in share does not grow with the
-            # scaled-up sample targets (it is a per-chain constant in the paper).
-            burnin=[60, 25, 10],
-            seed=12,
-        )
+    payload = run.payload
+    print_rows(
+        "Fig. 12 — weak scaling (efficiency relative to the fastest run)", payload["rows"]
+    )
 
-    study = benchmark.pedantic(run, rounds=1, iterations=1)
-    print_rows("Fig. 12 — weak scaling (efficiency relative to the fastest run)", study.table())
-
-    efficiencies = study.efficiencies()
-    times = study.times()
+    efficiencies = payload["efficiencies"]
+    times = payload["times"]
     # Shape checks mirroring the paper:
     # 1. per definition the best run has efficiency 1 and all lie in (0, 1],
     assert max(efficiencies) == 1.0

@@ -2,68 +2,53 @@
 
 The paper scatters the accepted samples of each level in the source-location
 plane and marks the running multilevel expectation together with the reference
-point (0, 0).  This benchmark reproduces the underlying numbers: per-level
-sample means, spreads and acceptance rates, plus the distance of the
-cumulative multilevel mean from the reference location.
+point (0, 0).  This benchmark runs the ``fig13-tsunami-posterior`` scenario
+and reproduces the underlying numbers: per-level sample means, spreads and
+acceptance rates, plus the distance of the cumulative multilevel mean from the
+reference location.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from benchmarks.conftest import print_rows, scaled
-from repro.core import MLMCMCSampler
+from benchmarks.conftest import print_rows
+from repro.experiments import run_scenario
 
 
-def test_fig13_tsunami_posterior_by_level(benchmark, tsunami_factory):
-    num_samples = scaled([120, 50, 20])
+def test_fig13_tsunami_posterior_by_level(benchmark):
+    run = benchmark.pedantic(
+        lambda: run_scenario("fig13-tsunami-posterior"), rounds=1, iterations=1
+    )
 
-    def run():
-        sampler = MLMCMCSampler(
-            tsunami_factory,
-            num_samples=num_samples,
-            burnin=[max(3, n // 10) for n in num_samples],
-            seed=13,
-        )
-        return sampler.run()
-
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
-
+    payload = run.payload
     rows = []
-    cumulative = result.estimate.cumulative_means()
-    for level, (chain, contribution, partial) in enumerate(
-        zip(result.chains, result.estimate.contributions, cumulative)
-    ):
-        samples = chain.samples.parameters()
+    for level, samples in zip(payload["levels"], payload["per_level_samples"]):
         rows.append(
             {
-                "level": level,
-                "accepted rate": result.acceptance_rates[level],
-                "sample mean x [km]": float(samples[:, 0].mean()),
-                "sample mean y [km]": float(samples[:, 1].mean()),
-                "sample std x [km]": float(samples[:, 0].std()),
-                "sample std y [km]": float(samples[:, 1].std()),
-                "cumulative E_x [km]": float(partial[0]),
-                "cumulative E_y [km]": float(partial[1]),
+                "level": level["level"],
+                "accepted rate": level["acceptance_rate"],
+                "sample mean x [km]": samples["sample_mean"][0],
+                "sample mean y [km]": samples["sample_mean"][1],
+                "sample std x [km]": samples["sample_std"][0],
+                "sample std y [km]": samples["sample_std"][1],
+                "cumulative E_x [km]": level["cumulative_mean"][0],
+                "cumulative E_y [km]": level["cumulative_mean"][1],
             }
         )
     print_rows("Fig. 13 — per-level posterior samples (source location, km)", rows)
 
-    estimate = result.mean
-    distance_to_reference = float(np.linalg.norm(estimate))
+    estimate = payload["mean"]
+    distance_to_reference = payload["distance_to_reference"]
     print(f"\n  multilevel posterior mean: ({estimate[0]:.1f}, {estimate[1]:.1f}) km; "
           f"distance to the reference source (0, 0): {distance_to_reference:.1f} km")
 
-    halfwidth = tsunami_factory.prior_halfwidth
-    prior_std = tsunami_factory.prior_std
+    halfwidth = payload["prior_halfwidth"]
     # Shape checks: every level explores the prior box, the posterior is wide
     # (tens of km, as in the paper's scatter), all samples respect the prior
     # cut-off, and the multilevel mean lands within the bulk of the prior —
     # i.e. the data are informative but far from pinning the source exactly.
-    for level, chain in enumerate(result.chains):
-        samples = chain.samples.parameters()
-        assert np.all(np.abs(samples) <= halfwidth + 1e-9)
-        assert rows[level]["sample std x [km]"] > 1.0
-    assert distance_to_reference < 2.5 * prior_std
-    assert all(0.0 < rate <= 1.0 for rate in result.acceptance_rates)
-    benchmark.extra_info["multilevel_mean_km"] = estimate.tolist()
+    for samples, row in zip(payload["per_level_samples"], rows):
+        assert samples["max_abs_sample"] <= halfwidth + 1e-9
+        assert row["sample std x [km]"] > 1.0
+    assert distance_to_reference < 2.5 * payload["prior_std"]
+    assert all(0.0 < rate <= 1.0 for rate in payload["acceptance_rates"])
+    benchmark.extra_info["multilevel_mean_km"] = estimate

@@ -2,56 +2,42 @@
 
 The paper visualises, for levels 0->1 and 1->2, each coarse sample together
 with an arrow pointing to the fine sample it was coupled with; accepted coarse
-proposals appear as dots (zero-length arrows).  This benchmark reproduces the
-underlying coupling statistics: the fraction of zero-length arrows (coarse
-proposals accepted by the fine chain), the mean arrow length, and the mean
-correction each coupling contributes to the telescoping sum.
+proposals appear as dots (zero-length arrows).  This benchmark runs the
+``fig14-level-corrections`` scenario and reproduces the underlying coupling
+statistics: the fraction of zero-length arrows (coarse proposals accepted by
+the fine chain), the mean arrow length, and the mean correction each coupling
+contributes to the telescoping sum.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.conftest import print_rows, scaled
-from repro.core import MLMCMCSampler
+from benchmarks.conftest import print_rows
+from repro.experiments import run_scenario
 
 
-def test_fig14_coarse_fine_coupling(benchmark, tsunami_factory):
-    num_samples = scaled([100, 40, 16])
+def test_fig14_coarse_fine_coupling(benchmark):
+    run = benchmark.pedantic(
+        lambda: run_scenario("fig14-level-corrections"), rounds=1, iterations=1
+    )
 
-    def run():
-        sampler = MLMCMCSampler(
-            tsunami_factory,
-            num_samples=num_samples,
-            burnin=[max(3, n // 10) for n in num_samples],
-            seed=14,
-        )
-        return sampler.run()
-
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    rows = []
-    for level in (1, 2):
-        corrections = result.corrections[level]
-        fine = corrections.fine_matrix()
-        coarse = corrections.coarse_matrix()
-        n = min(fine.shape[0], coarse.shape[0])
-        arrows = fine[:n] - coarse[:n]
-        lengths = np.linalg.norm(arrows, axis=1)
-        accepted_fraction = float(np.mean(lengths < 1e-9))
-        rows.append(
-            {
-                "correction": f"level {level - 1} -> {level}",
-                "couplings": n,
-                "dots (coarse accepted)": accepted_fraction,
-                "mean arrow length [km]": float(lengths.mean()),
-                "max arrow length [km]": float(lengths.max()),
-                "mean correction x [km]": float(arrows[:, 0].mean()),
-                "mean correction y [km]": float(arrows[:, 1].mean()),
-            }
-        )
+    payload = run.payload
+    rows = [
+        {
+            "correction": entry["correction"],
+            "couplings": entry["couplings"],
+            "dots (coarse accepted)": entry["accepted_fraction"],
+            "mean arrow length [km]": entry["mean_arrow_length"],
+            "max arrow length [km]": entry["max_arrow_length"],
+            "mean correction x [km]": entry["mean_correction"][0],
+            "mean correction y [km]": entry["mean_correction"][1],
+        }
+        for entry in payload["coupling"]
+    ]
     print_rows("Fig. 14 — coarse-proposal / fine-sample coupling statistics", rows)
 
+    halfwidth = payload["prior_halfwidth"]
     # Shape checks: a substantial fraction of coarse proposals is accepted by
     # the fine chain (they would appear as dots in the figure), arrows are
     # bounded by the prior box diameter, and the mean correction per component
@@ -59,6 +45,6 @@ def test_fig14_coarse_fine_coupling(benchmark, tsunami_factory):
     for row in rows:
         assert row["couplings"] > 0
         assert 0.05 <= row["dots (coarse accepted)"] <= 1.0
-        assert row["max arrow length [km]"] <= 2 * np.sqrt(2) * tsunami_factory.prior_halfwidth
-        assert abs(row["mean correction x [km]"]) < tsunami_factory.prior_halfwidth
+        assert row["max arrow length [km]"] <= 2 * np.sqrt(2) * halfwidth
+        assert abs(row["mean correction x [km]"]) < halfwidth
     benchmark.extra_info["rows"] = rows

@@ -2,9 +2,10 @@
 
 The paper's Table 1 lists the observation mean ``mu`` (maximum wave height and
 its arrival time at DART buoys 21418 and 21419) and the diagonal likelihood
-covariance per level.  This benchmark regenerates both from the synthetic
-scenario: the mean comes from running the finest forward model at the
-reference source location, the covariance from the level specifications.
+covariance per level.  This benchmark runs the ``table1-tsunami-likelihood``
+scenario, which regenerates both from the synthetic scenario: the mean comes
+from running the finest forward model at the reference source location, the
+covariance from the level specifications.
 """
 
 from __future__ import annotations
@@ -12,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from benchmarks.conftest import print_rows
+from repro.experiments import run_scenario
 
 #: the paper's Table 1 values (mu, then sigma for levels 0/1/2)
 PAPER_TABLE1 = [
@@ -22,12 +24,12 @@ PAPER_TABLE1 = [
 ]
 
 
-def test_table1_tsunami_likelihood(benchmark, tsunami_factory):
-    def build_table():
-        return tsunami_factory.observation_table()
-
-    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
-    num_levels = tsunami_factory.num_levels()
+def test_table1_tsunami_likelihood(benchmark):
+    run = benchmark.pedantic(
+        lambda: run_scenario("table1-tsunami-likelihood"), rounds=1, iterations=1
+    )
+    rows = run.payload["rows"]
+    num_levels = run.payload["num_levels"]
 
     display = []
     for idx, row in enumerate(rows):

@@ -3,15 +3,16 @@
 The paper's Table 2 characterises the three tsunami levels by their polynomial
 order, whether the FV subcell limiter is active, the mesh width, the number of
 time steps and the total number of degree-of-freedom updates for the reference
-source at (0, 0).  This benchmark runs one forward simulation per level and
-reports the same columns (the FV substitute has order 1; DOF updates count
-cells x conserved variables x timesteps exactly as in the paper).
+source at (0, 0).  This benchmark runs the ``table2-tsunami-levels`` scenario
+(one forward simulation per level) and reports the same columns (the FV
+substitute has order 1; DOF updates count cells x conserved variables x
+timesteps exactly as in the paper).
 """
 
 from __future__ import annotations
 
 from benchmarks.conftest import print_rows
-from repro.swe.scenario import SourceParameters
+from repro.experiments import run_scenario
 
 #: paper Table 2 for qualitative comparison
 PAPER_TABLE2 = [
@@ -21,40 +22,17 @@ PAPER_TABLE2 = [
 ]
 
 
-def test_table2_tsunami_level_hierarchy(benchmark, tsunami_factory):
-    scenario = tsunami_factory.scenario
-    source = SourceParameters.from_theta([0.0, 0.0])
-
-    def run_all_levels():
-        results = []
-        for level in range(tsunami_factory.num_levels()):
-            results.append(scenario.simulate(level, source))
-        return results
-
-    results = benchmark.pedantic(run_all_levels, rounds=1, iterations=1)
-
-    rows = []
-    for spec, summary_row, result in zip(
-        tsunami_factory.specs, tsunami_factory.level_summary(), results
-    ):
-        rows.append(
-            {
-                "level": spec.level,
-                "order": summary_row["order"],
-                "limiter": spec.limiter,
-                "cells": spec.num_cells,
-                "h [km]": summary_row["mesh_width_m"] / 1e3,
-                "timesteps": result.num_timesteps,
-                "DOF updates": float(result.dof_updates),
-                "bathymetry": spec.bathymetry_treatment,
-            }
-        )
+def test_table2_tsunami_level_hierarchy(benchmark):
+    run = benchmark.pedantic(
+        lambda: run_scenario("table2-tsunami-levels"), rounds=1, iterations=1
+    )
+    rows = run.payload["rows"]
     print_rows("Table 2 — tsunami model hierarchy (measured)", rows)
     print_rows("Table 2 — paper values (ADER-DG on the real Tohoku scenario)", PAPER_TABLE2)
 
     # Shape checks mirroring the paper's hierarchy:
     timesteps = [r["timesteps"] for r in rows]
-    dof_updates = [r["DOF updates"] for r in rows]
+    dof_updates = [r["dof_updates"] for r in rows]
     # finer levels take more, smaller time steps and many more DOF updates
     assert timesteps[0] < timesteps[1] < timesteps[2]
     assert dof_updates[0] < dof_updates[1] < dof_updates[2]

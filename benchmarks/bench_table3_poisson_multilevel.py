@@ -4,17 +4,16 @@ For every level the paper reports the mesh width, the number of FEM degrees of
 freedom, the measured cost per evaluation ``t_l``, the chosen subsampling rate
 ``rho_l``, the integrated autocorrelation time ``tau_l`` and the variance of a
 representative QOI component (``V[Q_0]`` on level 0, ``V[Q_l - Q_{l-1}]``
-above).  This benchmark runs a scaled-down sequential MLMCMC estimation and
-rebuilds the same table; the decisive qualitative features are the decay of
-the correction variance across levels and the growth of the per-sample cost.
+above).  This benchmark runs the ``table3-poisson-multilevel`` scenario (a
+scaled-down sequential MLMCMC estimation) and rebuilds the same table; the
+decisive qualitative features are the decay of the correction variance across
+levels and the growth of the per-sample cost.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from benchmarks.conftest import print_rows, scaled
-from repro.core import MLMCMCSampler
+from benchmarks.conftest import print_rows
+from repro.experiments import run_scenario
 
 #: the paper's Table 3 for side-by-side comparison
 PAPER_TABLE3 = [
@@ -24,43 +23,26 @@ PAPER_TABLE3 = [
 ]
 
 
-def test_table3_poisson_multilevel_properties(benchmark, poisson_factory):
-    num_samples = scaled([600, 150, 50])
-
-    def run():
-        sampler = MLMCMCSampler(
-            poisson_factory,
-            num_samples=num_samples,
-            burnin=[max(5, n // 10) for n in num_samples],
-            seed=33,
-        )
-        return sampler.run()
-
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
+def test_table3_poisson_multilevel_properties(benchmark):
+    run = benchmark.pedantic(
+        lambda: run_scenario("table3-poisson-multilevel"), rounds=1, iterations=1
+    )
 
     rows = []
-    for spec, summary, contribution, chain, cost in zip(
-        poisson_factory.specs,
-        poisson_factory.level_summary(),
-        result.estimate.contributions,
-        result.chains,
-        result.costs_per_sample,
-    ):
-        level = spec.level
-        tau = chain.samples.integrated_autocorrelation_time(component=0, use_qoi=False)
-        # The paper reports a single representative QOI component; averaging
-        # over all components is the more robust analogue for short runs.
-        variance = float(np.mean(contribution.variance))
+    for level in run.payload["levels"]:
         rows.append(
             {
-                "level": level,
-                "h": f"1/{spec.mesh_size}",
-                "DOFs": spec.num_dofs,
-                "t_l [ms]": cost * 1e3,
-                "rho_l": summary["subsampling_rate"],
-                "tau_l": tau,
-                "V[Q_0] or V[Q_l-Q_l-1]": variance,
-                "N_l": contribution.num_samples,
+                "level": level["level"],
+                "h": f"1/{round(1 / level['mesh_width'])}",
+                "DOFs": level["dofs"],
+                "t_l [ms]": level["cost_per_sample_s"] * 1e3,
+                "rho_l": level["subsampling_rate"],
+                "tau_l": level["tau_component0"],
+                # The paper reports a single representative QOI component;
+                # averaging over all components is the more robust analogue
+                # for short runs.
+                "V[Q_0] or V[Q_l-Q_l-1]": level["variance_mean"],
+                "N_l": level["num_samples"],
             }
         )
     print_rows("Table 3 — Poisson multilevel properties (measured, scaled-down)", rows)

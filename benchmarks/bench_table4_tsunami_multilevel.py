@@ -3,16 +3,14 @@
 For each level the paper reports the evaluation cost ``t_l``, the subsampling
 rate ``rho_l``, the variance of the QOI / corrections (both components of the
 source location) and the cumulative expected values of the telescoping sum.
-This benchmark reproduces the table from a scaled-down MLMCMC run of the
-synthetic tsunami scenario.
+This benchmark runs the ``table4-tsunami-multilevel`` scenario (a scaled-down
+MLMCMC estimation on the synthetic tsunami scenario) and rebuilds the table.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from benchmarks.conftest import print_rows, scaled
-from repro.core import MLMCMCSampler
+from benchmarks.conftest import print_rows
+from repro.experiments import run_scenario
 
 #: the paper's Table 4 (for qualitative comparison; units km-like offsets)
 PAPER_TABLE4 = [
@@ -22,47 +20,32 @@ PAPER_TABLE4 = [
 ]
 
 
-def test_table4_tsunami_multilevel_properties(benchmark, tsunami_factory):
-    num_samples = scaled([120, 50, 20])
-
-    def run():
-        sampler = MLMCMCSampler(
-            tsunami_factory,
-            num_samples=num_samples,
-            burnin=[max(3, n // 10) for n in num_samples],
-            seed=44,
-        )
-        return sampler.run()
-
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
+def test_table4_tsunami_multilevel_properties(benchmark):
+    run = benchmark.pedantic(
+        lambda: run_scenario("table4-tsunami-multilevel"), rounds=1, iterations=1
+    )
 
     rows = []
-    cumulative = result.estimate.cumulative_means()
-    for spec, summary, contribution, cost, partial in zip(
-        tsunami_factory.specs,
-        tsunami_factory.level_summary(),
-        result.estimate.contributions,
-        result.costs_per_sample,
-        cumulative,
-    ):
+    for level in run.payload["levels"]:
         rows.append(
             {
-                "level": spec.level,
-                "t_l [s]": cost,
-                "rho_l": summary["subsampling_rate"],
-                "N_l": contribution.num_samples,
-                "V_x": float(contribution.variance[0]),
-                "V_y": float(contribution.variance[1]),
-                "E_x (term)": float(contribution.mean[0]),
-                "E_y (term)": float(contribution.mean[1]),
-                "E_x (cumulative)": float(partial[0]),
-                "E_y (cumulative)": float(partial[1]),
+                "level": level["level"],
+                "t_l [s]": level["cost_per_sample_s"],
+                "rho_l": level["subsampling_rate"],
+                "N_l": level["num_samples"],
+                "V_x": level["variance"][0],
+                "V_y": level["variance"][1],
+                "E_x (term)": level["mean"][0],
+                "E_y (term)": level["mean"][1],
+                "E_x (cumulative)": level["cumulative_mean"][0],
+                "E_y (cumulative)": level["cumulative_mean"][1],
             }
         )
     print_rows("Table 4 — tsunami multilevel properties (measured, scaled-down)", rows)
     print_rows("Table 4 — paper values (Tohoku data, SuperMUC-NG)", PAPER_TABLE4)
 
     costs = [row["t_l [s]"] for row in rows]
+    halfwidth = run.payload["prior_halfwidth"]
     # Shape checks mirroring the paper:
     # 1. cost per evaluation grows strongly with level,
     assert costs[2] > costs[1] > costs[0]
@@ -74,8 +57,8 @@ def test_table4_tsunami_multilevel_properties(benchmark, tsunami_factory):
     #    we only require the corrections to stay the same order of magnitude,
     assert rows[2]["V_x"] < 10.0 * rows[0]["V_x"]
     # 4. the cumulative posterior-mean estimate stays inside the prior box.
-    assert abs(rows[-1]["E_x (cumulative)"]) < tsunami_factory.prior_halfwidth
-    assert abs(rows[-1]["E_y (cumulative)"]) < tsunami_factory.prior_halfwidth
+    assert abs(rows[-1]["E_x (cumulative)"]) < halfwidth
+    assert abs(rows[-1]["E_y (cumulative)"]) < halfwidth
     benchmark.extra_info["cumulative_mean"] = [
         rows[-1]["E_x (cumulative)"], rows[-1]["E_y (cumulative)"]
     ]

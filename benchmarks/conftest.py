@@ -1,10 +1,13 @@
 """Shared configuration for the benchmark harness.
 
-Every benchmark module regenerates one table or figure of the paper.  Because
-this reproduction runs on a single CPU core, the default workloads are scaled
-down from the paper's (fewer samples, coarser meshes); the scale factors are
-recorded in ``EXPERIMENTS.md`` and every fixture accepts the paper-scale
-parameters through environment variables:
+Every benchmark module regenerates one table or figure of the paper by
+running the correspondingly named scenario from the experiment registry
+(``python -m repro run --list``); the modules here only keep the paper's
+reference values and the shape checks.  Workload configuration — scaled-down
+hierarchies, sample counts, seeds — lives in the registry specs and the
+presets of :mod:`repro.experiments`, shared with the CLI.
+
+Workload environment knobs (read by :mod:`repro.experiments.presets`):
 
 ``REPRO_BENCH_SCALE``
     Global multiplier (default 1.0) applied to the per-level sample counts of
@@ -21,87 +24,7 @@ meaningful nor affordable.
 
 from __future__ import annotations
 
-import os
+from repro.experiments.presets import PAPER_SCALE, SCALE, scaled
+from repro.experiments.report import print_rows
 
-import pytest
-
-from repro.models.gaussian import GaussianHierarchyFactory
-from repro.models.poisson import PoissonInverseProblemFactory
-from repro.models.tsunami import TsunamiInverseProblemFactory, TsunamiLevelSpec
-
-SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
-PAPER_SCALE = os.environ.get("REPRO_BENCH_PAPER_SCALE", "0") == "1"
-
-
-def scaled(samples: list[int]) -> list[int]:
-    """Apply the global sample-count multiplier."""
-    return [max(4, int(round(n * SCALE))) for n in samples]
-
-
-def print_rows(title: str, rows: list[dict], order: list[str] | None = None) -> None:
-    """Print a list of dictionaries as an aligned table."""
-    print(f"\n{title}")
-    if not rows:
-        print("  (no rows)")
-        return
-    keys = order or list(rows[0].keys())
-    widths = {k: max(len(str(k)), *(len(_fmt(r.get(k))) for r in rows)) for k in keys}
-    header = "  " + "  ".join(f"{k:>{widths[k]}}" for k in keys)
-    print(header)
-    print("  " + "-" * (len(header) - 2))
-    for row in rows:
-        print("  " + "  ".join(f"{_fmt(row.get(k)):>{widths[k]}}" for k in keys))
-
-
-def _fmt(value) -> str:
-    if isinstance(value, float):
-        if value == 0:
-            return "0"
-        if abs(value) >= 1e4 or abs(value) < 1e-3:
-            return f"{value:.3e}"
-        return f"{value:.4g}"
-    return str(value)
-
-
-@pytest.fixture(scope="session")
-def poisson_factory() -> PoissonInverseProblemFactory:
-    """Poisson hierarchy: paper meshes when REPRO_BENCH_PAPER_SCALE=1, else scaled down."""
-    if PAPER_SCALE:
-        return PoissonInverseProblemFactory()
-    # Scaled-down hierarchy.  The observation noise is raised from the paper's
-    # 0.01 to 0.05: with the short default chains the paper's extremely
-    # concentrated posterior cannot be mixed by any untuned proposal, and the
-    # Table-3 statistics would measure a stuck chain rather than the method
-    # (recorded as a deviation in EXPERIMENTS.md).
-    return PoissonInverseProblemFactory(
-        mesh_sizes=(8, 16, 32),
-        num_kl_modes=24,
-        quadrature_points_per_dim=12,
-        qoi_resolution=16,
-        subsampling_rates=[0, 8, 4],
-        noise_std=0.05,
-        pcn_beta=0.2,
-    )
-
-
-@pytest.fixture(scope="session")
-def tsunami_factory() -> TsunamiInverseProblemFactory:
-    """Tsunami hierarchy: paper grids when REPRO_BENCH_PAPER_SCALE=1, else scaled down."""
-    if PAPER_SCALE:
-        return TsunamiInverseProblemFactory()
-    return TsunamiInverseProblemFactory(
-        level_specs=(
-            TsunamiLevelSpec(0, 16, "constant", False, sigma_heights=0.15, sigma_times=2.5),
-            TsunamiLevelSpec(1, 32, "smoothed", True, sigma_heights=0.10, sigma_times=1.5,
-                             smoothing_passes=2),
-            TsunamiLevelSpec(2, 48, "full", True, sigma_heights=0.10, sigma_times=0.75),
-        ),
-        end_time=1800.0,
-        subsampling_rates=[0, 5, 3],
-    )
-
-
-@pytest.fixture(scope="session")
-def gaussian_standin_factory() -> GaussianHierarchyFactory:
-    """Cheap analytic posterior stand-in used by the scheduler-focused benchmarks."""
-    return GaussianHierarchyFactory(dim=4, num_levels=3, subsampling=5)
+__all__ = ["PAPER_SCALE", "SCALE", "print_rows", "scaled"]

@@ -1,62 +1,70 @@
 """Dynamic load balancing trace (Figure 9 of the paper).
 
-Runs a small parallel MLMCMC job with strongly heterogeneous model run times
-(log-normal, as for the tsunami model whose time-step count depends on the
-uncertain parameters) and renders the resulting per-process Gantt chart as
-ASCII art: ``#`` marks model evaluations, ``o`` burn-in work and ``.`` idle
-waiting.  The phonebook's reassignment decisions are listed below the chart.
+Runs the ``example-load-balancing`` scenario: a small parallel MLMCMC job with
+strongly heterogeneous model run times (log-normal, as for the tsunami model
+whose time-step count depends on the uncertain parameters) and renders the
+resulting per-process Gantt chart as ASCII art: ``#`` marks model evaluations,
+``o`` burn-in work and ``.`` idle waiting.  The phonebook's reassignment
+decisions are listed below the chart.
 
 Run with::
 
-    python examples/load_balancing_demo.py [--static]
+    python examples/load_balancing_demo.py [--static] [--quick] [--out runs/]
+
+(equivalently: ``python -m repro run example-load-balancing``).
 """
 
 from __future__ import annotations
 
 import argparse
+from dataclasses import replace
 
-from repro import GaussianHierarchyFactory, LogNormalCostModel, ParallelMLMCMCSampler
+from repro.experiments import get_scenario, run_scenario
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--static", action="store_true", help="disable dynamic load balancing")
-    parser.add_argument("--ranks", type=int, default=14)
+    parser.add_argument("--ranks", type=int, default=None)
+    parser.add_argument("--quick", action="store_true", help="scaled-down smoke tier")
+    parser.add_argument("--out", metavar="DIR", default=None, help="write a run manifest")
     args = parser.parse_args()
 
-    factory = GaussianHierarchyFactory(dim=2, num_levels=3, subsampling=4)
-    cost_model = LogNormalCostModel([0.05, 0.2, 0.8], coefficient_of_variation=0.5)
+    spec = get_scenario("example-load-balancing")
+    sampler = dict(spec.sampler)
+    if args.static:
+        sampler["dynamic_load_balancing"] = False
+    if args.ranks is not None:
+        sampler["num_ranks"] = args.ranks
+    spec = replace(spec, sampler=sampler)
 
-    sampler = ParallelMLMCMCSampler(
-        factory,
-        num_samples=[600, 200, 80],
-        num_ranks=args.ranks,
-        cost_model=cost_model,
-        dynamic_load_balancing=not args.static,
-        seed=9,
-    )
-    result = sampler.run()
+    run = run_scenario(spec, quick=args.quick, out_dir=args.out)
+    payload = run.payload
+    summary = payload["summary"]
 
-    print(f"virtual run time : {result.virtual_time:.1f} s")
-    print(f"worker utilisation: {result.worker_utilization():.2f}")
-    print(f"messages sent     : {result.messages_sent}")
+    print(f"virtual run time : {summary['virtual_time']:.1f} s")
+    print(f"worker utilisation: {summary['worker_utilization']:.2f}")
+    print(f"messages sent     : {summary['messages_sent']:.0f}")
     print()
     print("Per-process timeline ('#' model evaluation, 'o' burn-in, '.' waiting):")
-    print(result.trace.render_ascii(width=100))
+    print(payload["gantt"])
 
-    if result.rebalance_log:
+    if payload["rebalances"]:
         print("\nLoad balancer decisions:")
-        for time, decision in result.rebalance_log:
+        for decision in payload["rebalances"]:
             print(
-                f"  t = {time:8.1f} s: moved one work group from level "
-                f"{decision.source_level} to level {decision.target_level} ({decision.reason})"
+                f"  t = {decision['time_s']:8.1f} s: moved one work group from level "
+                f"{decision['source_level']} to level {decision['target_level']} "
+                f"({decision['reason']})"
             )
     else:
         print("\nNo load-balancing decisions were made.")
 
     print("\nController level assignments over time:")
-    for rank, history in sorted(result.controller_assignments.items()):
-        print(f"  rank {rank:3d}: {' -> '.join(str(level) for level in history)}")
+    for rank, history in payload["controller_assignments"].items():
+        print(f"  rank {int(rank):3d}: {' -> '.join(str(level) for level in history)}")
+    if run.manifest_path:
+        print(f"\nmanifest written to {run.manifest_path}")
 
 
 if __name__ == "__main__":

@@ -1,9 +1,10 @@
 """Poisson subsurface-flow inversion (Section 3.1 / 5.1 of the paper).
 
-Infers the KL coefficients of a log-normal diffusion coefficient from noisy
-point observations of the pressure field, using a two- or three-level MLMCMC
-hierarchy of FEM meshes, and reports how well the multilevel posterior mean of
-the coefficient field matches the synthetic truth.
+Runs the ``example-poisson-inversion`` scenario: infer the KL coefficients of
+a log-normal diffusion coefficient from noisy point observations of the
+pressure field, using a three-level MLMCMC hierarchy of FEM meshes, and report
+how well the multilevel posterior mean of the coefficient field matches the
+synthetic truth.
 
 The default configuration is scaled down (coarser meshes, fewer KL modes and
 samples) so the script finishes in about a minute on a laptop; pass
@@ -12,40 +13,19 @@ m = 113 modes — expect a long run).
 
 Run with::
 
-    python examples/poisson_inversion.py [--paper-scale]
+    python examples/poisson_inversion.py [--paper-scale] [--quick] [--out runs/]
+
+(equivalently: ``python -m repro run example-poisson-inversion``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+from dataclasses import replace
 
-import numpy as np
-
-from repro import MLMCMCSampler, PoissonInverseProblemFactory
-
-
-def build_factory(paper_scale: bool) -> PoissonInverseProblemFactory:
-    if paper_scale:
-        return PoissonInverseProblemFactory()  # paper defaults
-    # Scaled-down setting; the observation noise is relaxed from the paper's
-    # 0.01 to 0.05 so the shortened chains can actually mix (see EXPERIMENTS.md).
-    return PoissonInverseProblemFactory(
-        mesh_sizes=(8, 16, 32),
-        num_kl_modes=24,
-        quadrature_points_per_dim=12,
-        qoi_resolution=16,
-        subsampling_rates=[0, 8, 4],
-        noise_std=0.05,
-        pcn_beta=0.2,
-    )
-
-
-def field_summary(name: str, field: np.ndarray, shape: tuple[int, int]) -> None:
-    grid = field.reshape(shape)
-    print(
-        f"{name:24s} min = {grid.min():7.3f}, max = {grid.max():7.3f}, "
-        f"mean = {grid.mean():7.3f}"
-    )
+#: the paper's per-level sample counts (used with --paper-scale)
+PAPER_SAMPLES = [10_000, 1000, 100]
 
 
 def main() -> None:
@@ -53,45 +33,52 @@ def main() -> None:
     parser.add_argument("--paper-scale", action="store_true", help="use the paper's full setting")
     parser.add_argument("--samples", type=int, nargs="+", default=None,
                         help="samples per level (coarse to fine)")
+    parser.add_argument("--quick", action="store_true", help="scaled-down smoke tier")
+    parser.add_argument("--out", metavar="DIR", default=None, help="write a run manifest")
     args = parser.parse_args()
+    if args.paper_scale:
+        # The presets honour this environment knob (see repro.experiments.presets).
+        os.environ["REPRO_BENCH_PAPER_SCALE"] = "1"
 
-    factory = build_factory(args.paper_scale)
-    num_samples = args.samples or ([10_000, 1000, 100] if args.paper_scale else [1200, 300, 80])
+    from repro.experiments import get_scenario, run_scenario
+
+    spec = get_scenario("example-poisson-inversion")
+    samples = args.samples or (PAPER_SAMPLES if args.paper_scale else None)
+    if samples is not None:
+        spec = replace(spec, sampler={**spec.sampler, "num_samples": samples})
+
+    run = run_scenario(spec, quick=args.quick, out_dir=args.out)
+    payload = run.payload
 
     print("Level hierarchy:")
-    for row in factory.level_summary():
+    for level in payload["levels"]:
         print(
-            f"  level {row['level']}: h = 1/{round(1 / row['mesh_width'])}, "
-            f"DOFs = {row['dofs']}, rho = {row['subsampling_rate']}"
+            f"  level {level['level']}: h = 1/{round(1 / level['mesh_width'])}, "
+            f"DOFs = {level['dofs']}, rho = {level['subsampling_rate']}"
         )
-
-    sampler = MLMCMCSampler(factory, num_samples=num_samples, seed=2021)
-    result = sampler.run()
 
     print("\nPer-level telescoping contributions (representative component 0):")
-    for contribution in result.estimate.contributions:
+    for level in payload["levels"]:
         print(
-            f"  level {contribution.level}: N = {contribution.num_samples:6d}, "
-            f"mean[0] = {contribution.mean[0]:8.4f}, "
-            f"variance[0] = {contribution.variance[0]:.3e}, "
-            f"cost/sample = {contribution.cost_per_sample * 1e3:7.2f} ms"
+            f"  level {level['level']}: N = {level['num_samples']:6d}, "
+            f"mean[0] = {level['mean'][0]:8.4f}, "
+            f"variance[0] = {level['variance'][0]:.3e}, "
+            f"cost/sample = {level['cost_per_sample_s'] * 1e3:7.2f} ms"
         )
-    print(f"acceptance rates: {[round(a, 3) for a in result.acceptance_rates]}")
+    print(f"acceptance rates: {[round(a, 3) for a in payload['acceptance_rates']]}")
 
-    truth = factory.true_qoi()
-    estimate = result.mean
-    shape = factory.qoi_grid_shape()
     print("\nRecovered diffusion coefficient field (QOI grid):")
-    field_summary("synthetic truth", truth, shape)
-    field_summary("multilevel estimate", estimate, shape)
-    correlation = np.corrcoef(estimate, truth)[0, 1]
-    relative_error = np.linalg.norm(estimate - truth) / np.linalg.norm(truth)
-    print(f"correlation(estimate, truth) = {correlation:.3f}")
-    print(f"relative L2 error            = {relative_error:.3f}")
+    for row in payload["field_recovery"]["rows"]:
+        print(
+            f"  {row['estimator']:28s} correlation = {row['correlation']:6.3f}, "
+            f"relative L2 error = {row['relative_l2_error']:6.3f}"
+        )
     print(
         "\n(As in the paper, only the large-scale features are recovered: the KL "
         "truncation and the smoothing effect of the posterior limit the resolution.)"
     )
+    if run.manifest_path:
+        print(f"\nmanifest written to {run.manifest_path}")
 
 
 if __name__ == "__main__":

@@ -1,60 +1,59 @@
 """Quickstart: sequential and parallel MLMCMC on an analytic model hierarchy.
 
-Runs multilevel MCMC on a three-level Gaussian hierarchy whose posterior
-moments are known in closed form, first with the sequential driver and then
-with the parallel scheduler on 16 virtual ranks, and compares both estimates
-against the exact value.
+Runs the ``example-quickstart`` scenario: multilevel MCMC on a three-level
+Gaussian hierarchy whose posterior moments are known in closed form, first
+with the sequential driver and then with the parallel scheduler on 16 virtual
+ranks, comparing both estimates against the exact value.
 
 Run with::
 
-    python examples/quickstart.py
+    python examples/quickstart.py [--quick] [--out runs/]
+
+(equivalently: ``python -m repro run example-quickstart``).
 """
 
 from __future__ import annotations
 
-import numpy as np
+import argparse
 
-from repro import (
-    ConstantCostModel,
-    GaussianHierarchyFactory,
-    MLMCMCSampler,
-    ParallelMLMCMCSampler,
-)
+from repro.experiments import run_scenario
+
+SCENARIO = "example-quickstart"
 
 
 def main() -> None:
-    # A 3-level hierarchy of 2-D Gaussian posteriors converging geometrically,
-    # mimicking a PDE posterior under mesh refinement.  Level costs grow like
-    # 4^level (a 2-D solve under uniform refinement).
-    factory = GaussianHierarchyFactory(dim=2, num_levels=3, decay=0.5, subsampling=5)
-    num_samples = [4000, 1000, 400]
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="scaled-down smoke tier")
+    parser.add_argument("--out", metavar="DIR", default=None, help="write a run manifest")
+    args = parser.parse_args()
+
+    run = run_scenario(SCENARIO, quick=args.quick, out_dir=args.out)
+    payload = run.payload
+    sequential, parallel = payload["sequential"], payload["parallel"]
 
     print("=== Sequential MLMCMC ===")
-    sequential = MLMCMCSampler(factory, num_samples=num_samples, seed=0).run()
-    print(f"exact posterior mean      : {factory.exact_mean()}")
-    print(f"multilevel estimate       : {sequential.mean}")
-    for contribution in sequential.estimate.contributions:
+    print(f"exact posterior mean      : {payload['exact_mean']}")
+    print(f"multilevel estimate       : {sequential['mean']}")
+    for level in sequential["levels"]:
         print(
-            f"  level {contribution.level}: N = {contribution.num_samples:5d}, "
-            f"E[correction] = {np.round(contribution.mean, 3)}, "
-            f"V[correction] = {np.round(contribution.variance, 3)}"
+            f"  level {level['level']}: N = {level['num_samples']:5d}, "
+            f"E[correction] = {[round(m, 3) for m in level['mean']]}, "
+            f"V[correction] = {[round(v, 3) for v in level['variance']]}"
         )
-    print(f"acceptance rates per level: {[round(a, 2) for a in sequential.acceptance_rates]}")
+    print(
+        "acceptance rates per level: "
+        f"{[round(a, 2) for a in sequential['acceptance_rates']]}"
+    )
 
     print("\n=== Parallel MLMCMC (16 virtual ranks) ===")
-    parallel = ParallelMLMCMCSampler(
-        factory,
-        num_samples=num_samples,
-        num_ranks=16,
-        cost_model=ConstantCostModel([0.01, 0.04, 0.16]),
-        seed=1,
-    ).run()
-    print(f"multilevel estimate       : {parallel.mean}")
-    summary = parallel.summary()
+    summary = parallel["summary"]
+    print(f"multilevel estimate       : {parallel['mean']}")
     print(f"virtual run time          : {summary['virtual_time']:.2f} s")
     print(f"worker utilisation        : {summary['worker_utilization']:.2f}")
-    print(f"messages exchanged        : {summary['messages_sent']}")
-    print(f"load-balancer reassignments: {summary['num_rebalances']}")
+    print(f"messages exchanged        : {summary['messages_sent']:.0f}")
+    print(f"load-balancer reassignments: {summary['num_rebalances']:.0f}")
+    if run.manifest_path:
+        print(f"\nmanifest written to {run.manifest_path}")
 
 
 if __name__ == "__main__":

@@ -1,70 +1,41 @@
 """Strong and weak scaling of the parallel MLMCMC scheduler (Figures 11 / 12).
 
-Replays the paper's scaling experiments on the simulated MPI substrate: the
-Poisson posterior is replaced by a cheap analytic stand-in (the paper itself
-notes that "the particular inverse problem does not affect the algorithm's
-communication patterns"), while the per-level evaluation *times* are taken
-from the paper's Table 3.  Virtual run times, speed-ups and parallel
-efficiencies are reported for a sweep of rank counts.
+Runs the ``example-scaling-study`` scenario: the paper's scaling experiments
+on the simulated MPI substrate.  The Poisson posterior is replaced by a cheap
+analytic stand-in (the paper itself notes that "the particular inverse problem
+does not affect the algorithm's communication patterns"), while the per-level
+evaluation *times* are taken from the paper's Table 3.  Virtual run times,
+speed-ups and parallel efficiencies are reported for a sweep of rank counts.
 
 Run with::
 
-    python examples/scaling_study.py [--ranks 16 32 64 128]
+    python examples/scaling_study.py [--quick] [--out runs/]
+
+(equivalently: ``python -m repro run example-scaling-study``).
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro import GaussianHierarchyFactory, LogNormalCostModel
-from repro.parallel import POISSON_PAPER_COSTS, strong_scaling_study, weak_scaling_study
-
-
-def print_table(title: str, rows: list[dict]) -> None:
-    print(f"\n{title}")
-    header = f"{'ranks':>6s} {'virtual time [s]':>18s} {'speedup':>9s} {'efficiency':>11s} {'utilisation':>12s} {'rebalances':>11s}"
-    print(header)
-    print("-" * len(header))
-    for row in rows:
-        print(
-            f"{row['num_ranks']:6d} {row['virtual_time']:18.2f} {row['speedup']:9.2f} "
-            f"{row['efficiency']:11.2f} {row['utilization']:12.2f} {row['num_rebalances']:11d}"
-        )
+from repro.experiments import print_rows, run_scenario
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--ranks", type=int, nargs="+", default=[16, 32, 64, 128])
-    parser.add_argument("--samples", type=int, nargs="+", default=[2000, 500, 200],
-                        help="samples per level for the strong-scaling problem")
+    parser.add_argument("--quick", action="store_true", help="scaled-down smoke tier")
+    parser.add_argument("--out", metavar="DIR", default=None, help="write a run manifest")
     args = parser.parse_args()
 
-    # Stand-in posterior with the parameter dimension of the Poisson problem and
-    # the paper's measured per-level evaluation times (Table 3), including
-    # run-time variability.
-    factory = GaussianHierarchyFactory(dim=4, num_levels=3, subsampling=5)
-    cost_model = LogNormalCostModel(POISSON_PAPER_COSTS, coefficient_of_variation=0.2)
-
-    strong = strong_scaling_study(
-        factory,
-        num_samples=args.samples,
-        rank_counts=args.ranks,
-        cost_model=cost_model,
-        burnin=[60, 25, 10],
-        seed=0,
+    run = run_scenario("example-scaling-study", quick=args.quick, out_dir=args.out)
+    print_rows(
+        "Strong scaling (fixed problem, cf. paper Fig. 11)", run.payload["strong"]["rows"]
     )
-    print_table("Strong scaling (fixed problem, cf. paper Fig. 11)", strong.table())
-
-    weak = weak_scaling_study(
-        factory,
-        base_num_samples=[n // 2 for n in args.samples],
-        base_num_ranks=args.ranks[0],
-        rank_counts=args.ranks,
-        cost_model=cost_model,
-        burnin=[60, 25, 10],
-        seed=1,
+    print_rows(
+        "Weak scaling (samples ∝ ranks, cf. paper Fig. 12)", run.payload["weak"]["rows"]
     )
-    print_table("Weak scaling (samples ∝ ranks, cf. paper Fig. 12)", weak.table())
+    if run.manifest_path:
+        print(f"\nmanifest written to {run.manifest_path}")
 
 
 if __name__ == "__main__":

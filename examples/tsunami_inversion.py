@@ -1,60 +1,63 @@
 """Tohoku-like tsunami source inversion (Section 3.2 / 5.2 of the paper).
 
-Infers the location of the initial sea-surface displacement from the maximum
-wave height and its arrival time at two synthetic buoys, using a multilevel
-hierarchy that combines grid refinement with the paper's bathymetry
-treatments (depth-averaged / smoothed / full).
+Runs the ``example-tsunami-inversion`` scenario: infer the location of the
+initial sea-surface displacement from the maximum wave height and its arrival
+time at two synthetic buoys, using a multilevel hierarchy that combines grid
+refinement with the paper's bathymetry treatments (depth-averaged / smoothed /
+full).
 
 The default configuration uses small grids so the script runs in a few
 minutes; ``--paper-scale`` switches to the paper's Table 2 resolutions
-(25 / 79 / 241 cells) and sample counts (800 / 450 / 240), which takes hours
-on a single core.
+(25 / 79 / 241 cells), which takes hours on a single core.
 
 Run with::
 
-    python examples/tsunami_inversion.py [--paper-scale]
+    python examples/tsunami_inversion.py [--paper-scale] [--quick] [--out runs/]
+
+(equivalently: ``python -m repro run example-tsunami-inversion``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+from dataclasses import replace
 
 import numpy as np
 
-from repro import MLMCMCSampler, TsunamiInverseProblemFactory
-from repro.models.tsunami import TsunamiLevelSpec
-
-
-def build_factory(paper_scale: bool) -> TsunamiInverseProblemFactory:
-    if paper_scale:
-        return TsunamiInverseProblemFactory()  # paper defaults (Table 1 / Table 2)
-    return TsunamiInverseProblemFactory(
-        level_specs=(
-            TsunamiLevelSpec(0, 16, "constant", False, sigma_heights=0.15, sigma_times=2.5),
-            TsunamiLevelSpec(1, 32, "smoothed", True, sigma_heights=0.10, sigma_times=1.5,
-                             smoothing_passes=2),
-            TsunamiLevelSpec(2, 48, "full", True, sigma_heights=0.10, sigma_times=0.75),
-        ),
-        end_time=1800.0,
-        subsampling_rates=[0, 5, 3],
-    )
+#: the paper's per-level sample counts (used with --paper-scale)
+PAPER_SAMPLES = [800, 450, 240]
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--paper-scale", action="store_true")
-    parser.add_argument("--samples", type=int, nargs="+", default=None)
+    parser.add_argument("--samples", type=int, nargs="+", default=None,
+                        help="samples per level (coarse to fine)")
+    parser.add_argument("--quick", action="store_true", help="scaled-down smoke tier")
+    parser.add_argument("--out", metavar="DIR", default=None, help="write a run manifest")
     args = parser.parse_args()
+    if args.paper_scale:
+        # The presets honour this environment knob (see repro.experiments.presets).
+        os.environ["REPRO_BENCH_PAPER_SCALE"] = "1"
 
-    factory = build_factory(args.paper_scale)
-    num_samples = args.samples or ([800, 450, 240] if args.paper_scale else [120, 50, 20])
+    from repro.experiments import get_scenario, run_scenario
+
+    spec = get_scenario("example-tsunami-inversion")
+    samples = args.samples or (PAPER_SAMPLES if args.paper_scale else None)
+    if samples is not None:
+        spec = replace(spec, sampler={**spec.sampler, "num_samples": samples})
+
+    run = run_scenario(spec, quick=args.quick, out_dir=args.out)
+    payload = run.payload
+    factory = run.factory
 
     print("Model hierarchy (cf. paper Table 2):")
-    for row in factory.level_summary():
+    for level in payload["levels"]:
         print(
-            f"  level {row['level']}: cells = {row['num_cells']:4d}, "
-            f"h = {row['mesh_width_m'] / 1e3:6.1f} km, limiter = {row['limiter']}, "
-            f"bathymetry = {row['bathymetry']}, rho = {row['subsampling_rate']}"
+            f"  level {level['level']}: cells = {level['num_cells']:4d}, "
+            f"h = {level['mesh_width_m'] / 1e3:6.1f} km, limiter = {level['limiter']}, "
+            f"bathymetry = {level['bathymetry']}, rho = {level['subsampling_rate']}"
         )
 
     print("\nSynthetic observations and level-dependent noise (cf. paper Table 1):")
@@ -64,29 +67,29 @@ def main() -> None:
         )
         print(f"  observable {row['observable']}: mu = {row['mu']:8.3f}   sigma: {sigmas}")
 
-    result = MLMCMCSampler(factory, num_samples=num_samples, seed=2011).run()
-
     print("\nPer-level contributions to the source-location estimate (cf. paper Table 4):")
-    cumulative = result.estimate.cumulative_means()
-    for contribution, partial in zip(result.estimate.contributions, cumulative):
+    for level in payload["levels"]:
         print(
-            f"  level {contribution.level}: N = {contribution.num_samples:5d}, "
-            f"E[correction] = ({contribution.mean[0]:7.2f}, {contribution.mean[1]:7.2f}) km, "
-            f"V = ({contribution.variance[0]:8.2f}, {contribution.variance[1]:8.2f}), "
-            f"cumulative mean = ({partial[0]:7.2f}, {partial[1]:7.2f}) km"
+            f"  level {level['level']}: N = {level['num_samples']:5d}, "
+            f"E[correction] = ({level['mean'][0]:7.2f}, {level['mean'][1]:7.2f}) km, "
+            f"V = ({level['variance'][0]:8.2f}, {level['variance'][1]:8.2f}), "
+            f"cumulative mean = ({level['cumulative_mean'][0]:7.2f}, "
+            f"{level['cumulative_mean'][1]:7.2f}) km"
         )
-    print(f"acceptance rates: {[round(a, 3) for a in result.acceptance_rates]}")
+    print(f"acceptance rates: {[round(a, 3) for a in payload['acceptance_rates']]}")
 
-    estimate = result.mean
-    print(f"\ntrue source location      : (0.0, 0.0) km (reference solution)")
+    estimate = payload["mean"]
+    spread = np.sqrt(payload["levels"][0]["variance"])
+    print("\ntrue source location      : (0.0, 0.0) km (reference solution)")
     print(f"multilevel posterior mean : ({estimate[0]:.1f}, {estimate[1]:.1f}) km")
-    spread = np.sqrt(result.estimate.contributions[0].variance)
     print(f"posterior spread (level 0): (~{spread[0]:.0f}, ~{spread[1]:.0f}) km")
     print(
         "\n(The posterior is wide: two buoys observing only the peak wave height and "
         "its arrival time constrain the source location weakly, as in the paper's "
         "Figure 13.)"
     )
+    if run.manifest_path:
+        print(f"\nmanifest written to {run.manifest_path}")
 
 
 if __name__ == "__main__":

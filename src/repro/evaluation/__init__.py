@@ -13,6 +13,24 @@ Backends compose: ``CachingEvaluator(inner=PoolEvaluator())`` gives a
 memoised pool.  Custom backends subclass :class:`Evaluator` (implement
 ``log_density`` / ``qoi``, optionally ``log_density_batch``) and are plugged
 in per model index through ``MIComponentFactory.evaluator``.
+
+Typical usage — select a backend per hierarchy and read the accounting::
+
+    from repro import GaussianHierarchyFactory, MLMCMCSampler
+
+    factory = GaussianHierarchyFactory(
+        num_levels=3,
+        evaluation_backend="caching",
+        evaluator_options={"cache_size": 8192},
+    )
+    result = MLMCMCSampler(factory, num_samples=[400, 100, 40], seed=0).run()
+    for level, stats in enumerate(result.evaluation_stats):
+        print(level, stats.log_density_evaluations, stats.cache_hits, stats.hit_rate)
+
+An evaluator serves exactly one sampling problem (binding twice raises), so
+factories return a *fresh* instance per problem; drivers, run manifests and
+:func:`repro.parallel.cost_model_from_stats` all consume the recorded
+:class:`EvaluatorStats` rather than timing model code themselves.
 """
 
 from repro.evaluation.base import EvaluationRecord, Evaluator, EvaluatorStats

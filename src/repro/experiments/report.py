@@ -1,0 +1,42 @@
+"""Plain-text reporting helpers shared by the CLI and the benchmark harness.
+
+Historically every benchmark module carried its own table printer; the
+experiment runner and ``python -m repro`` reuse the same one, so scenario
+output looks identical whether a scenario runs under pytest-benchmark or from
+the command line.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_rows", "print_rows"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_rows(title: str, rows: list[dict], order: list[str] | None = None) -> str:
+    """Format a list of dictionaries as an aligned text table."""
+    lines = [f"\n{title}"]
+    if not rows:
+        lines.append("  (no rows)")
+        return "\n".join(lines)
+    keys = order or list(rows[0].keys())
+    widths = {k: max(len(str(k)), *(len(_fmt(r.get(k))) for r in rows)) for k in keys}
+    header = "  " + "  ".join(f"{k:>{widths[k]}}" for k in keys)
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for row in rows:
+        lines.append("  " + "  ".join(f"{_fmt(row.get(k)):>{widths[k]}}" for k in keys))
+    return "\n".join(lines)
+
+
+def print_rows(title: str, rows: list[dict], order: list[str] | None = None) -> None:
+    """Print a list of dictionaries as an aligned table."""
+    print(format_rows(title, rows, order))

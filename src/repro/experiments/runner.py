@@ -1,0 +1,121 @@
+"""Execute experiment scenarios and emit run manifests.
+
+:func:`run_scenario` is the one entry point everything funnels through: the
+``python -m repro`` CLI, the ported ``examples/*.py`` scripts and the
+benchmark suite all resolve a spec (registry name or ad-hoc
+:class:`ExperimentSpec`), hand it to its driver, and receive a
+:class:`ScenarioRun` carrying the JSON payload, the raw result objects and —
+when an output directory is given — the path of the validated manifest.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.drivers import BACKEND_AGNOSTIC_DRIVERS, get_driver, prewarm
+from repro.experiments.manifest import build_manifest, write_manifest
+from repro.experiments.registry import get_scenario
+from repro.experiments.spec import ExperimentSpec
+
+__all__ = ["BackendNotApplicableError", "ScenarioRun", "run_scenario"]
+
+
+class BackendNotApplicableError(ValueError):
+    """A backend override was passed for a scenario that cannot use one.
+
+    A usage error (CLI exit code 2), distinct from run/validation failures.
+    """
+
+
+@dataclass
+class ScenarioRun:
+    """One completed scenario execution."""
+
+    #: the resolved spec that actually ran (quick/backend/seed applied)
+    spec: ExperimentSpec
+    #: JSON-safe results (the manifest's ``results`` field)
+    payload: dict
+    #: driver-specific result object(s) for in-process consumers
+    raw: Any
+    #: the model-hierarchy factory used by the run (``None`` for some drivers)
+    factory: Any
+    #: the full, schema-valid manifest
+    manifest: dict
+    #: where the manifest was written (``None`` unless ``out_dir`` was given)
+    manifest_path: Path | None
+    #: wall-clock duration of the driver execution in seconds
+    wall_time_s: float
+
+
+def run_scenario(
+    scenario: str | ExperimentSpec,
+    quick: bool = False,
+    backend: str | None = None,
+    seed: int | None = None,
+    out_dir: str | Path | None = None,
+) -> ScenarioRun:
+    """Run one scenario end to end.
+
+    Parameters
+    ----------
+    scenario:
+        Registry name (see ``python -m repro run --list``) or an ad-hoc spec.
+    quick:
+        Apply the spec's quick-tier overrides (CI smoke mode).
+    backend:
+        Override the evaluation backend (``"inprocess"``, ``"caching"``,
+        ``"batch"`` or ``"pool"``).  Rejected
+        (:class:`BackendNotApplicableError`) for scenarios whose driver does
+        not route work through a spec-selected backend
+        (:data:`repro.experiments.drivers.BACKEND_AGNOSTIC_DRIVERS`), so the
+        manifest never records a backend the run did not use.
+    seed:
+        Override the spec's base seed.
+    out_dir:
+        When given, the validated manifest is written to
+        ``<out_dir>/<name>.manifest.json``.
+
+    Examples
+    --------
+    >>> from repro.experiments import run_scenario
+    >>> run = run_scenario("example-quickstart", quick=True)
+    >>> sorted(run.payload) # doctest: +NORMALIZE_WHITESPACE
+    ['exact_mean', 'parallel', 'sequential']
+    """
+    spec = scenario if isinstance(scenario, ExperimentSpec) else get_scenario(scenario)
+    if backend is not None and spec.driver in BACKEND_AGNOSTIC_DRIVERS:
+        raise BackendNotApplicableError(
+            f"scenario {spec.name!r} (driver {spec.driver!r}) does not use a "
+            "selectable evaluation backend; drop the backend override"
+        )
+    resolved = spec.resolved(quick=quick, backend=backend, seed=seed)
+    driver = get_driver(resolved.driver)
+
+    # One-off factory setup (memoised per process) stays outside the timed
+    # region, so wall_time_s is comparable between cold and warm runs.
+    prewarm(resolved)
+    start = time.perf_counter()
+    outcome = driver(resolved)
+    wall_time_s = time.perf_counter() - start
+
+    manifest = build_manifest(
+        resolved,
+        results=outcome.payload,
+        wall_time_s=wall_time_s,
+        evaluations=outcome.evaluations,
+        quick=quick,
+        backend=backend,
+    )
+    manifest_path = write_manifest(manifest, out_dir) if out_dir is not None else None
+    return ScenarioRun(
+        spec=resolved,
+        payload=outcome.payload,
+        raw=outcome.raw,
+        factory=outcome.factory,
+        manifest=manifest,
+        manifest_path=manifest_path,
+        wall_time_s=wall_time_s,
+    )

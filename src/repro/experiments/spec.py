@@ -1,0 +1,134 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` is the single description of one runnable scenario:
+which application it belongs to, how the model hierarchy is configured, how
+the sampler (or study) is parameterised, which evaluation backend serves the
+forward-model calls, and what the scaled-down ``--quick`` tier looks like.
+Specs are plain data — JSON-serialisable, hashable by content — so a run's
+manifest can record exactly what was executed and two manifests can be
+compared across PRs by their spec hash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any
+
+__all__ = ["ExperimentSpec", "canonical_json", "spec_hash"]
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def spec_hash(spec_dict: dict) -> str:
+    """Content hash of a spec dictionary (sha256 of its canonical JSON)."""
+    return hashlib.sha256(canonical_json(spec_dict).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one experiment scenario.
+
+    Attributes
+    ----------
+    name:
+        Registry name (``python -m repro run <name>``).
+    driver:
+        Key into the driver registry (:mod:`repro.experiments.drivers`) that
+        knows how to execute this kind of spec (``"sequential"``,
+        ``"parallel"``, ``"strong-scaling"``, ...).
+    application:
+        ``"gaussian"``, ``"poisson"``, ``"tsunami"``, ``"randomfield"`` or
+        ``"fem"`` — which model family the scenario exercises.
+    paper_ref:
+        The paper artefact the scenario reproduces (``"Table 3"``, ...).
+    description:
+        One-line human description shown by ``repro run --list``.
+    problem:
+        Factory configuration.  May contain ``{"preset": "scaled"}`` to pull a
+        canonical configuration from :mod:`repro.experiments.presets`; further
+        keys override preset entries.
+    sampler:
+        Driver parameters (``num_samples``, ``burnin``/``burnin_floor``,
+        ``num_ranks``, cost-model settings, sweep values, ...).
+    evaluation:
+        ``{"backend": name, "options": {...}}`` for
+        :func:`repro.evaluation.make_evaluator`; empty means the in-process
+        default.
+    seed:
+        Base random seed of the run.
+    quick:
+        ``{"problem": {...}, "sampler": {...}}`` overrides merged on top of
+        the full configuration in ``--quick`` mode (CI smoke tier).
+    tags:
+        Free-form labels (``"example"``, ``"table"``, ``"figure"``, ...).
+    """
+
+    name: str
+    driver: str
+    application: str = "gaussian"
+    paper_ref: str = ""
+    description: str = ""
+    problem: dict = field(default_factory=dict)
+    sampler: dict = field(default_factory=dict)
+    evaluation: dict = field(default_factory=dict)
+    seed: int = 0
+    quick: dict = field(default_factory=dict)
+    tags: tuple = ()
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """Plain-dictionary view (JSON-safe; tuples become lists)."""
+        payload = asdict(self)
+        payload["tags"] = list(self.tags)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`as_dict` output."""
+        data = dict(payload)
+        data["tags"] = tuple(data.get("tags", ()))
+        return cls(**data)
+
+    def hash(self) -> str:
+        """Content hash identifying this exact configuration."""
+        return spec_hash(self.as_dict())
+
+    # ------------------------------------------------------------------
+    def resolved(
+        self,
+        quick: bool = False,
+        backend: str | None = None,
+        seed: int | None = None,
+    ) -> "ExperimentSpec":
+        """The spec with run-time overrides applied.
+
+        ``quick`` merges the spec's quick-tier overrides into ``problem`` and
+        ``sampler``; ``backend`` replaces the evaluation backend (evaluator
+        options survive only when the backend stays the same — options are
+        backend-specific); ``seed`` replaces the base seed.  The returned spec
+        is what the manifest records (its hash identifies the configuration
+        that actually ran).
+        """
+        spec = self
+        if quick and spec.quick:
+            spec = replace(
+                spec,
+                problem={**spec.problem, **spec.quick.get("problem", {})},
+                sampler={**spec.sampler, **spec.quick.get("sampler", {})},
+                quick={},
+            )
+        elif quick:
+            spec = replace(spec, quick={})
+        if backend is not None:
+            evaluation: dict = {"backend": backend}
+            if spec.evaluation.get("backend") == backend and "options" in spec.evaluation:
+                evaluation["options"] = spec.evaluation["options"]
+            spec = replace(spec, evaluation=evaluation)
+        if seed is not None:
+            spec = replace(spec, seed=int(seed))
+        return spec

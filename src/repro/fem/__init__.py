@@ -4,8 +4,32 @@ Implements exactly the discretisation used by the paper's Poisson application:
 Q1 (bilinear) elements on uniform structured grids of the unit square, a
 diffusion operator with an element-wise (log-normal random field) coefficient,
 Dirichlet boundary conditions on the left/right edges and natural Neumann
-conditions elsewhere, sparse direct solves and point evaluation of the
-solution.
+conditions elsewhere.
+
+Per-sample solves run on the persistent-structure fast path: a
+:class:`~repro.fem.assembly.AssemblyPlan` precomputes, per ``(grid, Dirichlet
+set)`` pair, the CSR sparsity, a ``data = S @ kappa`` coefficient scatter and
+the interior-DOF reduction, so assembling a proposed coefficient field is one
+O(nnz) product and each sample solves the smaller SPD system ``K_ii u_i = b_i
+- K_ib u_b`` (direct ``splu`` by default, or prior-mean-preconditioned CG via
+``PoissonSolver(solver="cg")``).  Observations apply a cached sparse Q1
+interpolation operator.  The original assemble-then-eliminate path is kept as
+:meth:`~repro.fem.poisson.PoissonSolver.solve_reference` /
+:func:`~repro.fem.assembly.assemble_diffusion_system` +
+:func:`~repro.fem.assembly.apply_dirichlet` and serves as the parity
+reference for the fast path.
+
+Typical usage::
+
+    import numpy as np
+    from repro.fem import PoissonSolver, StructuredGrid
+
+    solver = PoissonSolver(StructuredGrid(32))          # plan built once
+    kappa = np.exp(np.random.default_rng(0).normal(size=solver.grid.num_elements))
+    u = solver.solve(kappa)                             # one O(nnz) assembly + SPD solve
+    points = np.array([[0.25, 0.5], [0.75, 0.5]])
+    obs = solver.solve_and_observe(kappa, points)       # B @ u, cached operator
+    batch = solver.solve_and_observe_batch(np.tile(kappa, (8, 1)), points)
 """
 
 from repro.fem.grid import StructuredGrid
