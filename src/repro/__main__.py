@@ -48,7 +48,7 @@ def _print_scenario_list() -> None:
     print(format_rows(f"Registered scenarios ({len(rows)})", rows))
     print(
         "\nRun one with: python -m repro run <scenario> "
-        "[--quick] [--backend NAME] [--out DIR] [--seed N]"
+        "[--quick] [--backend NAME] [--parallel-backend NAME] [--out DIR] [--seed N]"
     )
 
 
@@ -111,6 +111,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             backend=args.backend,
             seed=args.seed,
             out_dir=args.out,
+            parallel_backend=args.parallel_backend,
         )
     except (UnknownScenarioError, BackendNotApplicableError) as exc:
         # usage errors → exit 2; run/validation failures propagate (exit 1).
@@ -165,6 +166,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         choices=["inprocess", "caching", "batch", "pool"],
         help="override the evaluation backend",
+    )
+    run_parser.add_argument(
+        "--parallel-backend",
+        choices=["simulated", "multiprocess"],
+        help="transport backend for parallel-machine scenarios: the "
+        "discrete-event simulation (virtual time) or real OS processes",
     )
     run_parser.add_argument("--out", metavar="DIR", help="write the manifest here")
     run_parser.add_argument("--seed", type=int, help="override the spec's seed")

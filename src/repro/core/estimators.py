@@ -73,11 +73,30 @@ class MultilevelEstimate:
         """Number of levels."""
         return len(self.contributions)
 
+    def _require_no_empty_levels(self) -> None:
+        """Reject summing a mix of empty and non-empty level contributions.
+
+        An empty level's mean is a zero-length array, and NumPy broadcasting
+        makes ``np.zeros(0) + np.zeros(d)`` collapse to shape ``(0,)`` — one
+        level without samples would silently discard every other level's
+        contribution.  (All levels empty keeps the legacy empty-estimate
+        behaviour, since there is nothing to corrupt.)
+        """
+        empty = [c.level for c in self.contributions if c.mean.size == 0]
+        if empty and len(empty) < len(self.contributions):
+            raise ValueError(
+                f"level(s) {empty} contributed no samples (empty mean); summing "
+                "the telescoping estimator would silently collapse to an empty "
+                "array and discard the non-empty levels. Collect samples for "
+                "every level or drop the empty contributions explicitly."
+            )
+
     @property
     def mean(self) -> np.ndarray:
         """The telescoping-sum estimate ``E[Q_L]`` (eq. 2)."""
         if not self.contributions:
             return np.zeros(0)
+        self._require_no_empty_levels()
         total = np.zeros_like(self.contributions[0].mean)
         for contribution in self.contributions:
             total = total + contribution.mean
@@ -85,6 +104,9 @@ class MultilevelEstimate:
 
     def cumulative_means(self) -> list[np.ndarray]:
         """Partial sums ``E[Q_0] + sum_{k<=l} E[Q_k - Q_{k-1}]`` per level (Table 4)."""
+        if not self.contributions:
+            return []
+        self._require_no_empty_levels()
         partial = np.zeros_like(self.contributions[0].mean)
         result = []
         for contribution in self.contributions:

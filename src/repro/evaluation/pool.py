@@ -40,7 +40,10 @@ class PoolEvaluator(InProcessEvaluator):
         elsewhere.
     min_batch_size:
         Batches smaller than this are evaluated in-process — process fan-out
-        only pays off once the batch amortises the IPC overhead.
+        only pays off once the batch amortises the IPC overhead.  Honoured as
+        documented: ``min_batch_size=1`` sends even single-vector batches to
+        the pool (useful when one evaluation is expensive enough to warrant
+        warming the workers).
     """
 
     def __init__(
@@ -59,6 +62,8 @@ class PoolEvaluator(InProcessEvaluator):
             context = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
         self._context_name = context
         self.min_batch_size = int(min_batch_size)
+        if self.min_batch_size < 1:
+            raise ValueError("min_batch_size must be at least 1")
         self._pool = None
 
     # ------------------------------------------------------------------
@@ -74,7 +79,7 @@ class PoolEvaluator(InProcessEvaluator):
 
     def log_density_batch(self, parameters: np.ndarray) -> np.ndarray:
         thetas = np.atleast_2d(np.asarray(parameters, dtype=float))
-        if thetas.shape[0] < max(2, self.min_batch_size):
+        if thetas.shape[0] < self.min_batch_size:
             return super().log_density_batch(thetas)
         self._require_bound()
         pool = self._ensure_pool()
@@ -108,8 +113,13 @@ class PoolEvaluator(InProcessEvaluator):
 
     # ------------------------------------------------------------------
     def close(self) -> None:
+        """Shut the pool down gracefully, letting in-flight tasks finish.
+
+        ``Pool.close()`` + ``join()`` instead of ``terminate()``: a terminate
+        can kill tasks another thread still has in flight, losing results.
+        """
         if self._pool is not None:
-            self._pool.terminate()
+            self._pool.close()
             self._pool.join()
             self._pool = None
 

@@ -25,6 +25,7 @@ from repro.experiments.spec import ExperimentSpec
 
 __all__ = [
     "BACKEND_AGNOSTIC_DRIVERS",
+    "PARALLEL_BACKEND_DRIVERS",
     "DriverResult",
     "driver",
     "driver_names",
@@ -48,6 +49,14 @@ BACKEND_AGNOSTIC_DRIVERS = frozenset(
         "tsunami-hierarchy",
     }
 )
+
+#: drivers that honour a spec-selected parallel transport backend
+#: (``spec.parallel`` / ``repro run --parallel-backend``).  The other
+#: parallel-machine drivers (scaling sweeps, the load-balancing ablation, the
+#: quickstart) deliberately stay on the simulated backend: their point is the
+#: deterministic virtual-time comparison, and the runner rejects an override
+#: for them so manifests never record a backend the run did not use.
+PARALLEL_BACKEND_DRIVERS = frozenset({"parallel"})
 
 
 @dataclass
@@ -332,12 +341,13 @@ def run_sequential(spec: ExperimentSpec) -> DriverResult:
 # parallel scheduler runs (Figure 9, load-balancing demo)
 @driver("parallel")
 def run_parallel(spec: ExperimentSpec) -> DriverResult:
-    """One parallel MLMCMC run on the simulated MPI substrate."""
+    """One parallel MLMCMC run on the spec-selected transport backend."""
     from repro.parallel import ParallelMLMCMCSampler
 
     factory = _spec_factory(spec)
     num_samples = _num_samples(spec)
     sampler_options = spec.sampler
+    parallel = spec.parallel or {}
     sampler = ParallelMLMCMCSampler(
         factory,
         num_samples=num_samples,
@@ -348,6 +358,8 @@ def run_parallel(spec: ExperimentSpec) -> DriverResult:
         dynamic_load_balancing=bool(sampler_options.get("dynamic_load_balancing", True)),
         level_weights=sampler_options.get("level_weights"),
         seed=spec.seed,
+        backend=parallel.get("backend", "simulated"),
+        backend_options=parallel.get("options"),
     )
     result = sampler.run()
 
@@ -365,6 +377,8 @@ def run_parallel(spec: ExperimentSpec) -> DriverResult:
     }
     payload = {
         "mean": _floats(result.mean),
+        "parallel_backend": str(result.backend),
+        "wall_time_s": float(result.wall_time_s),
         "summary": {k: float(v) for k, v in result.summary().items()},
         "per_level_busy_s": {
             str(level): float(busy) for level, busy in trace.per_level_busy_time().items()

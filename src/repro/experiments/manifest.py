@@ -29,7 +29,9 @@ __all__ = [
 ]
 
 #: bump on any backwards-incompatible change to the manifest layout
-MANIFEST_SCHEMA_VERSION = 1
+#: (v2: added the required ``parallel_backend`` field recording which
+#: transport ran the parallel MLMCMC machine)
+MANIFEST_SCHEMA_VERSION = 2
 
 #: top-level manifest fields and their required types
 _TOP_LEVEL_FIELDS: dict[str, type | tuple] = {
@@ -42,6 +44,7 @@ _TOP_LEVEL_FIELDS: dict[str, type | tuple] = {
     "spec_hash": str,
     "quick": bool,
     "backend": (str, type(None)),
+    "parallel_backend": (str, type(None)),
     "seed": int,
     "repro_version": str,
     "created_at": str,
@@ -81,6 +84,7 @@ def build_manifest(
     evaluations: list[dict] | None = None,
     quick: bool = False,
     backend: str | None = None,
+    parallel_backend: str | None = None,
 ) -> dict:
     """Assemble a schema-valid manifest for one completed run."""
     from repro import __version__
@@ -97,6 +101,7 @@ def build_manifest(
         "spec_hash": spec_hash(spec_dict),
         "quick": bool(quick),
         "backend": backend,
+        "parallel_backend": parallel_backend,
         "seed": int(spec.seed),
         "repro_version": __version__,
         "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),

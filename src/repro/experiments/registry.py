@@ -365,6 +365,21 @@ register(ExperimentSpec(
 ))
 
 register(ExperimentSpec(
+    name="poisson-parallel",
+    driver="parallel",
+    application="poisson",
+    paper_ref="Sections 4 / 5.1",
+    description="Parallel MLMCMC on the Poisson hierarchy (simulated or real processes)",
+    problem={"preset": "scaled"},
+    sampler={"num_samples": [160, 48, 16], "num_ranks": 12,
+             "cost_per_level": "poisson-paper"},
+    parallel={"backend": "simulated"},
+    seed=2025,
+    quick={"sampler": {"num_samples": [32, 12, 6], "num_ranks": 8}},
+    tags=("performance", "parallel"),
+))
+
+register(ExperimentSpec(
     name="evaluator-cache",
     driver="evaluator-cache",
     application="poisson",

@@ -15,7 +15,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
-from repro.experiments.drivers import BACKEND_AGNOSTIC_DRIVERS, get_driver, prewarm
+from repro.experiments.drivers import (
+    BACKEND_AGNOSTIC_DRIVERS,
+    PARALLEL_BACKEND_DRIVERS,
+    get_driver,
+    prewarm,
+)
 from repro.experiments.manifest import build_manifest, write_manifest
 from repro.experiments.registry import get_scenario
 from repro.experiments.spec import ExperimentSpec
@@ -56,6 +61,7 @@ def run_scenario(
     backend: str | None = None,
     seed: int | None = None,
     out_dir: str | Path | None = None,
+    parallel_backend: str | None = None,
 ) -> ScenarioRun:
     """Run one scenario end to end.
 
@@ -77,6 +83,11 @@ def run_scenario(
     out_dir:
         When given, the validated manifest is written to
         ``<out_dir>/<name>.manifest.json``.
+    parallel_backend:
+        Override the parallel transport backend (``"simulated"`` or
+        ``"multiprocess"``).  Rejected for scenarios whose driver does not
+        run the parallel MLMCMC machine on a spec-selected transport
+        (:data:`repro.experiments.drivers.PARALLEL_BACKEND_DRIVERS`).
 
     Examples
     --------
@@ -91,7 +102,15 @@ def run_scenario(
             f"scenario {spec.name!r} (driver {spec.driver!r}) does not use a "
             "selectable evaluation backend; drop the backend override"
         )
-    resolved = spec.resolved(quick=quick, backend=backend, seed=seed)
+    if parallel_backend is not None and spec.driver not in PARALLEL_BACKEND_DRIVERS:
+        raise BackendNotApplicableError(
+            f"scenario {spec.name!r} (driver {spec.driver!r}) does not run the "
+            "parallel machine on a selectable transport; drop the "
+            "parallel-backend override"
+        )
+    resolved = spec.resolved(
+        quick=quick, backend=backend, seed=seed, parallel_backend=parallel_backend
+    )
     driver = get_driver(resolved.driver)
 
     # One-off factory setup (memoised per process) stays outside the timed
@@ -101,6 +120,14 @@ def run_scenario(
     outcome = driver(resolved)
     wall_time_s = time.perf_counter() - start
 
+    # Record the transport backend the run actually used: the resolved spec's
+    # selection for parallel-transport drivers (default "simulated"), None for
+    # drivers that do not run the parallel machine on a selectable transport.
+    effective_parallel_backend = (
+        resolved.parallel.get("backend", "simulated")
+        if resolved.driver in PARALLEL_BACKEND_DRIVERS
+        else None
+    )
     manifest = build_manifest(
         resolved,
         results=outcome.payload,
@@ -108,6 +135,7 @@ def run_scenario(
         evaluations=outcome.evaluations,
         quick=quick,
         backend=backend,
+        parallel_backend=effective_parallel_backend,
     )
     manifest_path = write_manifest(manifest, out_dir) if out_dir is not None else None
     return ScenarioRun(

@@ -59,6 +59,11 @@ class ExperimentSpec:
         ``{"backend": name, "options": {...}}`` for
         :func:`repro.evaluation.make_evaluator`; empty means the in-process
         default.
+    parallel:
+        ``{"backend": "simulated" | "multiprocess", "options": {...}}`` —
+        the transport backend for scenarios that run the parallel MLMCMC
+        machine (:class:`repro.parallel.ParallelMLMCMCSampler`); empty means
+        the simulated backend.
     seed:
         Base random seed of the run.
     quick:
@@ -76,15 +81,25 @@ class ExperimentSpec:
     problem: dict = field(default_factory=dict)
     sampler: dict = field(default_factory=dict)
     evaluation: dict = field(default_factory=dict)
+    parallel: dict = field(default_factory=dict)
     seed: int = 0
     quick: dict = field(default_factory=dict)
     tags: tuple = ()
 
     # ------------------------------------------------------------------
     def as_dict(self) -> dict:
-        """Plain-dictionary view (JSON-safe; tuples become lists)."""
+        """Plain-dictionary view (JSON-safe; tuples become lists).
+
+        An empty ``parallel`` block is omitted: the field arrived after the
+        first manifests were written, and emitting ``{"parallel": {}}``
+        everywhere would shift the content hash of every scenario — breaking
+        cross-PR ``spec_hash`` comparisons for configurations that did not
+        change.
+        """
         payload = asdict(self)
         payload["tags"] = list(self.tags)
+        if not payload["parallel"]:
+            del payload["parallel"]
         return payload
 
     @classmethod
@@ -104,15 +119,17 @@ class ExperimentSpec:
         quick: bool = False,
         backend: str | None = None,
         seed: int | None = None,
+        parallel_backend: str | None = None,
     ) -> "ExperimentSpec":
         """The spec with run-time overrides applied.
 
         ``quick`` merges the spec's quick-tier overrides into ``problem`` and
         ``sampler``; ``backend`` replaces the evaluation backend (evaluator
         options survive only when the backend stays the same — options are
-        backend-specific); ``seed`` replaces the base seed.  The returned spec
-        is what the manifest records (its hash identifies the configuration
-        that actually ran).
+        backend-specific); ``parallel_backend`` replaces the parallel
+        transport backend under the same options rule; ``seed`` replaces the
+        base seed.  The returned spec is what the manifest records (its hash
+        identifies the configuration that actually ran).
         """
         spec = self
         if quick and spec.quick:
@@ -129,6 +146,14 @@ class ExperimentSpec:
             if spec.evaluation.get("backend") == backend and "options" in spec.evaluation:
                 evaluation["options"] = spec.evaluation["options"]
             spec = replace(spec, evaluation=evaluation)
+        if parallel_backend is not None:
+            parallel: dict = {"backend": parallel_backend}
+            if (
+                spec.parallel.get("backend") == parallel_backend
+                and "options" in spec.parallel
+            ):
+                parallel["options"] = spec.parallel["options"]
+            spec = replace(spec, parallel=parallel)
         if seed is not None:
             spec = replace(spec, seed=int(seed))
         return spec

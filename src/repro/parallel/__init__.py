@@ -6,8 +6,11 @@ levels (all telescoping-sum terms sampled concurrently), despite the data
 dependencies the method introduces — coarse chains feed proposals to fine
 chains.  The process architecture (root / phonebook / controller / worker /
 collector) and the phonebook-hosted dynamic load balancer follow Section 4 of
-the paper; everything runs on the simulated MPI substrate in
-:mod:`repro.parallel.simmpi`.
+the paper.  The role machine runs on a pluggable transport
+(:mod:`repro.parallel.transport`): the deterministic discrete-event simulation
+in :mod:`repro.parallel.simmpi` (virtual time, any rank count) or real OS
+processes in :mod:`repro.parallel.mp` (queue-based delivery, wall-clock
+timing).
 """
 
 from repro.parallel.costmodel import (
@@ -33,8 +36,10 @@ from repro.parallel.scaling import (
     strong_scaling_study,
     weak_scaling_study,
 )
+from repro.parallel.mp import MultiprocessWorld
 from repro.parallel.simmpi import Message, RankProcess, VirtualWorld
 from repro.parallel.trace import TraceEvent, TraceRecorder
+from repro.parallel.transport import Compute, Receive, Send, Transport
 
 __all__ = [
     "CostModel",
@@ -59,6 +64,11 @@ __all__ = [
     "Message",
     "RankProcess",
     "VirtualWorld",
+    "MultiprocessWorld",
+    "Transport",
+    "Compute",
+    "Send",
+    "Receive",
     "TraceEvent",
     "TraceRecorder",
 ]

@@ -72,10 +72,11 @@ class DynamicLoadBalancer:
     Parameters
     ----------
     cost_model:
-        Used to rate-limit decisions: after moving a group to level ``l`` the
-        balancer waits at least ``rate_limit_factor * mean cost of l`` before
-        the next move, since the new group only helps once it produced its
-        first sample.
+        Used to rate-limit decisions: a move between a source and a target
+        level is withheld until at least ``rate_limit_factor * max(mean cost
+        of source, mean cost of target)`` has passed since the previous move,
+        since the reassigned group only helps once it produced its first
+        sample on the levels involved.
     chain_request_weight, collector_request_weight:
         Relative weight of unanswered chain vs. collector requests.
     pressure_threshold:
@@ -96,15 +97,6 @@ class DynamicLoadBalancer:
         """Return a single move decision (or ``None``) given the current loads."""
         if not loads:
             return None
-
-        # Rate limiting: wait long enough for the previous move to take effect.
-        # A reassigned group only becomes useful after re-running burn-in, so
-        # callers typically set ``min_interval`` to a fraction of the burn-in time.
-        if self.num_decisions > 0:
-            slowest = max(self.cost_model.mean(level) for level in loads)
-            interval = max(self.rate_limit_factor * slowest, self.min_interval)
-            if now - self.last_decision_time < interval:
-                return None
 
         pressures = {
             level: load.pressure(self.chain_request_weight, self.collector_request_weight)
@@ -138,6 +130,18 @@ class DynamicLoadBalancer:
 
         if pressures[target] - pressures[source] < self.pressure_threshold:
             return None
+
+        # Rate limiting: wait long enough for the previous move to take effect.
+        # The interval is based on the run time of the *levels involved in this
+        # move* (paper, Section 4.3) — the reassigned group only helps once it
+        # produced its first sample on the target level.  Using the slowest
+        # level of the whole hierarchy here would over-throttle cheap
+        # coarse-level moves in steep cost hierarchies.
+        if self.num_decisions > 0:
+            involved = max(self.cost_model.mean(source), self.cost_model.mean(target))
+            interval = max(self.rate_limit_factor * involved, self.min_interval)
+            if now - self.last_decision_time < interval:
+                return None
 
         self.last_decision_time = now
         self.num_decisions += 1

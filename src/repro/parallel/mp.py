@@ -1,0 +1,370 @@
+"""Real-process transport for the parallel MLMCMC machine.
+
+Runs every rank of the role machine (root, phonebook, collectors,
+controllers, workers) on its own ``multiprocessing`` process.  The role
+generators are *identical* to the ones the simulated backend drives — only
+the interpretation of the primitives changes:
+
+* ``Send`` pickles the message onto the destination rank's OS queue,
+* ``Receive`` blocks on the rank's own queue (non-matching messages are
+  parked in the process mailbox, preserving the non-overtaking FIFO-per-pair
+  semantics of the simulated world),
+* ``Compute`` no longer advances a virtual clock: the *real* time the
+  generator spends until its next yield — which is where the chain step
+  following the ``Compute`` executes — is measured with
+  ``time.perf_counter()`` and recorded in the ordinary
+  :class:`~repro.parallel.trace.TraceRecorder` under the ``Compute``'s
+  kind/level/label.  Blocked receives are traced as ``"wait"`` intervals,
+  exactly like the virtual world does.
+
+Each child process rebuilds its own sampling problems (and therefore its own
+evaluators) lazily through its copy of the
+:class:`~repro.parallel.roles.protocol.SharedProblemCache`; nothing holding
+process pools or factorizations crosses a process boundary alive — the same
+picklability contract :class:`repro.evaluation.PoolEvaluator` established.
+When the generator finishes, the child ships its trace events and a
+role-specific :meth:`~repro.parallel.transport.RankProcess.harvest` payload
+back to the driver, which applies it to the driver-side twin so the
+surrounding result-assembly code runs unchanged on either backend.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+import traceback
+
+from repro.parallel.trace import TraceRecorder
+from repro.parallel.transport import (
+    Compute,
+    Message,
+    RankProcess,
+    Receive,
+    Send,
+    Transport,
+)
+
+__all__ = ["MultiprocessWorld"]
+
+
+class _ProcessTransport(Transport):
+    """Child-side runtime driving one rank's generator in real time."""
+
+    def __init__(
+        self,
+        rank: int,
+        queues: dict[int, object],
+        origin: float,
+        trace_enabled: bool,
+    ) -> None:
+        self.rank = rank
+        self._queues = queues
+        self._inbox = queues[rank]
+        self._origin = origin
+        self.trace = TraceRecorder(enabled=trace_enabled)
+        self.messages_sent = 0
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Real seconds since the run's shared origin."""
+        return time.perf_counter() - self._origin
+
+    def poll(self, process: RankProcess) -> None:
+        """Drain already-delivered messages into the process mailbox."""
+        mailbox = process._state.mailbox
+        while True:
+            try:
+                message = self._inbox.get_nowait()
+            except queue_module.Empty:
+                return
+            message.delivery_time = self.now
+            mailbox.append(message)
+
+    # ------------------------------------------------------------------
+    def _post(self, message: Message) -> None:
+        message.send_time = self.now
+        target = self._queues.get(message.dest)
+        if target is None:
+            return
+        target.put(message)
+        self.messages_sent += 1
+
+    def _blocking_receive(self, process: RankProcess, spec: Receive) -> Message:
+        state = process._state
+        matched = RankProcess.match_in_mailbox(state.mailbox, spec)
+        if matched is not None:
+            state.mailbox.remove(matched)
+            return matched
+        blocked_since = self.now
+        while True:
+            message = self._inbox.get()
+            message.delivery_time = self.now
+            if RankProcess.matches(message, spec):
+                waited = self.now - blocked_since
+                if waited > 0:
+                    self.trace.record(
+                        process.rank, blocked_since, self.now, "wait", None, ""
+                    )
+                return message
+            state.mailbox.append(message)
+
+    # ------------------------------------------------------------------
+    def drive(self, process: RankProcess) -> None:
+        """Run the process generator to completion on this OS process."""
+        process.world = self
+        process.prepare_for_transport()
+        state = process._state
+        generator = process.run()
+
+        def advance(value: Message | None):
+            try:
+                return generator.send(value)
+            except StopIteration:
+                state.finished = True
+                return None
+
+        try:
+            item = next(generator)
+        except StopIteration:
+            state.finished = True
+            return
+        while item is not None:
+            self.events_processed += 1
+            if isinstance(item, Compute):
+                # The real work declared by a Compute happens when the
+                # generator resumes (the chain step after the yield); measure
+                # that span and trace it under the Compute's labels.
+                start = self.now
+                next_item = advance(None)
+                self.trace.record(
+                    process.rank, start, self.now, item.kind, item.level, item.label
+                )
+                item = next_item
+            elif isinstance(item, Send):
+                self._post(
+                    Message(
+                        source=process.rank,
+                        dest=item.dest,
+                        tag=item.tag,
+                        payload=item.payload,
+                    )
+                )
+                item = advance(None)
+            elif isinstance(item, Receive):
+                item = advance(self._blocking_receive(process, item))
+            else:
+                raise TypeError(
+                    f"process {process.rank} yielded unsupported item {item!r}"
+                )
+
+
+def _rank_main(
+    process: RankProcess,
+    queues: dict[int, object],
+    result_queue,
+    origin: float,
+    trace_enabled: bool,
+) -> None:
+    """Child entry point: drive one rank and ship the outcome back."""
+    transport = _ProcessTransport(process.rank, queues, origin, trace_enabled)
+    try:
+        transport.drive(process)
+        result_queue.put(
+            (
+                process.rank,
+                "ok",
+                {
+                    "harvest": process.harvest(),
+                    "events": transport.trace.events(),
+                    "messages_sent": transport.messages_sent,
+                    "events_processed": transport.events_processed,
+                },
+            )
+        )
+    except BaseException:
+        try:
+            result_queue.put((process.rank, "error", traceback.format_exc()))
+        except Exception:  # pragma: no cover - best effort
+            pass
+
+
+class MultiprocessWorld:
+    """The real machine: one OS process per rank, queue-based delivery.
+
+    Mirrors the driver-facing surface of
+    :class:`~repro.parallel.simmpi.world.VirtualWorld` (``add_process`` /
+    ``run`` / ``trace`` / ``messages_sent`` / ``events_processed`` /
+    ``unfinished_ranks``), so :class:`repro.parallel.ParallelMLMCMCSampler`
+    assembles results identically on either backend.
+
+    Parameters
+    ----------
+    trace:
+        Optional :class:`TraceRecorder` (one is created when omitted).  Child
+        processes record locally with real ``perf_counter`` timestamps against
+        a shared origin; the events are merged here after the run.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``"fork"`` where
+        available (cheap, children inherit the already-built factory) and the
+        platform default elsewhere.  Under ``"spawn"`` every object handed to
+        a rank must be picklable — the contract the evaluation backends
+        already guarantee.
+    join_timeout:
+        Hard deadline in real seconds for the whole run; on expiry children
+        are terminated and a :class:`RuntimeError` names the unfinished ranks
+        (the real-process analogue of the virtual world's deadlock
+        diagnostics).
+    """
+
+    def __init__(
+        self,
+        trace: TraceRecorder | None = None,
+        start_method: str | None = None,
+        join_timeout: float = 600.0,
+    ) -> None:
+        self.trace = trace if trace is not None else TraceRecorder()
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+            )
+        self._start_method = start_method
+        self.join_timeout = float(join_timeout)
+        self.now = 0.0
+        self._processes: dict[int, RankProcess] = {}
+        self._messages_sent = 0
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of registered ranks."""
+        return len(self._processes)
+
+    @property
+    def processes(self) -> dict[int, RankProcess]:
+        """All registered (driver-side) processes by rank."""
+        return dict(self._processes)
+
+    @property
+    def messages_sent(self) -> int:
+        """Total messages posted across all ranks."""
+        return self._messages_sent
+
+    @property
+    def events_processed(self) -> int:
+        """Total primitives interpreted across all ranks."""
+        return self._events_processed
+
+    def add_process(self, process: RankProcess) -> None:
+        """Register a rank process (ranks must be unique)."""
+        if process.rank in self._processes:
+            raise ValueError(f"rank {process.rank} already registered")
+        self._processes[process.rank] = process
+
+    def unfinished_ranks(self) -> list[int]:
+        """Ranks that did not report a completed generator."""
+        return [rank for rank, proc in self._processes.items() if not proc._state.finished]
+
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None) -> float:
+        """Run all ranks on real processes until every generator finishes.
+
+        ``until`` is accepted for signature parity with the virtual world but
+        ignored — real processes cannot be paused at a clock value; use
+        ``join_timeout`` to bound the run.
+
+        Returns the real wall-clock duration in seconds.
+        """
+        ctx = (
+            multiprocessing.get_context(self._start_method)
+            if self._start_method is not None
+            else multiprocessing.get_context()
+        )
+        queues = {rank: ctx.Queue() for rank in self._processes}
+        result_queue = ctx.Queue()
+        origin = time.perf_counter()
+
+        children: dict[int, multiprocessing.Process] = {}
+        for rank, process in self._processes.items():
+            process.world = None  # children attach their own transport
+            child = ctx.Process(
+                target=_rank_main,
+                args=(process, queues, result_queue, origin, self.trace.enabled),
+                name=f"repro-rank-{rank}-{process.role}",
+                daemon=True,
+            )
+            child.start()
+            children[rank] = child
+
+        pending = set(self._processes)
+        failures: dict[int, str] = {}
+        deadline = time.monotonic() + self.join_timeout
+        try:
+            while pending and not failures:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    rank, status, payload = result_queue.get(
+                        timeout=min(remaining, 1.0)
+                    )
+                except queue_module.Empty:
+                    dead = [
+                        r
+                        for r in pending
+                        if not children[r].is_alive() and children[r].exitcode not in (0, None)
+                    ]
+                    for r in dead:
+                        failures[r] = (
+                            f"rank {r} exited with code {children[r].exitcode} "
+                            "without reporting"
+                        )
+                    continue
+                if status == "ok":
+                    pending.discard(rank)
+                    process = self._processes[rank]
+                    process._state.finished = True
+                    process.absorb(payload["harvest"])
+                    self.trace.extend(payload["events"])
+                    self._messages_sent += payload["messages_sent"]
+                    self._events_processed += payload["events_processed"]
+                else:
+                    failures[rank] = payload
+        finally:
+            # Unread late messages keep queue feeder threads alive; drain them
+            # so children can exit and join() cannot hang on a full pipe.
+            for q in queues.values():
+                while True:
+                    try:
+                        q.get_nowait()
+                    except (queue_module.Empty, OSError):
+                        break
+            for child in children.values():
+                child.join(timeout=0.25 if (pending or failures) else 10.0)
+                if child.is_alive():
+                    child.terminate()
+                    child.join(timeout=5.0)
+
+        self.now = time.perf_counter() - origin
+        if failures:
+            details = "\n".join(f"rank {rank}: {text}" for rank, text in sorted(failures.items()))
+            raise RuntimeError(f"multiprocess MLMCMC rank failure(s):\n{details}")
+        if pending:
+            raise RuntimeError(
+                "multiprocess MLMCMC did not terminate within "
+                f"{self.join_timeout:.0f}s; unfinished ranks: {sorted(pending)}"
+            )
+        return self.now
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, float | int]:
+        """Run-wide statistics (same layout as the virtual world's)."""
+        return {
+            "virtual_time": self.now,
+            "num_ranks": self.size,
+            "messages_sent": self._messages_sent,
+            "events_processed": self._events_processed,
+        }

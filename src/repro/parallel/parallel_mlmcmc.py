@@ -1,14 +1,22 @@
 """Parallel MLMCMC driver.
 
-Builds the virtual machine (root, phonebook, collectors, work groups of
-controllers and workers), runs the discrete-event simulation and assembles the
-multilevel estimator from the collectors' output.  The result also carries the
-full execution trace, the load balancer's decision log and per-role
-statistics, which is what the scaling and load-balancing benchmarks consume.
+Builds the role machine (root, phonebook, collectors, work groups of
+controllers and workers), runs it on the selected transport backend and
+assembles the multilevel estimator from the collectors' output:
+
+* ``backend="simulated"`` (default) — the discrete-event simulation of
+  :mod:`repro.parallel.simmpi`: deterministic, virtual time, any rank count.
+* ``backend="multiprocess"`` — :mod:`repro.parallel.mp`: every rank on a real
+  OS process, queue-based message delivery, real wall-clock timing.
+
+The result carries the execution trace, the load balancer's decision log and
+per-role statistics on either backend, which is what the scaling and
+load-balancing benchmarks consume.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -47,6 +55,12 @@ class ParallelMLMCMCResult:
     layout: ProcessLayout
     messages_sent: int
     events_processed: int
+    #: transport backend the run executed on ("simulated" | "multiprocess")
+    backend: str = "simulated"
+    #: real wall-clock seconds of the transport run (on the multiprocess
+    #: backend this coincides with the machine's makespan; on the simulated
+    #: backend it is the real time the simulation took, not ``virtual_time``)
+    wall_time_s: float = 0.0
     rebalance_log: list = field(default_factory=list)
     samples_per_level: dict[int, int] = field(default_factory=dict)
     level_finish_times: dict[int, float] = field(default_factory=dict)
@@ -70,7 +84,12 @@ class ParallelMLMCMCResult:
         }
 
     def worker_utilization(self) -> float:
-        """Mean busy fraction of controller + worker ranks."""
+        """Mean busy fraction of controller + worker ranks.
+
+        ``nan`` when the run was executed with ``trace_enabled=False``: no
+        intervals were recorded, so a busy fraction cannot be computed and
+        ``0.0`` would masquerade as a dead machine.
+        """
         ranks = self.layout.controller_ranks + self.layout.worker_ranks
         return self.trace.utilization(ranks)
 
@@ -82,6 +101,7 @@ class ParallelMLMCMCResult:
         """Headline numbers of the run."""
         return {
             "virtual_time": self.virtual_time,
+            "wall_time_s": self.wall_time_s,
             "num_ranks": self.layout.num_ranks,
             "num_work_groups": self.layout.num_work_groups,
             "messages_sent": self.messages_sent,
@@ -118,7 +138,9 @@ class ParallelMLMCMCSampler:
     dynamic_load_balancing:
         Enable the phonebook's load balancer.
     latency:
-        Virtual message latency in seconds.
+        Virtual message latency in seconds (simulated backend only; real
+        message delivery on the multiprocess backend takes whatever the OS
+        queues take).
     level_weights:
         Initial distribution of work groups over levels; defaults to
         ``num_samples[l] * cost_model.mean(l)``.
@@ -126,7 +148,20 @@ class ParallelMLMCMCSampler:
         Seed for all chain generators.
     trace_enabled:
         Record the full execution trace (disable for very large runs).
+    backend:
+        Transport backend: ``"simulated"`` (discrete-event simulation in
+        virtual time, the default) or ``"multiprocess"`` (every rank on a
+        real OS process with real wall-clock timing).
+    backend_options:
+        Extra keyword arguments for the selected backend's world constructor
+        (``start_method`` / ``join_timeout`` for
+        :class:`repro.parallel.mp.MultiprocessWorld`; ``max_events`` for
+        :class:`repro.parallel.simmpi.VirtualWorld`).  Unknown options raise
+        a ``TypeError`` from the world constructor rather than being ignored.
     """
+
+    #: recognised transport backends
+    BACKENDS = ("simulated", "multiprocess")
 
     def __init__(
         self,
@@ -144,7 +179,15 @@ class ParallelMLMCMCSampler:
         seed: int | None = None,
         trace_enabled: bool = True,
         correction_batch: int = 10,
+        backend: str = "simulated",
+        backend_options: dict | None = None,
     ) -> None:
+        if backend not in self.BACKENDS:
+            raise ValueError(
+                f"unknown parallel backend {backend!r}; expected one of {self.BACKENDS}"
+            )
+        self.backend = backend
+        self.backend_options = dict(backend_options or {})
         self.factory = factory
         num_levels = len(factory.index_set())
         if len(num_samples) != num_levels:
@@ -200,10 +243,20 @@ class ParallelMLMCMCSampler:
         self.trace_enabled = bool(trace_enabled)
 
     # ------------------------------------------------------------------
-    def build_world(self) -> tuple[VirtualWorld, RootProcess, PhonebookProcess]:
-        """Construct the virtual world with all role processes."""
+    def build_world(self):
+        """Construct the transport world with all role processes.
+
+        Returns ``(world, root, phonebook)``; the world is a
+        :class:`VirtualWorld` or a :class:`repro.parallel.mp.MultiprocessWorld`
+        depending on the configured backend.
+        """
         trace = TraceRecorder(enabled=self.trace_enabled)
-        world = VirtualWorld(latency=self.latency, trace=trace)
+        if self.backend == "multiprocess":
+            from repro.parallel.mp import MultiprocessWorld
+
+            world = MultiprocessWorld(trace=trace, **self.backend_options)
+        else:
+            world = VirtualWorld(latency=self.latency, trace=trace, **self.backend_options)
         random_source = RandomSource(self.seed)
 
         root = RootProcess(self.layout.root_rank, self.config)
@@ -231,7 +284,9 @@ class ParallelMLMCMCSampler:
     def run(self) -> ParallelMLMCMCResult:
         """Run the parallel MLMCMC machine to completion."""
         world, root, phonebook = self.build_world()
+        start = time.perf_counter()
         world.run()
+        wall_time_s = time.perf_counter() - start
 
         unfinished = world.unfinished_ranks()
         if unfinished and root.rank in unfinished:
@@ -242,6 +297,23 @@ class ParallelMLMCMCSampler:
 
         corrections = dict(sorted(root.collected.items()))
         num_levels = self.config.num_levels
+        # A level that never reported (or reported an empty collection) would
+        # silently zero out the whole telescoping sum downstream (the
+        # estimator refuses to sum mixed empty/non-empty levels); fail here
+        # with the scheduling context instead.
+        missing = [
+            level
+            for level in range(num_levels)
+            if len(corrections.get(level, CorrectionCollection(level))) == 0
+        ]
+        if missing and len(missing) < num_levels:
+            raise RuntimeError(
+                f"parallel MLMCMC produced no correction samples for level(s) "
+                f"{missing} (targets "
+                f"{[self.num_samples[level] for level in missing]}); the "
+                "multilevel estimate would be silently corrupted. Check the "
+                "collector reports and the level/work-group layout."
+            )
         ordered = [
             corrections.get(level, CorrectionCollection(level)) for level in range(num_levels)
         ]
@@ -251,31 +323,41 @@ class ParallelMLMCMCSampler:
         samples_per_level: dict[int, int] = {}
         controller_assignments: dict[int, list[int]] = {}
         worker_stats = EvaluatorStats()
+        evaluation_stats: dict[int, EvaluatorStats] = {}
         for process in world.processes.values():
             if isinstance(process, ControllerProcess):
                 controller_assignments[process.rank] = list(process.assignment_history)
                 for level, count in process.samples_generated.items():
                     samples_per_level[level] = samples_per_level.get(level, 0) + count
+                # Multiprocess backend: every controller harvested the stats
+                # of its own per-process problem cache; merging them gives the
+                # machine-wide per-level accounting.
+                for level, stats in process.evaluation_stats.items():
+                    evaluation_stats.setdefault(level, EvaluatorStats()).merge(stats)
             elif isinstance(process, WorkerProcess):
                 worker_stats.merge(process.stats)
 
-        # Per-level model-evaluation statistics straight from the problems'
-        # evaluators — the single source of truth for evaluation counts and
-        # measured (real, not virtual) per-evaluation cost.  Callers wanting a
-        # scheduler cost model calibrated from these measurements feed them to
-        # MeasuredCostModel.observe_stats / cost_model_from_stats explicitly;
-        # the run never mutates the cost model it was given (its other
-        # observations are in virtual-time units).
-        built = self.config.problems.built_problems()
-        evaluation_stats: dict[int, EvaluatorStats] = {}
-        for level, index in enumerate(self.config.indices()):
-            problem = built.get(MultiIndex(index).values)
-            if problem is not None:
-                evaluation_stats[level] = problem.evaluation_stats.snapshot()
+        if self.backend == "simulated":
+            # Per-level model-evaluation statistics straight from the problems'
+            # evaluators — the single source of truth for evaluation counts and
+            # measured (real, not virtual) per-evaluation cost.  Callers wanting
+            # a scheduler cost model calibrated from these measurements feed
+            # them to MeasuredCostModel.observe_stats / cost_model_from_stats
+            # explicitly; the run never mutates the cost model it was given
+            # (its other observations are in virtual-time units).  All virtual
+            # controllers share one problem cache, so it is read once here
+            # rather than summed per controller.
+            built = self.config.problems.built_problems()
+            for level, index in enumerate(self.config.indices()):
+                problem = built.get(MultiIndex(index).values)
+                if problem is not None:
+                    evaluation_stats[level] = problem.evaluation_stats.snapshot()
 
         return ParallelMLMCMCResult(
             estimate=estimate,
             corrections=corrections,
+            backend=self.backend,
+            wall_time_s=wall_time_s,
             virtual_time=root.finish_time if root.finish_time > 0 else world.now,
             trace=world.trace,
             layout=self.layout,

@@ -12,7 +12,7 @@ from typing import Generator
 
 from repro.core.sample_collection import CorrectionCollection
 from repro.parallel.roles.protocol import RunConfiguration, Tags
-from repro.parallel.simmpi.process import RankProcess
+from repro.parallel.transport import RankProcess
 
 __all__ = ["CollectorProcess"]
 

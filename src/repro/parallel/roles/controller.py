@@ -27,9 +27,10 @@ from repro.core.chain import SingleChainMCMC
 from repro.core.kernels.mh import MHKernel
 from repro.core.kernels.multilevel import MultilevelKernel
 from repro.core.proposals.subsampling import BufferedChainSource
+from repro.evaluation import EvaluatorStats
+from repro.multiindex import MultiIndex
 from repro.parallel.roles.protocol import RunConfiguration, Tags
-from repro.parallel.simmpi.message import Message
-from repro.parallel.simmpi.process import RankProcess
+from repro.parallel.transport import Message, RankProcess
 from repro.utils.random import RandomSource
 
 __all__ = ["ControllerProcess"]
@@ -57,6 +58,44 @@ class ControllerProcess(RankProcess):
         #: levels this controller worked on, in order
         self.assignment_history: list[int] = []
         self.total_steps = 0
+        #: per-level evaluator statistics harvested from a multiprocess run
+        #: (empty on the simulated backend, where the driver reads the shared
+        #: problem cache directly)
+        self.evaluation_stats: dict[int, EvaluatorStats] = {}
+        self._stats_baseline: dict[int, EvaluatorStats] = {}
+
+    # ------------------------------------------------------------------
+    def _problem_stats(self) -> dict[int, EvaluatorStats]:
+        """Snapshot of the per-level evaluator statistics built so far."""
+        built = self.config.problems.built_problems()
+        stats: dict[int, EvaluatorStats] = {}
+        for level, index in enumerate(self.config.indices()):
+            problem = built.get(MultiIndex(index).values)
+            if problem is not None:
+                stats[level] = problem.evaluation_stats.snapshot()
+        return stats
+
+    def prepare_for_transport(self) -> None:
+        """Baseline the (possibly inherited) problem-cache statistics.
+
+        Under the ``fork`` start method a child inherits the parent's problem
+        cache, including evaluation counts from any earlier run; harvesting
+        deltas keeps the shipped statistics scoped to this run.
+        """
+        self._stats_baseline = self._problem_stats()
+
+    def harvest(self) -> dict:
+        """Ship chain statistics back to the driver (multiprocess runs)."""
+        stats: dict[int, EvaluatorStats] = {}
+        for level, snapshot in self._problem_stats().items():
+            baseline = self._stats_baseline.get(level)
+            stats[level] = snapshot.delta(baseline) if baseline is not None else snapshot
+        return {
+            "samples_generated": dict(self.samples_generated),
+            "assignment_history": list(self.assignment_history),
+            "total_steps": self.total_steps,
+            "evaluation_stats": stats,
+        }
 
     # ------------------------------------------------------------------
     def run(self) -> Generator:

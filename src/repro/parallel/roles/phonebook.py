@@ -21,8 +21,8 @@ from repro.parallel.loadbalancer import (
     StaticLoadBalancer,
 )
 from repro.parallel.roles.protocol import RunConfiguration, Tags
-from repro.parallel.simmpi.message import Message
-from repro.parallel.simmpi.process import RankProcess
+from repro.parallel.transport import Message
+from repro.parallel.transport import RankProcess
 
 __all__ = ["PhonebookProcess"]
 
@@ -260,6 +260,11 @@ class PhonebookProcess(RankProcess):
             Tags.REASSIGN,
             {"level": decision.target_level, "reason": decision.reason},
         )
+
+    # ------------------------------------------------------------------
+    def harvest(self) -> dict:
+        """Ship the rebalancing log back to the driver (multiprocess runs)."""
+        return {"rebalance_log": self.rebalance_log}
 
     # ------------------------------------------------------------------
     def describe(self) -> dict[str, object]:

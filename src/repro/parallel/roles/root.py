@@ -13,7 +13,7 @@ from typing import Generator
 
 from repro.core.sample_collection import CorrectionCollection
 from repro.parallel.roles.protocol import RunConfiguration, Tags
-from repro.parallel.simmpi.process import RankProcess
+from repro.parallel.transport import RankProcess
 
 __all__ = ["RootProcess"]
 
@@ -82,6 +82,15 @@ class RootProcess(RankProcess):
         for collector_ranks in layout.collector_ranks.values():
             for collector_rank in collector_ranks:
                 yield self.send(collector_rank, Tags.SHUTDOWN, {})
+
+    # ------------------------------------------------------------------
+    def harvest(self) -> dict:
+        """Ship the collected corrections back to the driver (multiprocess runs)."""
+        return {
+            "collected": self.collected,
+            "level_finish_times": self.level_finish_times,
+            "finish_time": self.finish_time,
+        }
 
     # ------------------------------------------------------------------
     @staticmethod

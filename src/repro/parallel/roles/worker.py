@@ -18,7 +18,7 @@ from typing import Generator
 
 from repro.evaluation import EvaluationRecord, EvaluatorStats
 from repro.parallel.roles.protocol import Tags
-from repro.parallel.simmpi.process import RankProcess
+from repro.parallel.transport import RankProcess
 
 __all__ = ["WorkerProcess"]
 
@@ -39,6 +39,10 @@ class WorkerProcess(RankProcess):
     def evaluations(self) -> int:
         """Number of model evaluations this worker took part in."""
         return self.stats.log_density_evaluations
+
+    def harvest(self) -> dict:
+        """Ship the evaluation accounting back to the driver (multiprocess runs)."""
+        return {"stats": self.stats}
 
     def run(self) -> Generator:
         while True:

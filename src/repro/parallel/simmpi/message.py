@@ -1,40 +1,12 @@
-"""Messages exchanged between virtual ranks."""
+"""Messages exchanged between ranks.
+
+The :class:`Message` type is transport-agnostic and lives in
+:mod:`repro.parallel.transport`; this module re-exports it under its
+historical import path.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any
+from repro.parallel.transport import Message
 
 __all__ = ["Message"]
-
-
-@dataclass
-class Message:
-    """A point-to-point message.
-
-    Attributes
-    ----------
-    source, dest:
-        Sending and receiving rank.
-    tag:
-        String tag used for matching receives (the role protocols define a
-        small vocabulary of tags, e.g. ``"SAMPLE_REQUEST"``).
-    payload:
-        Arbitrary Python object.
-    send_time, delivery_time:
-        Virtual timestamps filled in by the world when the message is posted.
-    """
-
-    source: int
-    dest: int
-    tag: str
-    payload: Any = None
-    send_time: float = 0.0
-    delivery_time: float = 0.0
-    metadata: dict[str, Any] = field(default_factory=dict)
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return (
-            f"Message({self.source}->{self.dest}, tag={self.tag!r}, "
-            f"t={self.delivery_time:.3f})"
-        )

@@ -1,152 +1,25 @@
-"""Virtual rank processes.
+"""Rank processes and their primitives.
 
-A :class:`RankProcess` implements its behaviour as the generator returned by
-:meth:`RankProcess.run`.  The generator yields *primitives* — :class:`Compute`,
-:class:`Send`, :class:`Receive` — which the :class:`VirtualWorld` interprets:
-
-``yield self.compute(duration, kind="model_eval", level=1)``
-    advances this rank's virtual clock by ``duration`` (recorded in the trace),
-
-``yield self.send(dest, "TAG", payload)``
-    posts a message (delivered after the world's latency),
-
-``message = yield self.recv("TAG_A", "TAG_B")``
-    blocks until a message with one of the given tags arrives (FIFO per
-    source, non-overtaking), and evaluates to that message.
-
-Helper :meth:`try_recv` drains already-delivered messages without blocking,
-which roles use to serve requests opportunistically between chain steps.
+The process base class and the three primitives (:class:`Compute`,
+:class:`Send`, :class:`Receive`) are transport-agnostic — the same generators
+run on the discrete-event :class:`~repro.parallel.simmpi.world.VirtualWorld`
+and on the real-process :class:`~repro.parallel.mp.MultiprocessWorld` — so
+they live in :mod:`repro.parallel.transport`.  This module re-exports them
+under their historical import path.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Generator, Iterable
-
-from repro.parallel.simmpi.message import Message
+from repro.parallel.transport import (
+    Compute,
+    Message,
+    RankProcess,
+    Receive,
+    Send,
+    _ProcessState,
+)
 
 __all__ = ["Compute", "Send", "Receive", "RankProcess"]
 
-
-@dataclass
-class Compute:
-    """Advance the process's virtual clock by ``duration`` seconds."""
-
-    duration: float
-    kind: str = "compute"
-    level: int | None = None
-    label: str = ""
-
-
-@dataclass
-class Send:
-    """Post a message to another rank."""
-
-    dest: int
-    tag: str
-    payload: Any = None
-
-
-@dataclass
-class Receive:
-    """Block until a message carrying one of ``tags`` (any tag if empty) arrives."""
-
-    tags: tuple[str, ...] = ()
-    source: int | None = None
-
-
-@dataclass
-class _ProcessState:
-    """Bookkeeping attached to each process by the world."""
-
-    mailbox: deque[Message] = field(default_factory=deque)
-    waiting_on: Receive | None = None
-    finished: bool = False
-    blocked_since: float = 0.0
-
-
-class RankProcess:
-    """Base class for all virtual ranks (root, phonebook, controller, ...)."""
-
-    #: role name used in traces and summaries; subclasses override.
-    role = "process"
-
-    def __init__(self, rank: int) -> None:
-        self.rank = int(rank)
-        self.world = None  # set by VirtualWorld.add_process
-        self._state = _ProcessState()
-
-    # -- primitives ---------------------------------------------------------
-    def compute(
-        self, duration: float, kind: str = "compute", level: int | None = None, label: str = ""
-    ) -> Compute:
-        """Primitive: advance virtual time (model evaluations, burn-in work, ...)."""
-        return Compute(duration=float(duration), kind=kind, level=level, label=label)
-
-    def send(self, dest: int, tag: str, payload: Any = None) -> Send:
-        """Primitive: post a message."""
-        return Send(dest=int(dest), tag=str(tag), payload=payload)
-
-    def recv(self, *tags: str, source: int | None = None) -> Receive:
-        """Primitive: block for a message with one of ``tags``."""
-        return Receive(tags=tuple(tags), source=source)
-
-    # -- non-blocking helpers ------------------------------------------------
-    def try_recv(self, *tags: str, source: int | None = None) -> Message | None:
-        """Pop an already-delivered matching message, or ``None``."""
-        for idx, message in enumerate(self._state.mailbox):
-            if tags and message.tag not in tags:
-                continue
-            if source is not None and message.source != source:
-                continue
-            del self._state.mailbox[idx]
-            return message
-        return None
-
-    def drain(self, *tags: str) -> list[Message]:
-        """Pop all already-delivered messages matching ``tags``."""
-        drained = []
-        while True:
-            message = self.try_recv(*tags)
-            if message is None:
-                return drained
-            drained.append(message)
-
-    def pending_count(self, *tags: str) -> int:
-        """Number of delivered-but-unconsumed messages matching ``tags``."""
-        if not tags:
-            return len(self._state.mailbox)
-        return sum(1 for m in self._state.mailbox if m.tag in tags)
-
-    # -- world hooks --------------------------------------------------------
-    @property
-    def now(self) -> float:
-        """Current virtual time."""
-        return self.world.now if self.world is not None else 0.0
-
-    def run(self) -> Generator[Compute | Send | Receive, Message | None, None]:
-        """Behaviour generator; subclasses must override."""
-        raise NotImplementedError
-        yield  # pragma: no cover
-
-    def describe(self) -> dict[str, Any]:
-        """Role description used in summaries / traces."""
-        return {"rank": self.rank, "role": self.role}
-
-    @staticmethod
-    def matches(message: Message, spec: Receive) -> bool:
-        """Whether ``message`` satisfies a receive specification."""
-        if spec.tags and message.tag not in spec.tags:
-            return False
-        if spec.source is not None and message.source != spec.source:
-            return False
-        return True
-
-    @staticmethod
-    def match_in_mailbox(mailbox: Iterable[Message], spec: Receive) -> Message | None:
-        """First matching message in a mailbox (FIFO)."""
-        for message in mailbox:
-            if RankProcess.matches(message, spec):
-                return message
-        return None
+# Referenced so re-exported internals stay importable from here.
+_ = (Message, _ProcessState)

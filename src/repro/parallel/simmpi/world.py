@@ -22,15 +22,19 @@ import heapq
 import itertools
 from typing import Callable
 
-from repro.parallel.simmpi.message import Message
-from repro.parallel.simmpi.process import Compute, RankProcess, Receive, Send
 from repro.parallel.trace import TraceRecorder
+from repro.parallel.transport import Compute, Message, RankProcess, Receive, Send, Transport
 
 __all__ = ["VirtualWorld"]
 
 
-class VirtualWorld:
+class VirtualWorld(Transport):
     """The simulated machine: ranks, messages and the virtual clock.
+
+    Implements the :class:`~repro.parallel.transport.Transport` interface:
+    messages are delivered straight into process mailboxes by the event loop,
+    so the inherited no-op :meth:`poll` is correct, and ``now`` is the virtual
+    clock.
 
     Parameters
     ----------

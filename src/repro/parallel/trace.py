@@ -57,6 +57,12 @@ class TraceRecorder:
             return
         self._events.append(TraceEvent(rank, float(start), float(end), kind, level, label))
 
+    def extend(self, events: Iterable[TraceEvent]) -> None:
+        """Merge already-recorded events (e.g. shipped back from a child process)."""
+        if not self.enabled:
+            return
+        self._events.extend(events)
+
     def events(self, kinds: Iterable[str] | None = None) -> list[TraceEvent]:
         """All events, optionally filtered by kind."""
         if kinds is None:
@@ -79,7 +85,14 @@ class TraceRecorder:
         return sum(e.duration for e in self._events if e.rank == rank and e.kind in wanted)
 
     def utilization(self, ranks: Iterable[int] | None = None) -> float:
-        """Mean fraction of the makespan the given ranks spent busy."""
+        """Mean fraction of the makespan the given ranks spent busy.
+
+        Returns ``nan`` when the recorder is disabled: no events were
+        collected, so "0 % busy" would be indistinguishable from a genuinely
+        idle machine.
+        """
+        if not self.enabled:
+            return float("nan")
         span = self.makespan
         if span <= 0:
             return 0.0

@@ -1,0 +1,281 @@
+"""Transport abstraction under the parallel MLMCMC machine.
+
+The role processes (root, phonebook, collector, controller, worker) describe
+their behaviour as generators yielding three *primitives* — :class:`Compute`,
+:class:`Send`, :class:`Receive` — and never talk to a clock, a socket or a
+queue directly.  Everything substrate-specific lives behind the
+:class:`Transport` interface:
+
+* the **simulated** backend (:class:`repro.parallel.simmpi.VirtualWorld`)
+  interprets the primitives in a discrete-event simulation: ``Compute``
+  advances a virtual clock, messages are delivered after a virtual latency,
+  and a whole 128-rank machine runs deterministically inside one Python
+  process,
+* the **multiprocess** backend (:class:`repro.parallel.mp.MultiprocessWorld`)
+  runs every rank's generator on a real ``multiprocessing`` process:
+  ``Send``/``Receive`` move pickled messages through OS queues, and the span
+  of real work following a ``Compute`` is measured with
+  ``time.perf_counter()``.
+
+Both backends drive the *same* role generators — the statistical behaviour of
+the machine is defined once, here and in :mod:`repro.parallel.roles`, and the
+transports only decide where ranks live and what a second means.
+
+A transport must provide:
+
+``now``
+    The current time on the transport's clock (virtual seconds for the
+    simulated backend, real seconds since the run started for the
+    multiprocess backend).
+``poll(process)``
+    Move any already-delivered messages into the process's mailbox.  The
+    non-blocking helpers (:meth:`RankProcess.try_recv`, :meth:`~RankProcess.drain`,
+    :meth:`~RankProcess.pending_count`) call this before inspecting the
+    mailbox; the simulated world delivers straight into mailboxes, so its
+    ``poll`` is a no-op, while the multiprocess transport drains its inbound
+    queue here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Generator, Iterable
+
+__all__ = [
+    "Compute",
+    "Message",
+    "RankProcess",
+    "Receive",
+    "Send",
+    "Transport",
+]
+
+
+@dataclass
+class Message:
+    """A point-to-point message.
+
+    Attributes
+    ----------
+    source, dest:
+        Sending and receiving rank.
+    tag:
+        String tag used for matching receives (the role protocols define a
+        small vocabulary of tags, e.g. ``"SAMPLE_REQUEST"``).
+    payload:
+        Arbitrary Python object (picklable, so the multiprocess transport can
+        move it across OS process boundaries).
+    send_time, delivery_time:
+        Timestamps on the transport's clock, filled in when the message is
+        posted/delivered.
+    """
+
+    source: int
+    dest: int
+    tag: str
+    payload: Any = None
+    send_time: float = 0.0
+    delivery_time: float = 0.0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Message({self.source}->{self.dest}, tag={self.tag!r}, "
+            f"t={self.delivery_time:.3f})"
+        )
+
+
+@dataclass
+class Compute:
+    """Advance the process's clock by one unit of model work.
+
+    The simulated backend advances virtual time by ``duration``; the
+    multiprocess backend ignores ``duration`` and instead measures (and
+    traces) the *real* time the generator spends until its next yield — which
+    is where the chain step following the ``Compute`` runs.
+    """
+
+    duration: float
+    kind: str = "compute"
+    level: int | None = None
+    label: str = ""
+
+
+@dataclass
+class Send:
+    """Post a message to another rank (non-blocking, buffered)."""
+
+    dest: int
+    tag: str
+    payload: Any = None
+
+
+@dataclass
+class Receive:
+    """Block until a message carrying one of ``tags`` (any tag if empty) arrives."""
+
+    tags: tuple[str, ...] = ()
+    source: int | None = None
+
+
+@dataclass
+class _ProcessState:
+    """Bookkeeping attached to each process by its transport."""
+
+    mailbox: deque[Message] = field(default_factory=deque)
+    waiting_on: Receive | None = None
+    finished: bool = False
+    blocked_since: float = 0.0
+
+
+class Transport:
+    """Base class of the substrates a :class:`RankProcess` can run on.
+
+    Concrete transports (``VirtualWorld``, the multiprocess per-rank runtime)
+    attach themselves to a process as ``process.world`` and must expose a
+    ``now`` attribute/property on their clock; :meth:`poll` defaults to a
+    no-op for transports that deliver straight into process mailboxes.
+    """
+
+    #: current time on the transport's clock (seconds)
+    now: float = 0.0
+
+    def poll(self, process: "RankProcess") -> None:
+        """Move already-delivered messages into ``process``'s mailbox."""
+
+
+class RankProcess:
+    """Base class for all ranks (root, phonebook, controller, ...).
+
+    The behaviour generator returned by :meth:`run` yields primitives:
+
+    ``yield self.compute(duration, kind="model_eval", level=1)``
+        one unit of model work (advances the transport's clock),
+
+    ``yield self.send(dest, "TAG", payload)``
+        posts a message,
+
+    ``message = yield self.recv("TAG_A", "TAG_B")``
+        blocks until a message with one of the given tags arrives (FIFO per
+        source, non-overtaking), and evaluates to that message.
+
+    Helper :meth:`try_recv` drains already-delivered messages without
+    blocking, which roles use to serve requests opportunistically between
+    chain steps.
+    """
+
+    #: role name used in traces and summaries; subclasses override.
+    role = "process"
+
+    def __init__(self, rank: int) -> None:
+        self.rank = int(rank)
+        self.world: Transport | None = None  # set by the transport on attach
+        self._state = _ProcessState()
+
+    # -- primitives ---------------------------------------------------------
+    def compute(
+        self, duration: float, kind: str = "compute", level: int | None = None, label: str = ""
+    ) -> Compute:
+        """Primitive: one unit of model work (model evaluations, burn-in, ...)."""
+        return Compute(duration=float(duration), kind=kind, level=level, label=label)
+
+    def send(self, dest: int, tag: str, payload: Any = None) -> Send:
+        """Primitive: post a message."""
+        return Send(dest=int(dest), tag=str(tag), payload=payload)
+
+    def recv(self, *tags: str, source: int | None = None) -> Receive:
+        """Primitive: block for a message with one of ``tags``."""
+        return Receive(tags=tuple(tags), source=source)
+
+    # -- non-blocking helpers ------------------------------------------------
+    def _poll(self) -> None:
+        """Let the transport move delivered messages into the mailbox."""
+        if self.world is not None:
+            self.world.poll(self)
+
+    def try_recv(self, *tags: str, source: int | None = None) -> Message | None:
+        """Pop an already-delivered matching message, or ``None``."""
+        self._poll()
+        for idx, message in enumerate(self._state.mailbox):
+            if tags and message.tag not in tags:
+                continue
+            if source is not None and message.source != source:
+                continue
+            del self._state.mailbox[idx]
+            return message
+        return None
+
+    def drain(self, *tags: str) -> list[Message]:
+        """Pop all already-delivered messages matching ``tags``."""
+        drained = []
+        while True:
+            message = self.try_recv(*tags)
+            if message is None:
+                return drained
+            drained.append(message)
+
+    def pending_count(self, *tags: str) -> int:
+        """Number of delivered-but-unconsumed messages matching ``tags``."""
+        self._poll()
+        if not tags:
+            return len(self._state.mailbox)
+        return sum(1 for m in self._state.mailbox if m.tag in tags)
+
+    # -- transport hooks ----------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current time on the attached transport's clock."""
+        return self.world.now if self.world is not None else 0.0
+
+    def run(self) -> Generator[Compute | Send | Receive, Message | None, None]:
+        """Behaviour generator; subclasses must override."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def describe(self) -> dict[str, Any]:
+        """Role description used in summaries / traces."""
+        return {"rank": self.rank, "role": self.role}
+
+    # -- state shipping (multiprocess transport) ----------------------------
+    def prepare_for_transport(self) -> None:
+        """Hook run on the rank's host process before the generator starts.
+
+        Roles that accumulate statistics in shared objects (e.g. the
+        controllers' problem caches) snapshot a baseline here so
+        :meth:`harvest` ships only what *this* run produced.
+        """
+
+    def harvest(self) -> dict[str, Any]:
+        """Picklable role state to ship back to the driver after the run.
+
+        The multiprocess transport calls this on the child process once the
+        generator finishes and applies the result to the driver-side twin via
+        :meth:`absorb`.  The default ships nothing; roles whose results the
+        driver reads (collected corrections, rebalance logs, per-level sample
+        counts) override it.
+        """
+        return {}
+
+    def absorb(self, harvest: dict[str, Any]) -> None:
+        """Apply a :meth:`harvest` payload to this (driver-side) instance."""
+        for key, value in harvest.items():
+            setattr(self, key, value)
+
+    # -- matching -----------------------------------------------------------
+    @staticmethod
+    def matches(message: Message, spec: Receive) -> bool:
+        """Whether ``message`` satisfies a receive specification."""
+        if spec.tags and message.tag not in spec.tags:
+            return False
+        if spec.source is not None and message.source != spec.source:
+            return False
+        return True
+
+    @staticmethod
+    def match_in_mailbox(mailbox: Iterable[Message], spec: Receive) -> Message | None:
+        """First matching message in a mailbox (FIFO)."""
+        for message in mailbox:
+            if RankProcess.matches(message, spec):
+                return message
+        return None

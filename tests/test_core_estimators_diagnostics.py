@@ -52,6 +52,28 @@ class TestMultilevelEstimate:
         assert len(summary) == 2
         assert summary[1]["num_samples"] == 50
 
+    def test_mixed_empty_level_raises_instead_of_silent_corruption(self, rng):
+        # Regression: np.zeros(0) + np.zeros(d) broadcasts to shape (0,), so a
+        # single empty level used to silently discard every other level's
+        # contribution from the telescoping sum.
+        corrections = [
+            _correction(0, rng.normal(size=(50, 2)), None),
+            CorrectionCollection(1),  # a level that never reported
+            _correction(2, rng.normal(size=(20, 2)), rng.normal(size=(20, 2))),
+        ]
+        estimate = MultilevelEstimate.from_corrections(corrections)
+        with pytest.raises(ValueError, match=r"level\(s\) \[1\]"):
+            _ = estimate.mean
+        with pytest.raises(ValueError, match="empty"):
+            estimate.cumulative_means()
+
+    def test_all_levels_empty_keeps_legacy_empty_mean(self):
+        estimate = MultilevelEstimate.from_corrections(
+            [CorrectionCollection(0), CorrectionCollection(1)]
+        )
+        assert estimate.mean.size == 0
+        assert MultilevelEstimate(contributions=[]).mean.size == 0
+
     def test_estimator_variance_decreases_with_samples(self, rng):
         small = MultilevelEstimate.from_corrections(
             [_correction(0, rng.normal(size=(50, 1)), None)]

@@ -198,6 +198,41 @@ class TestPoolEvaluator:
         assert evaluator._pool is None  # never spawned
         evaluator.close()
 
+    def test_min_batch_size_honored_as_documented(self, rng):
+        # Regression: min_batch_size=1 was silently clamped to 2, so single-
+        # vector batches never reached the pool despite the docstring.
+        evaluator = PoolEvaluator(processes=2, min_batch_size=1)
+        problem = DensitySamplingProblem(
+            dim=3, log_density=_quadratic_log_density, evaluator=evaluator
+        )
+        single = rng.standard_normal((1, 3))
+        try:
+            values = problem.log_density_batch(single)
+            assert evaluator._pool is not None, "single batch should use the pool"
+        finally:
+            evaluator.close()
+        np.testing.assert_allclose(values, [_quadratic_log_density(single[0])])
+
+    def test_min_batch_size_validation(self):
+        with pytest.raises(ValueError, match="min_batch_size"):
+            PoolEvaluator(processes=1, min_batch_size=0)
+
+    def test_close_is_graceful_and_pool_rebuilds(self, rng):
+        evaluator = PoolEvaluator(processes=2)
+        problem = DensitySamplingProblem(
+            dim=2, log_density=_quadratic_log_density, evaluator=evaluator
+        )
+        block = rng.standard_normal((4, 2))
+        first = problem.log_density_batch(block)
+        evaluator.close()
+        assert evaluator._pool is None
+        # a closed evaluator lazily rebuilds its pool on the next batch
+        try:
+            second = problem.log_density_batch(block)
+        finally:
+            evaluator.close()
+        np.testing.assert_array_equal(first, second)
+
 
 class TestMakeEvaluator:
     def test_dispatch(self):

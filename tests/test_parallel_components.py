@@ -197,6 +197,42 @@ class TestLoadBalancer:
         assert balancer.decide(_loads(chain0=5, avail1=10), now=50.0) is None
         assert balancer.decide(_loads(chain0=5, avail1=10), now=200.0) is not None
 
+    def test_rate_limit_uses_levels_involved_in_move(self):
+        # Regression: the interval was derived from the slowest level of the
+        # WHOLE hierarchy, so in a steep cost hierarchy a move between two
+        # cheap coarse levels was suppressed for 5 x the finest level's run
+        # time even though neither level was involved.
+        balancer = DynamicLoadBalancer(
+            cost_model=ConstantCostModel([0.01, 0.02, 1000.0]),
+            pressure_threshold=1.0,
+            rate_limit_factor=5.0,
+        )
+
+        def coarse_loads():
+            return {
+                0: LevelLoad(0, queued_chain_requests=5, num_groups=1),
+                1: LevelLoad(1, available_samples=10, num_groups=2,
+                             done=True, needed_as_proposal_source=False),
+                2: LevelLoad(2, num_groups=1),
+            }
+
+        first = balancer.decide(coarse_loads(), now=10.0)
+        assert first is not None
+        assert {first.source_level, first.target_level} == {0, 1}
+        # 0.5 s later: far beyond 5 * max(cost(0), cost(1)) = 0.1 s, yet far
+        # below 5 * cost(2) = 5000 s.  The move must go through.
+        second = balancer.decide(coarse_loads(), now=10.5)
+        assert second is not None, "coarse-level move over-throttled by fine-level cost"
+
+        # A move involving the expensive level is still rate-limited by it.
+        expensive_loads = {
+            0: LevelLoad(0, available_samples=10, num_groups=2,
+                         done=True, needed_as_proposal_source=False),
+            2: LevelLoad(2, queued_chain_requests=5, num_groups=1),
+        }
+        assert balancer.decide(expensive_loads, now=11.0) is None
+        assert balancer.decide(expensive_loads, now=11.0 + 6000.0) is not None
+
     def test_pressure_threshold_prevents_marginal_moves(self):
         balancer = self._balancer(pressure_threshold=100.0)
         assert balancer.decide(_loads(chain0=2, avail1=1), now=10.0) is None

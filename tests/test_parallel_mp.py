@@ -1,0 +1,196 @@
+"""Transport backends: simulated/multiprocess parity, mp smoke, plumbing.
+
+Covers the transport abstraction introduced for the parallel MLMCMC machine:
+
+* the simulated backend is untouched by the refactor (explicit
+  ``backend="simulated"`` is bit-identical to the default, and seeded runs
+  stay deterministic),
+* the multiprocess backend runs the same role machine on real OS processes
+  and satisfies the same collection targets,
+* the failure modes fixed alongside: missing level reports fail loudly, and
+  disabled tracing yields NaN utilization instead of a fake 0.0.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import get_scenario, run_scenario
+from repro.experiments.runner import BackendNotApplicableError
+from repro.models.gaussian import GaussianHierarchyFactory
+from repro.parallel import ConstantCostModel, ParallelMLMCMCSampler
+
+
+@pytest.fixture(scope="module")
+def factory():
+    return GaussianHierarchyFactory(dim=2, num_levels=3, subsampling=3)
+
+
+def _sampler(factory, **overrides):
+    options = dict(
+        num_samples=[60, 24, 10],
+        num_ranks=10,
+        cost_model=ConstantCostModel([0.01, 0.04, 0.16]),
+        seed=5,
+    )
+    options.update(overrides)
+    return ParallelMLMCMCSampler(factory, **options)
+
+
+# ----------------------------------------------------------------------------
+class TestSimulatedBackendParity:
+    def test_explicit_simulated_backend_is_bit_identical_to_default(self, factory):
+        default = _sampler(factory).run()
+        explicit = _sampler(factory, backend="simulated").run()
+        np.testing.assert_array_equal(default.mean, explicit.mean)
+        assert default.virtual_time == explicit.virtual_time
+        assert default.samples_per_level == explicit.samples_per_level
+        assert default.messages_sent == explicit.messages_sent
+        assert default.backend == explicit.backend == "simulated"
+
+    def test_seeded_simulated_run_is_deterministic(self, factory):
+        first = _sampler(factory).run()
+        second = _sampler(factory).run()
+        np.testing.assert_array_equal(first.mean, second.mean)
+        assert first.virtual_time == second.virtual_time
+
+    def test_unknown_backend_rejected(self, factory):
+        with pytest.raises(ValueError, match="backend"):
+            _sampler(factory, backend="mpi")
+
+
+# ----------------------------------------------------------------------------
+class TestMultiprocessBackend:
+    @pytest.fixture(scope="class")
+    def mp_result(self, factory):
+        return _sampler(factory, backend="multiprocess").run()
+
+    def test_completes_and_meets_targets(self, mp_result):
+        assert mp_result.backend == "multiprocess"
+        for level, target in enumerate([60, 24, 10]):
+            assert len(mp_result.corrections[level]) >= target
+        assert np.all(np.isfinite(mp_result.mean))
+        assert mp_result.mean.shape == (2,)
+
+    def test_real_wall_clock_and_trace(self, mp_result):
+        # Real seconds, not virtual: the run took measurable wall time and
+        # the trace carries model-evaluation intervals with real durations.
+        assert mp_result.wall_time_s > 0
+        assert mp_result.virtual_time > 0
+        eval_events = mp_result.trace.events(["model_eval", "burnin"])
+        assert eval_events, "no real-timed compute intervals recorded"
+        assert all(e.end >= e.start for e in eval_events)
+        utilization = mp_result.worker_utilization()
+        assert 0.0 <= utilization <= 1.0
+
+    def test_role_state_harvested_from_children(self, mp_result):
+        # Controller/worker/phonebook state lives in child processes; the
+        # driver-side twins must have absorbed it.
+        assert sum(mp_result.samples_per_level.values()) > 0
+        assert mp_result.controller_assignments
+        assert all(history for history in mp_result.controller_assignments.values())
+        assert mp_result.messages_sent > 0
+        assert mp_result.events_processed > 0
+
+    def test_evaluation_stats_merged_across_ranks(self, mp_result):
+        assert set(mp_result.evaluation_stats), "no per-level stats harvested"
+        for level, stats in mp_result.evaluation_stats.items():
+            assert stats.log_density_evaluations > 0, level
+        # density evaluations track the generated chain samples
+        evals = mp_result.model_evaluations
+        for level, generated in mp_result.samples_per_level.items():
+            assert evals.get(level, 0) >= generated
+
+    def test_mp_estimate_statistically_consistent(self, factory, mp_result):
+        exact = factory.exact_mean()
+        # Short chains: generous tolerance, this is a smoke check that the
+        # machine assembled a sane telescoping estimate, not a precision test.
+        assert np.linalg.norm(mp_result.mean - exact) < 1.5
+
+
+# ----------------------------------------------------------------------------
+class TestFailureModes:
+    def test_missing_level_report_fails_loudly(self, factory):
+        class DroppingSampler(ParallelMLMCMCSampler):
+            """Simulates a level whose collectors never report."""
+
+            def build_world(self):
+                world, root, phonebook = super().build_world()
+                inner = root.run
+
+                def run():
+                    yield from inner()
+                    root.collected.pop(1, None)
+
+                root.run = run
+                return world, root, phonebook
+
+        sampler = DroppingSampler(
+            factory,
+            num_samples=[30, 12, 6],
+            num_ranks=10,
+            cost_model=ConstantCostModel([0.01, 0.04, 0.16]),
+            seed=3,
+        )
+        with pytest.raises(RuntimeError, match=r"level\(s\) \[1\]"):
+            sampler.run()
+
+    def test_disabled_tracing_yields_nan_utilization(self, factory):
+        result = _sampler(factory, trace_enabled=False).run()
+        assert math.isnan(result.worker_utilization())
+        assert math.isnan(result.summary()["worker_utilization"])
+        # the estimate itself is unaffected by tracing
+        assert np.all(np.isfinite(result.mean))
+
+
+# ----------------------------------------------------------------------------
+class TestExperimentPlumbing:
+    def test_parallel_backend_override_changes_spec_identity(self):
+        spec = get_scenario("poisson-parallel")
+        resolved = spec.resolved(parallel_backend="multiprocess")
+        assert resolved.parallel == {"backend": "multiprocess"}
+        assert resolved.hash() != spec.resolved().hash()
+        # same-backend override keeps backend-specific options
+        from repro.experiments import ExperimentSpec
+
+        with_options = ExperimentSpec(
+            name="x", driver="parallel",
+            parallel={"backend": "multiprocess", "options": {"join_timeout": 10.0}},
+        )
+        same = with_options.resolved(parallel_backend="multiprocess")
+        assert same.parallel["options"] == {"join_timeout": 10.0}
+        other = with_options.resolved(parallel_backend="simulated")
+        assert other.parallel == {"backend": "simulated"}
+
+    def test_parallel_backend_rejected_for_non_parallel_drivers(self):
+        for name in ("table3-poisson-multilevel", "example-scaling-study", "fem-hotpath"):
+            with pytest.raises(BackendNotApplicableError, match="parallel"):
+                run_scenario(name, quick=True, parallel_backend="multiprocess")
+
+    def test_manifest_records_simulated_default_for_parallel_driver(self, tmp_path):
+        run = run_scenario("example-load-balancing", quick=True, out_dir=tmp_path)
+        assert run.manifest["parallel_backend"] == "simulated"
+        assert run.payload["parallel_backend"] == "simulated"
+        assert run.manifest["results"]["wall_time_s"] >= 0
+
+    def test_manifest_records_multiprocess_run(self, tmp_path):
+        run = run_scenario(
+            "poisson-parallel",
+            quick=True,
+            parallel_backend="multiprocess",
+            out_dir=tmp_path,
+        )
+        assert run.manifest["parallel_backend"] == "multiprocess"
+        assert run.payload["parallel_backend"] == "multiprocess"
+        assert run.raw.backend == "multiprocess"
+        # per-level evaluation stats were harvested from the child processes
+        assert run.manifest["evaluations"]
+        assert all(e["log_density_evaluations"] > 0 for e in run.manifest["evaluations"])
+        assert (tmp_path / "poisson-parallel.manifest.json").exists()
+
+    def test_non_parallel_manifests_record_null_backend(self, tmp_path):
+        run = run_scenario("ablation-subsampling", quick=True, out_dir=tmp_path)
+        assert run.manifest["parallel_backend"] is None

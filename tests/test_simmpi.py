@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -205,7 +207,9 @@ class TestTraceRecorder:
         trace = TraceRecorder(enabled=False)
         trace.record(0, 0.0, 1.0, "model_eval")
         assert len(trace) == 0
-        assert trace.utilization() == 0.0
+        # Disabled tracing must be distinguishable from a genuinely idle
+        # machine: utilization is NaN, not a plausible-looking 0.0.
+        assert math.isnan(trace.utilization())
 
     def test_zero_length_intervals_ignored(self):
         trace = TraceRecorder()
