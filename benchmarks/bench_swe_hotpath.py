@@ -1,0 +1,196 @@
+"""SWE hot-path benchmark: scalar forward solves vs the ensemble batch path.
+
+Times the tsunami forward map on the paper's Table-2 hierarchy at one-third
+scale (25 / 79 / 241 cells -> 8 / 24 / 72, same bathymetry treatments),
+comparing
+
+* **scalar** — one :meth:`TohokuLikeScenario.observe` call per source (the
+  seed behaviour: a full Python-level time loop per sample), against
+* **ensemble** — one :meth:`TohokuLikeScenario.observe_batch` call for the
+  whole source block, which advances all members as one ``(B, nx, ny)``
+  array program through the fused buffered kernels with per-member CFL steps
+  (results row-identical to the scalar path — the parity is asserted, not
+  assumed).
+
+The paper-proportioned ladder matters for interpreting the numbers: with the
+paper's subsampling rates ``rho_l = [-, 25, 5]`` the coarse and middle
+chains run roughly an order of magnitude more forward solves than the finest
+chain, so the grids where MLMCMC actually spends its solves are the coarse
+ones — exactly where batching pays most (the per-member solver overhead
+amortises across the ensemble, while very fine grids become bandwidth-bound
+and the gain tapers off; both regimes are recorded).
+
+Both paths run over the cached :class:`~repro.swe.scenario.ScenarioPlan`
+(treated bathymetry, gauge cells, IC grids), so the comparison isolates the
+time loop itself.  Results are appended-by-overwrite to
+``BENCH_swe_hotpath.json`` at the repo root so the performance trajectory
+accumulates across PRs.  Runnable standalone::
+
+    python benchmarks/bench_swe_hotpath.py            # full: levels 0/1/2, B=16
+    python benchmarks/bench_swe_hotpath.py --quick    # CI: levels 0/1, B=4, 1 repeat
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parents[1]
+if __package__ in (None, ""):  # executed as a plain script
+    sys.path.insert(0, str(_ROOT))
+    sys.path.insert(0, str(_ROOT / "src"))
+
+import numpy as np
+
+from benchmarks.conftest import print_rows
+from repro.swe.scenario import LevelConfiguration, TohokuLikeScenario
+
+SEED = 7
+DEFAULT_BATCH_SIZE = 16
+QUICK_BATCH_SIZE = 4
+DEFAULT_END_TIME = 1800.0
+QUICK_END_TIME = 900.0
+
+#: the paper's Table-2 hierarchy (25 / 79 / 241 cells, constant / smoothed /
+#: full bathymetry) at one-third scale — proportions preserved so the rows
+#: reflect where MLMCMC's subsampled chains actually spend their solves
+BENCH_LEVEL_CONFIGS = (
+    LevelConfiguration(level=0, num_cells=8, bathymetry_treatment="constant", limiter=False),
+    LevelConfiguration(level=1, num_cells=24, bathymetry_treatment="smoothed", limiter=True,
+                       smoothing_passes=4),
+    LevelConfiguration(level=2, num_cells=72, bathymetry_treatment="full", limiter=True),
+)
+
+
+def _scenario(num_levels: int, end_time: float) -> TohokuLikeScenario:
+    """The benchmark hierarchy (truncated to ``num_levels``)."""
+    return TohokuLikeScenario(
+        level_configs=BENCH_LEVEL_CONFIGS[:num_levels], end_time=end_time
+    )
+
+
+def _source_block(scenario: TohokuLikeScenario, batch_size: int) -> np.ndarray:
+    """A deterministic block of physical source locations (km offsets)."""
+    rng = np.random.default_rng(SEED)
+    block = np.empty((0, 2))
+    while block.shape[0] < batch_size:
+        draws = rng.normal(0.0, 15.0, size=(4 * batch_size, 2))
+        block = np.concatenate([block, draws[scenario.physical_mask(draws)]])
+    return block[:batch_size]
+
+
+def bench_level(
+    scenario: TohokuLikeScenario, level: int, thetas: np.ndarray, repeats: int
+) -> dict:
+    """Scalar-vs-ensemble timings of one level's forward solves.
+
+    The scalar and ensemble measurements are interleaved per repeat (and the
+    best of each kept) so both paths sample the same machine conditions —
+    back-to-back blocks would let one slow scheduling window bias the ratio.
+    """
+    tic = time.perf_counter()
+    plan = scenario.plan(level)
+    plan_build = time.perf_counter() - tic
+    batch_size = thetas.shape[0]
+
+    scenario.simulate_batch(level, thetas)  # warm the ensemble workspace
+    t_scalar = t_ensemble = np.inf
+    scalar = result = None
+    for _ in range(repeats):
+        tic = time.perf_counter()
+        scalar = np.stack([scenario.observe(level, theta) for theta in thetas])
+        t_scalar = min(t_scalar, time.perf_counter() - tic)
+        tic = time.perf_counter()
+        result = scenario.simulate_batch(level, thetas)
+        t_ensemble = min(t_ensemble, time.perf_counter() - tic)
+    ensemble = result.wave_observables()
+
+    max_diff = float(np.abs(ensemble - scalar).max())
+    if max_diff > 1e-10:
+        raise AssertionError(
+            f"ensemble path diverged from the scalar path on level {level}: {max_diff:.3e}"
+        )
+    return {
+        "level": level,
+        "num_cells": plan.solver.nx,
+        "batch_size": batch_size,
+        "timesteps": int(result.num_timesteps.max()),
+        "plan_build_seconds": plan_build,
+        "scalar": {"total": t_scalar, "per_sample": t_scalar / batch_size},
+        "ensemble": {"total": t_ensemble, "per_sample": t_ensemble / batch_size},
+        "per_sample_speedup": t_scalar / t_ensemble,
+        "max_abs_observation_diff": max_diff,
+    }
+
+
+def run(num_levels: int, batch_size: int, end_time: float, repeats: int, quick: bool) -> dict:
+    scenario = _scenario(num_levels, end_time)
+    thetas = _source_block(scenario, batch_size)
+    results = [
+        bench_level(scenario, level, thetas, repeats)
+        for level in range(scenario.num_levels)
+    ]
+    return {
+        "benchmark": "swe_hotpath",
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "quick": quick,
+        "repeats": repeats,
+        "batch_size": batch_size,
+        "end_time_s": end_time,
+        "results": results,
+    }
+
+
+def report(payload: dict) -> None:
+    rows = []
+    for entry in payload["results"]:
+        rows.append(
+            {
+                "level": entry["level"],
+                "grid": f"{entry['num_cells']}x{entry['num_cells']}",
+                "steps": entry["timesteps"],
+                "scalar/sample [ms]": entry["scalar"]["per_sample"] * 1e3,
+                "ensemble/sample [ms]": entry["ensemble"]["per_sample"] * 1e3,
+                "per-sample speedup": entry["per_sample_speedup"],
+                "max |diff|": entry["max_abs_observation_diff"],
+            }
+        )
+    print_rows(
+        f"SWE hot path — scalar loop vs ensemble solve (B = {payload['batch_size']})",
+        rows,
+    )
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI mode: two coarse levels, small batch, one repeat (no timing gate)",
+    )
+    parser.add_argument("--batch-size", type=int, default=None, help="ensemble size B")
+    parser.add_argument("--repeats", type=int, default=None, help="timing repeats per path")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=_ROOT / "BENCH_swe_hotpath.json",
+        help="output JSON path (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    num_levels = 2 if args.quick else 3
+    batch_size = args.batch_size or (QUICK_BATCH_SIZE if args.quick else DEFAULT_BATCH_SIZE)
+    end_time = QUICK_END_TIME if args.quick else DEFAULT_END_TIME
+    repeats = args.repeats or (1 if args.quick else 3)
+    payload = run(num_levels, batch_size, end_time, repeats, quick=args.quick)
+    report(payload)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

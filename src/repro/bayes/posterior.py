@@ -117,7 +117,11 @@ class Posterior:
         Uses the vectorized fast paths of the prior (``log_density_batch``),
         the forward model (``forward_batch``) and the likelihood
         (``log_likelihood_batch``) where they exist, falling back to the
-        scalar path per row otherwise.
+        scalar path per row otherwise.  Forward models exposing a
+        ``physical_mask`` (e.g. the tsunami model, whose sources can land on
+        dry ground) have their unphysical rows assigned the likelihood's
+        unphysical value directly, so one bad row never forces the whole
+        block off the batch path.
         """
         block = np.atleast_2d(np.asarray(thetas, dtype=float))
         forward_batch = getattr(self._forward, "forward_batch", None)
@@ -134,6 +138,26 @@ class Posterior:
 
         values = np.full(block.shape[0], -math.inf)
         supported = np.isfinite(log_priors)
+
+        physical_mask = getattr(self._forward, "physical_mask", None)
+        if physical_mask is not None:
+            physical = np.asarray(physical_mask(block), dtype=bool).ravel()
+            if physical.shape[0] != block.shape[0]:
+                raise ValueError(
+                    f"physical_mask returned {physical.shape[0]} entries for "
+                    f"{block.shape[0]} parameter vectors"
+                )
+            unphysical = supported & ~physical
+            if np.any(unphysical):
+                # Mirrors the scalar path: "almost zero" Gaussian likelihood
+                # for unphysical outputs, -inf for other likelihood types.
+                if isinstance(self._likelihood, GaussianLikelihood):
+                    values[unphysical] = (
+                        log_priors[unphysical]
+                        + self._likelihood.unphysical_log_likelihood
+                    )
+            supported = supported & physical
+
         if not np.any(supported):
             return values
         num_supported = int(np.count_nonzero(supported))

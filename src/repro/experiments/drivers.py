@@ -44,6 +44,7 @@ BACKEND_AGNOSTIC_DRIVERS = frozenset(
         "evaluator-cache",
         "random-field",
         "fem-hotpath",
+        "swe-hotpath",
         "buoy-series",
         "tsunami-observations",
         "tsunami-hierarchy",
@@ -839,6 +840,104 @@ def run_tsunami_hierarchy(spec: ExperimentSpec) -> DriverResult:
             }
         )
     return DriverResult({"rows": rows}, raw=results, factory=factory)
+
+
+@driver("forward-sweep")
+def run_forward_sweep(spec: ExperimentSpec) -> DriverResult:
+    """A vectorized sweep of log-density evaluations through every level.
+
+    Draws a block of source parameters and evaluates it through each level's
+    ``log_density_batch`` — the workload of pilot studies and prior
+    predictive checks.  Unlike the MCMC drivers this routes *blocks* through
+    the spec-selected evaluation backend, so it is the scenario that
+    demonstrates (and CI-checks) the batch/pool fast paths end to end:
+    manifests record ``batch_calls > 0`` whenever the backend actually
+    batched.
+    """
+    factory = _spec_factory(spec)
+    num_draws = max(2, int(spec.sampler.get("num_draws", 32)))
+    draw_std = float(spec.sampler.get("draw_std", 20.0))
+    rng = np.random.default_rng(spec.seed)
+
+    rows = []
+    stats_by_level: dict[int, Any] = {}
+    raw: dict[int, np.ndarray] = {}
+    for level in range(factory.num_levels()):
+        problem = factory.problem_for_level(level)
+        thetas = rng.normal(0.0, draw_std, size=(num_draws, problem.dim))
+        tic = time.perf_counter()
+        values = problem.log_density_batch(thetas)
+        elapsed = time.perf_counter() - tic
+        raw[level] = values
+        stats = problem.evaluation_stats
+        stats_by_level[level] = stats
+        finite = np.isfinite(values)
+        rows.append(
+            {
+                "level": level,
+                "draws": num_draws,
+                "batch_calls": int(stats.batch_calls),
+                "log_density_evaluations": int(stats.log_density_evaluations),
+                "finite_fraction": float(np.mean(finite)),
+                "mean_log_density": float(values[finite].mean()) if finite.any() else None,
+                "sweep_time_s": float(elapsed),
+                "per_draw_ms": float(elapsed / num_draws * 1e3),
+            }
+        )
+    payload = {
+        "rows": rows,
+        "num_draws": num_draws,
+        "backend": (spec.evaluation or {}).get("backend") or "inprocess",
+    }
+    return DriverResult(
+        payload, raw=raw, factory=factory, evaluations=_stats_entries(stats_by_level)
+    )
+
+
+@driver("swe-hotpath")
+def run_swe_hotpath(spec: ExperimentSpec) -> DriverResult:
+    """Per-sample SWE forward solve: ensemble batch path vs the scalar loop.
+
+    The registry-level smoke equivalent of ``benchmarks/bench_swe_hotpath.py``
+    (which remains the authoritative JSON performance trajectory).
+    """
+    factory = _spec_factory(spec)
+    scenario = factory.scenario
+    level = min(int(spec.sampler.get("level", 1)), factory.num_levels() - 1)
+    batch_size = int(spec.sampler.get("batch_size", 8))
+    rng = np.random.default_rng(spec.seed)
+    thetas = rng.normal(0.0, 15.0, size=(batch_size, 2))
+    thetas = thetas[scenario.physical_mask(thetas)]
+    if thetas.shape[0] == 0:
+        raise RuntimeError("no physical sources drawn; widen the draw distribution")
+
+    # Warm both paths: the plan build for the scalar loop, the workspace
+    # allocation for the ensemble solve — neither belongs in the timings.
+    scenario.observe(level, thetas[0])
+    scenario.observe_batch(level, thetas)
+
+    tic = time.perf_counter()
+    scalar = np.stack([scenario.observe(level, theta) for theta in thetas])
+    t_scalar = time.perf_counter() - tic
+    tic = time.perf_counter()
+    batched = scenario.observe_batch(level, thetas)
+    t_batch = time.perf_counter() - tic
+
+    num_cells = factory.specs[level].num_cells
+    payload = {
+        "rows": [
+            {
+                "level": level,
+                "num_cells": num_cells,
+                "batch_size": int(thetas.shape[0]),
+                "scalar_per_sample_ms": float(t_scalar / thetas.shape[0] * 1e3),
+                "ensemble_per_sample_ms": float(t_batch / thetas.shape[0] * 1e3),
+                "per_sample_speedup": float(t_scalar / max(t_batch, 1e-12)),
+                "max_abs_observation_diff": float(np.abs(batched - scalar).max()),
+            }
+        ]
+    }
+    return DriverResult(payload, raw={"scalar": scalar, "batched": batched}, factory=factory)
 
 
 @driver("fem-hotpath")

@@ -380,6 +380,50 @@ register(ExperimentSpec(
 ))
 
 register(ExperimentSpec(
+    name="tsunami-batch",
+    driver="forward-sweep",
+    application="tsunami",
+    paper_ref="Sections 3.2 / 5.2",
+    description="Vectorized tsunami log-density sweep on the batch evaluation backend",
+    problem={"preset": "scaled"},
+    sampler={"num_draws": 24, "draw_std": 20.0},
+    evaluation={"backend": "batch"},
+    seed=2026,
+    quick={"problem": _TSUNAMI_QUICK_PROBLEM, "sampler": {"num_draws": 6}},
+    tags=("performance",),
+))
+
+register(ExperimentSpec(
+    name="tsunami-parallel",
+    driver="parallel",
+    application="tsunami",
+    paper_ref="Sections 4 / 5.2",
+    description="Parallel MLMCMC on the tsunami hierarchy (simulated or real processes)",
+    problem={"preset": "scaled"},
+    sampler={"num_samples": [60, 24, 10], "num_ranks": 10,
+             "cost_per_level": [1.0, 4.0, 9.0]},
+    parallel={"backend": "simulated"},
+    seed=2027,
+    quick={"problem": _TSUNAMI_QUICK_PROBLEM,
+           "sampler": {"num_samples": [12, 6], "num_ranks": 6,
+                       "cost_per_level": [1.0, 4.0]}},
+    tags=("performance", "parallel"),
+))
+
+register(ExperimentSpec(
+    name="swe-hotpath",
+    driver="swe-hotpath",
+    application="tsunami",
+    paper_ref="—",
+    description="Per-sample SWE solve: ensemble-native batch path vs scalar loop",
+    problem={"preset": "scaled"},
+    sampler={"level": 1, "batch_size": 8},
+    seed=7,
+    quick={"problem": _TSUNAMI_QUICK_PROBLEM, "sampler": {"level": 1, "batch_size": 4}},
+    tags=("performance",),
+))
+
+register(ExperimentSpec(
     name="evaluator-cache",
     driver="evaluator-cache",
     application="poisson",

@@ -18,9 +18,40 @@ from repro.core.factory import MLComponentFactory
 from repro.core.problem import AbstractSamplingProblem, GaussianTargetProblem
 from repro.core.proposals.base import MCMCProposal
 from repro.core.proposals.random_walk import GaussianRandomWalkProposal
+from repro.models.base import ForwardModelBase
 from repro.multiindex import MultiIndex
 
-__all__ = ["GaussianHierarchyFactory"]
+__all__ = ["GaussianHierarchyFactory", "GaussianIdentityForwardModel"]
+
+
+class GaussianIdentityForwardModel(ForwardModelBase):
+    """The identity observation operator ``F(theta) = theta``.
+
+    The analytic hierarchy's targets are Gaussian in the parameters
+    themselves, so the forward map that conforms to the shared
+    :class:`repro.models.base.ForwardModel` contract is the identity —
+    batched evaluation is a single array copy.  Used by the conformance tests
+    and anywhere a trivially cheap stand-in forward model is useful.
+    """
+
+    def __init__(self, dim: int) -> None:
+        self._dim = int(dim)
+
+    @property
+    def output_dim(self) -> int:
+        return self._dim
+
+    def forward(self, theta: np.ndarray) -> np.ndarray:
+        theta = np.atleast_1d(np.asarray(theta, dtype=float)).ravel()
+        if theta.shape[0] != self._dim:
+            raise ValueError(f"expected a parameter of dimension {self._dim}")
+        return theta.copy()
+
+    def forward_batch(self, thetas: np.ndarray) -> np.ndarray:
+        block = np.atleast_2d(np.asarray(thetas, dtype=float))
+        if block.shape[1] != self._dim:
+            raise ValueError(f"expected parameters of dimension {self._dim}")
+        return block.copy()
 
 
 class GaussianHierarchyFactory(MLComponentFactory):
@@ -95,6 +126,7 @@ class GaussianHierarchyFactory(MLComponentFactory):
         )
         self.evaluation_backend = evaluation_backend
         self.evaluator_options = dict(evaluator_options or {})
+        self._forward_model: GaussianIdentityForwardModel | None = None
 
     # ------------------------------------------------------------------
     def level_mean(self, level: int) -> np.ndarray:
@@ -116,6 +148,17 @@ class GaussianHierarchyFactory(MLComponentFactory):
         return self.level_mean(level) - self.level_mean(level - 1)
 
     # ------------------------------------------------------------------
+    def forward_model(self, level: int) -> GaussianIdentityForwardModel:
+        """The level's forward map under the shared ``ForwardModel`` contract.
+
+        The analytic targets observe the parameters directly, so every level
+        shares one cached identity operator (identity-stable across calls,
+        like the Poisson and tsunami factories).
+        """
+        if self._forward_model is None:
+            self._forward_model = GaussianIdentityForwardModel(self.dim)
+        return self._forward_model
+
     def num_levels(self) -> int:
         return self._num_levels
 

@@ -68,8 +68,9 @@ class PoissonLevelSpec:
 class PoissonForwardModel:
     """Forward model of one level: KL coefficients -> observations of ``u``.
 
-    The KL mode matrix at the level's element midpoints is precomputed once so
-    a forward evaluation is (i) a matrix-vector product, (ii) an exponential,
+    Implements the :class:`repro.models.base.ForwardModel` contract.  The KL
+    mode matrix at the level's element midpoints is precomputed once so a
+    forward evaluation is (i) a matrix-vector product, (ii) an exponential,
     (iii) one sparse FEM solve and (iv) point evaluation at the observation
     points.
     """
@@ -96,6 +97,11 @@ class PoissonForwardModel:
         """KL coefficient dimension."""
         return self.field.num_modes
 
+    @property
+    def output_dim(self) -> int:
+        """Number of observation points."""
+        return int(self.observation_points.shape[0])
+
     def diffusion_coefficients(self, theta: np.ndarray) -> np.ndarray:
         """Per-element diffusion coefficient ``kappa`` for the given parameters."""
         theta = np.atleast_1d(np.asarray(theta, dtype=float)).ravel()
@@ -108,10 +114,13 @@ class PoissonForwardModel:
         log_kappa = self._mean_log + block @ self.mode_matrix.T
         return np.exp(log_kappa)
 
-    def __call__(self, theta: np.ndarray) -> np.ndarray:
+    def forward(self, theta: np.ndarray) -> np.ndarray:
         """Observations of the PDE solution at the observation points."""
         kappa = self.diffusion_coefficients(theta)
         return self.solver.solve_and_observe(kappa, self.observation_points)
+
+    def __call__(self, theta: np.ndarray) -> np.ndarray:
+        return self.forward(theta)
 
     def forward_batch(self, thetas: np.ndarray) -> np.ndarray:
         """Observations for an ``(n, m)`` parameter block.

@@ -27,10 +27,54 @@ from repro.core.factory import MLComponentFactory
 from repro.core.problem import AbstractSamplingProblem, BayesianSamplingProblem
 from repro.core.proposals.adaptive_metropolis import AdaptiveMetropolisProposal
 from repro.core.proposals.base import MCMCProposal
+from repro.models.base import ForwardModelBase
 from repro.multiindex import MultiIndex
 from repro.swe.scenario import LevelConfiguration, TohokuLikeScenario
 
-__all__ = ["TsunamiLevelSpec", "TsunamiInverseProblemFactory"]
+__all__ = ["TsunamiLevelSpec", "TsunamiForwardModel", "TsunamiInverseProblemFactory"]
+
+
+class TsunamiForwardModel(ForwardModelBase):
+    """One level's forward map: source location (km) -> buoy observables.
+
+    Implements the shared :class:`repro.models.base.ForwardModel` contract on
+    top of :class:`repro.swe.scenario.TohokuLikeScenario`.  The batched path
+    runs a whole ``(n, 2)`` parameter block through the solver's ensemble
+    time loop (:meth:`TohokuLikeScenario.observe_batch`) — one array program
+    per time step instead of ``n`` scalar simulations — with rows identical
+    to the scalar path, which is what lets ``BatchEvaluator``/``PoolEvaluator``
+    finally take their fast paths on the tsunami problem.
+
+    ``physical_mask`` exposes the paper's dry-land/out-of-domain treatment in
+    vectorized form; :meth:`repro.bayes.Posterior.log_density_batch` uses it
+    to batch only the valid rows.
+    """
+
+    def __init__(self, scenario: TohokuLikeScenario, level: int) -> None:
+        self.scenario = scenario
+        self.level = int(level)
+
+    @property
+    def output_dim(self) -> int:
+        """Two observables (max height, time of max) per gauge."""
+        return 2 * len(self.scenario.gauges)
+
+    def forward(self, theta: np.ndarray) -> np.ndarray:
+        """Buoy observables for one source location (raises on unphysical)."""
+        return self.scenario.observe(self.level, theta)
+
+    def forward_batch(self, thetas: np.ndarray) -> np.ndarray:
+        """Buoy observables for an ``(n, 2)`` block via the ensemble solve.
+
+        Every row must be physical; blocks containing unphysical rows raise
+        :class:`~repro.bayes.likelihood.UnphysicalModelOutput` exactly like
+        the scalar path (filter with :meth:`physical_mask` first).
+        """
+        return self.scenario.observe_batch(self.level, thetas)
+
+    def physical_mask(self, thetas: np.ndarray) -> np.ndarray:
+        """Boolean row mask: ``True`` where the source is in wet water in-domain."""
+        return self.scenario.physical_mask(thetas)
 
 
 @dataclass(frozen=True)
@@ -147,9 +191,11 @@ class TsunamiInverseProblemFactory(MLComponentFactory):
             source_radius=source_radius,
         )
 
+        self._forward_models: dict[int, TsunamiForwardModel] = {}
+
         # Synthetic observations from the finest level at the true location.
         finest = len(self.specs) - 1
-        self.data = self.scenario.observe(finest, self.true_location)
+        self.data = self.forward_model(finest)(self.true_location)
         if data_noise_seed is not None:
             rng = np.random.default_rng(data_noise_seed)
             noise_std = self._observation_std(finest)
@@ -195,19 +241,20 @@ class TsunamiInverseProblemFactory(MLComponentFactory):
         return rows
 
     # ------------------------------------------------------------------
+    def forward_model(self, level: int) -> TsunamiForwardModel:
+        """The (cached) forward model of one level."""
+        if level not in self._forward_models:
+            self._forward_models[level] = TsunamiForwardModel(self.scenario, level)
+        return self._forward_models[level]
+
     def num_levels(self) -> int:
         return len(self.specs)
 
     def problem_for_level(self, level: int) -> AbstractSamplingProblem:
-        scenario = self.scenario
-
-        def forward(theta: np.ndarray) -> np.ndarray:
-            return scenario.observe(level, theta)
-
         posterior = Posterior(
             prior=self._prior,
             likelihood=self.likelihood_for_level(level),
-            forward=forward,
+            forward=self.forward_model(level),
             qoi=None,  # the QOI is the parameter itself
         )
         cost = float(self.specs[level].num_cells**2) / float(self.specs[0].num_cells**2)

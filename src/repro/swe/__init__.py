@@ -18,7 +18,7 @@ subpackage provides:
   the likelihood (:mod:`repro.swe.gauges`).
 """
 
-from repro.swe.state import ShallowWaterState, DRY_TOLERANCE
+from repro.swe.state import ShallowWaterState, ShallowWaterEnsembleState, DRY_TOLERANCE
 from repro.swe.bathymetry import (
     BathymetryField,
     tohoku_like_bathymetry,
@@ -26,13 +26,18 @@ from repro.swe.bathymetry import (
     depth_averaged_bathymetry,
 )
 from repro.swe.riemann import rusanov_flux, hll_flux, physical_flux_x
-from repro.swe.fv2d import ShallowWaterSolver2D, SimulationResult
-from repro.swe.gauges import Gauge, GaugeRecord, wave_observables
+from repro.swe.fv2d import (
+    EnsembleSimulationResult,
+    ShallowWaterSolver2D,
+    SimulationResult,
+)
+from repro.swe.gauges import Gauge, GaugeRecord, wave_observables, wave_observables_batch
 from repro.swe.dg1d import ADERDGSolver1D
-from repro.swe.scenario import TohokuLikeScenario, SourceParameters
+from repro.swe.scenario import ScenarioPlan, TohokuLikeScenario, SourceParameters
 
 __all__ = [
     "ShallowWaterState",
+    "ShallowWaterEnsembleState",
     "DRY_TOLERANCE",
     "BathymetryField",
     "tohoku_like_bathymetry",
@@ -43,10 +48,13 @@ __all__ = [
     "physical_flux_x",
     "ShallowWaterSolver2D",
     "SimulationResult",
+    "EnsembleSimulationResult",
     "Gauge",
     "GaugeRecord",
     "wave_observables",
+    "wave_observables_batch",
     "ADERDGSolver1D",
+    "ScenarioPlan",
     "TohokuLikeScenario",
     "SourceParameters",
 ]

@@ -22,6 +22,7 @@ exercised and tested:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -63,6 +64,34 @@ def _lagrange_derivative(nodes: np.ndarray, x: np.ndarray) -> np.ndarray:
                     term *= (x - nodes[m]) / (nodes[j] - nodes[m])
             derivs[:, j] += term
     return derivs
+
+
+@lru_cache(maxsize=None)
+def _dg_basis_data(
+    num_nodes: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Basis and predictor matrices of the order-``num_nodes - 1`` nodal scheme.
+
+    The triple Python loops of the Lagrange basis/derivative evaluation are
+    quadrature-order cubed — cheap once, wasteful when rerun for every solver
+    construction and every predictor step, so the results are memoised at
+    module level keyed on the node count.  Returns read-only arrays
+    ``(nodes, weights, basis_left, basis_right, diff_matrix,
+    predictor_basis)`` where ``predictor_basis[t]`` is the basis evaluated at
+    the time nodes scaled by time node ``t`` (the matrices the space-time
+    predictor's Picard update needs).
+    """
+    nodes, weights = _gauss_legendre_01(num_nodes)
+    basis_left = _lagrange_basis(nodes, np.array([0.0]))[0]
+    basis_right = _lagrange_basis(nodes, np.array([1.0]))[0]
+    diff_matrix = _lagrange_derivative(nodes, nodes)
+    predictor_basis = np.stack(
+        [_lagrange_basis(nodes, nodes * t_node) for t_node in nodes]
+    )
+    data = (nodes, weights, basis_left, basis_right, diff_matrix, predictor_basis)
+    for array in data:
+        array.setflags(write=False)
+    return data
 
 
 @dataclass
@@ -117,16 +146,20 @@ class ADERDGSolver1D:
         self.limited_cells_last_step = 0
         self.total_limited_cells = 0
 
-        # Basis data on [0, 1].
-        self.nodes, self.weights = _gauss_legendre_01(self.num_nodes)
-        self.basis_left = _lagrange_basis(self.nodes, np.array([0.0]))[0]
-        self.basis_right = _lagrange_basis(self.nodes, np.array([1.0]))[0]
-        self.diff_matrix = _lagrange_derivative(self.nodes, self.nodes)  # (node, basis)
+        # Basis data on [0, 1] — shared, read-only, cached per order.
+        (
+            self.nodes,
+            self.weights,
+            self.basis_left,
+            self.basis_right,
+            self.diff_matrix,  # (node, basis)
+            self._predictor_basis,
+        ) = _dg_basis_data(self.num_nodes)
         # Mass matrix is diagonal for a nodal Gauss basis: M_jj = w_j.
         self.inv_mass = 1.0 / self.weights
 
         # Space-time predictor quadrature (same nodes in time).
-        self.time_nodes, self.time_weights = _gauss_legendre_01(self.num_nodes)
+        self.time_nodes, self.time_weights = self.nodes, self.weights
 
     # ------------------------------------------------------------------
     def node_coordinates(self) -> np.ndarray:
@@ -190,9 +223,9 @@ class ADERDGSolver1D:
             q_new = np.empty_like(q_pred)
             for t_idx, t_node in enumerate(self.time_nodes):
                 # integral_0^{t_node} dflux dt approximated with the quadrature
-                # restricted to [0, t_node] by linear scaling of nodes.
-                scaled_nodes = self.time_nodes * t_node
-                basis_at_scaled = _lagrange_basis(self.time_nodes, scaled_nodes)
+                # restricted to [0, t_node] by linear scaling of nodes; the
+                # basis at the scaled nodes comes from the per-order cache.
+                basis_at_scaled = self._predictor_basis[t_idx]
                 integrand = np.einsum("st,ctiv->csiv", basis_at_scaled, dflux)
                 integral = np.einsum("s,csiv->civ", self.time_weights * t_node, integrand)
                 q_new[:, t_idx] = coeffs - dt * integral

@@ -19,20 +19,35 @@ robust FV scheme wherever a high-order candidate is troubled, in particular at
 coastlines — is played here by the solver being robust-FV everywhere; the
 1-D ADER-DG module (:mod:`repro.swe.dg1d`) demonstrates the limiter machinery
 itself.
+
+The flux, source and update kernels index the grid through the *last two*
+axes, so they operate unchanged on single states of shape ``(nx, ny)`` and on
+ensembles with a leading batch axis, shape ``(B, nx, ny)``.
+:meth:`ShallowWaterSolver2D.run_ensemble` exploits this to advance a whole
+parameter ensemble as one array program; by default every member integrates
+with its *own* CFL time step (a per-member ``dt`` column broadcast into the
+update), which keeps the ensemble results elementwise identical to running
+each member through :meth:`ShallowWaterSolver2D.run` — the property the batch
+evaluation backends rely on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Literal
+from typing import Literal, Sequence
 
 import numpy as np
 
-from repro.swe.gauges import Gauge, GaugeRecord
+from repro.swe.gauges import Gauge, GaugeRecord, wave_observables_batch
 from repro.swe.riemann import hll_flux, rusanov_flux
-from repro.swe.state import DRY_TOLERANCE, GRAVITY, ShallowWaterState
+from repro.swe.state import (
+    DRY_TOLERANCE,
+    GRAVITY,
+    ShallowWaterEnsembleState,
+    ShallowWaterState,
+)
 
-__all__ = ["ShallowWaterSolver2D", "SimulationResult"]
+__all__ = ["ShallowWaterSolver2D", "SimulationResult", "EnsembleSimulationResult"]
 
 
 @dataclass
@@ -62,6 +77,87 @@ class SimulationResult:
     simulated_time: float
     dof_updates: int
     max_eta_field: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
+
+
+@dataclass
+class EnsembleSimulationResult:
+    """Output of one batched (ensemble) shallow-water simulation.
+
+    Per-member quantities are arrays over the batch axis ``B``; gauge series
+    are stored as padded arrays — member ``m``'s valid samples are the first
+    ``num_timesteps[m] + 1`` entries along the step axis.
+
+    Attributes
+    ----------
+    state:
+        Final ensemble state, fields of shape ``(B, nx, ny)``.
+    gauges:
+        The recorded gauges, in input order.
+    num_timesteps, simulated_time, dof_updates:
+        Per-member step counts, final times and DOF-update work, shape ``(B,)``.
+    gauge_times:
+        Per-member sample times, shape ``(B, S + 1)`` where ``S`` is the
+        largest member step count (entries beyond a member's own step count
+        repeat its final time).
+    gauge_values:
+        Sea-surface-height anomalies, shape ``(B, S + 1, G)``.
+    max_eta_field:
+        Per-member maximum free-surface anomaly, shape ``(B, nx, ny)``
+        (empty when recording was disabled).
+    """
+
+    state: ShallowWaterEnsembleState
+    gauges: list[Gauge]
+    num_timesteps: np.ndarray
+    simulated_time: np.ndarray
+    dof_updates: np.ndarray
+    gauge_times: np.ndarray
+    gauge_values: np.ndarray
+    max_eta_field: np.ndarray = field(default_factory=lambda: np.zeros((0, 0, 0)))
+
+    # ------------------------------------------------------------------
+    @property
+    def batch_size(self) -> int:
+        """Number of ensemble members."""
+        return self.state.batch_size
+
+    def wave_observables(self, time_unit: float = 60.0) -> np.ndarray:
+        """Likelihood observables per member, shape ``(B, 2 * G)``.
+
+        Matches :func:`repro.swe.gauges.wave_observables` row by row: first
+        every gauge's maximum anomaly, then the times of those maxima.
+        """
+        return wave_observables_batch(
+            self.gauge_times,
+            self.gauge_values,
+            sample_counts=self.num_timesteps + 1,
+            time_unit=time_unit,
+        )
+
+    def member(self, index: int) -> SimulationResult:
+        """Member ``index`` repackaged as a scalar :class:`SimulationResult`."""
+        valid = int(self.num_timesteps[index]) + 1
+        records = []
+        for g, gauge in enumerate(self.gauges):
+            record = GaugeRecord(gauge=gauge)
+            for t, v in zip(
+                self.gauge_times[index, :valid], self.gauge_values[index, :valid, g]
+            ):
+                record.append(t, v)
+            records.append(record)
+        max_eta = (
+            self.max_eta_field[index].copy()
+            if self.max_eta_field.size
+            else np.zeros((0, 0))
+        )
+        return SimulationResult(
+            state=self.state.member(index),
+            gauge_records=records,
+            num_timesteps=int(self.num_timesteps[index]),
+            simulated_time=float(self.simulated_time[index]),
+            dof_updates=int(self.dof_updates[index]),
+            max_eta_field=max_eta,
+        )
 
 
 class ShallowWaterSolver2D:
@@ -114,6 +210,12 @@ class ShallowWaterSolver2D:
             raise ValueError("CFL number must be in (0, 1]")
         self._flux = rusanov_flux if flux == "rusanov" else hll_flux
         self.dry_tolerance = float(dry_tolerance)
+        #: static per-interface bathymetry of the hydrostatic reconstruction
+        #: (lazy; shared by every ensemble step on this grid)
+        self._interface_bathymetry: tuple[np.ndarray, np.ndarray] | None = None
+        #: preallocated buffers of the fused ensemble step; grown to the
+        #: largest batch seen, smaller batches use leading-axis views
+        self._ensemble_workspace: dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     def cell_centers(self) -> tuple[np.ndarray, np.ndarray]:
@@ -148,39 +250,44 @@ class ShallowWaterSolver2D:
         return state
 
     # ------------------------------------------------------------------
-    def _interface_fluxes_x(self, state: ShallowWaterState) -> tuple[np.ndarray, ...]:
+    def _interface_fluxes_x(
+        self, state: ShallowWaterState | ShallowWaterEnsembleState
+    ) -> tuple[np.ndarray, ...]:
         """Hydrostatically reconstructed fluxes across x-interfaces.
 
-        Returns per-interface flux arrays of shape ``(nx + 1, ny)`` together
-        with the reconstructed left/right depths needed for the well-balanced
-        source term.
+        Returns per-interface flux arrays of shape ``(..., nx + 1, ny)``
+        together with the reconstructed left/right depths needed for the
+        well-balanced source term.  The grid occupies the last two axes, so
+        any leading batch axes pass straight through.
         """
         h, hu, hv, b = state.h, state.hu, state.hv, state.b
         # Extend with zero-gradient ghost cells in x.
-        h_ext = np.concatenate([h[:1], h, h[-1:]], axis=0)
-        hu_ext = np.concatenate([hu[:1], hu, hu[-1:]], axis=0)
-        hv_ext = np.concatenate([hv[:1], hv, hv[-1:]], axis=0)
-        b_ext = np.concatenate([b[:1], b, b[-1:]], axis=0)
+        h_ext = np.concatenate([h[..., :1, :], h, h[..., -1:, :]], axis=-2)
+        hu_ext = np.concatenate([hu[..., :1, :], hu, hu[..., -1:, :]], axis=-2)
+        hv_ext = np.concatenate([hv[..., :1, :], hv, hv[..., -1:, :]], axis=-2)
+        b_ext = np.concatenate([b[..., :1, :], b, b[..., -1:, :]], axis=-2)
 
-        h_l, h_r = h_ext[:-1], h_ext[1:]
-        hu_l, hu_r = hu_ext[:-1], hu_ext[1:]
-        hv_l, hv_r = hv_ext[:-1], hv_ext[1:]
-        b_l, b_r = b_ext[:-1], b_ext[1:]
+        h_l, h_r = h_ext[..., :-1, :], h_ext[..., 1:, :]
+        hu_l, hu_r = hu_ext[..., :-1, :], hu_ext[..., 1:, :]
+        hv_l, hv_r = hv_ext[..., :-1, :], hv_ext[..., 1:, :]
+        b_l, b_r = b_ext[..., :-1, :], b_ext[..., 1:, :]
 
         return self._reconstructed_flux(h_l, hu_l, hv_l, b_l, h_r, hu_r, hv_r, b_r)
 
-    def _interface_fluxes_y(self, state: ShallowWaterState) -> tuple[np.ndarray, ...]:
+    def _interface_fluxes_y(
+        self, state: ShallowWaterState | ShallowWaterEnsembleState
+    ) -> tuple[np.ndarray, ...]:
         """Same as :meth:`_interface_fluxes_x` for y-interfaces (roles of hu/hv swapped)."""
         h, hu, hv, b = state.h, state.hu, state.hv, state.b
-        h_ext = np.concatenate([h[:, :1], h, h[:, -1:]], axis=1)
-        hu_ext = np.concatenate([hu[:, :1], hu, hu[:, -1:]], axis=1)
-        hv_ext = np.concatenate([hv[:, :1], hv, hv[:, -1:]], axis=1)
-        b_ext = np.concatenate([b[:, :1], b, b[:, -1:]], axis=1)
+        h_ext = np.concatenate([h[..., :1], h, h[..., -1:]], axis=-1)
+        hu_ext = np.concatenate([hu[..., :1], hu, hu[..., -1:]], axis=-1)
+        hv_ext = np.concatenate([hv[..., :1], hv, hv[..., -1:]], axis=-1)
+        b_ext = np.concatenate([b[..., :1], b, b[..., -1:]], axis=-1)
 
-        h_l, h_r = h_ext[:, :-1], h_ext[:, 1:]
-        hu_l, hu_r = hu_ext[:, :-1], hu_ext[:, 1:]
-        hv_l, hv_r = hv_ext[:, :-1], hv_ext[:, 1:]
-        b_l, b_r = b_ext[:, :-1], b_ext[:, 1:]
+        h_l, h_r = h_ext[..., :-1], h_ext[..., 1:]
+        hu_l, hu_r = hu_ext[..., :-1], hu_ext[..., 1:]
+        hv_l, hv_r = hv_ext[..., :-1], hv_ext[..., 1:]
+        b_l, b_r = b_ext[..., :-1], b_ext[..., 1:]
 
         # In the y-sweep the "normal" momentum is hv; reuse the x-flux with
         # swapped momentum components and swap the returned components back.
@@ -225,9 +332,20 @@ class ShallowWaterSolver2D:
         return flux_h, flux_hn, flux_ht, h_star_l, h_star_r
 
     # ------------------------------------------------------------------
-    def step(self, state: ShallowWaterState, dt: float) -> None:
-        """Advance the state by one explicit Euler step of size ``dt`` (in place)."""
+    def step(
+        self,
+        state: ShallowWaterState | ShallowWaterEnsembleState,
+        dt: float | np.ndarray,
+    ) -> None:
+        """Advance the state by one explicit Euler step of size ``dt`` (in place).
+
+        ``dt`` may be a scalar, or — for ensemble states — a ``(B,)`` array of
+        per-member step sizes (a member with ``dt = 0`` is left unchanged).
+        """
         g = self.gravity
+        dt_arr = np.asarray(dt, dtype=float)
+        if dt_arr.ndim:
+            dt = dt_arr[:, None, None]
 
         # --- x-direction ---------------------------------------------------
         flux_h_x, flux_hu_x, flux_hv_x, h_star_l_x, h_star_r_x = self._interface_fluxes_x(state)
@@ -235,22 +353,21 @@ class ShallowWaterSolver2D:
         # i (left) and i+1 (right); the hydrostatic-reconstruction source is
         #   g/2 * (h*_{i,left-of-right-interface}^2 - h*_{i,right-of-left-interface}^2
         #          - (h_i)^2 + (h_i)^2 ) ... expressed compactly below.
-        h = state.h
         src_hu = (
-            0.5 * g * (h_star_l_x[1:, :] ** 2 - h_star_r_x[:-1, :] ** 2)
+            0.5 * g * (h_star_l_x[..., 1:, :] ** 2 - h_star_r_x[..., :-1, :] ** 2)
         )
-        dh_x = -(flux_h_x[1:, :] - flux_h_x[:-1, :]) / self.dx
-        dhu_x = -(flux_hu_x[1:, :] - flux_hu_x[:-1, :]) / self.dx + src_hu / self.dx
-        dhv_x = -(flux_hv_x[1:, :] - flux_hv_x[:-1, :]) / self.dx
+        dh_x = -(flux_h_x[..., 1:, :] - flux_h_x[..., :-1, :]) / self.dx
+        dhu_x = -(flux_hu_x[..., 1:, :] - flux_hu_x[..., :-1, :]) / self.dx + src_hu / self.dx
+        dhv_x = -(flux_hv_x[..., 1:, :] - flux_hv_x[..., :-1, :]) / self.dx
 
         # --- y-direction ---------------------------------------------------
         flux_h_y, flux_hu_y, flux_hv_y, h_star_l_y, h_star_r_y = self._interface_fluxes_y(state)
         src_hv = (
-            0.5 * g * (h_star_l_y[:, 1:] ** 2 - h_star_r_y[:, :-1] ** 2)
+            0.5 * g * (h_star_l_y[..., 1:] ** 2 - h_star_r_y[..., :-1] ** 2)
         )
-        dh_y = -(flux_h_y[:, 1:] - flux_h_y[:, :-1]) / self.dy
-        dhu_y = -(flux_hu_y[:, 1:] - flux_hu_y[:, :-1]) / self.dy
-        dhv_y = -(flux_hv_y[:, 1:] - flux_hv_y[:, :-1]) / self.dy + src_hv / self.dy
+        dh_y = -(flux_h_y[..., 1:] - flux_h_y[..., :-1]) / self.dy
+        dhu_y = -(flux_hu_y[..., 1:] - flux_hu_y[..., :-1]) / self.dy
+        dhv_y = -(flux_hv_y[..., 1:] - flux_hv_y[..., :-1]) / self.dy + src_hv / self.dy
 
         state.h += dt * (dh_x + dh_y)
         state.hu += dt * (dhu_x + dhu_y)
@@ -264,6 +381,23 @@ class ShallowWaterSolver2D:
             return 0.1 * min(self.dx, self.dy)
         return self.cfl * min(self.dx, self.dy) / max_speed
 
+    def stable_timesteps(
+        self, state: ShallowWaterEnsembleState, speeds: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Per-member CFL-stable time steps, shape ``(B,)``.
+
+        Member-wise identical to :meth:`stable_timestep` (all-dry members get
+        the same ``0.1 * min(dx, dy)`` fallback).  ``speeds`` optionally
+        supplies precomputed per-member max wave speeds.
+        """
+        if speeds is None:
+            speeds = state.max_wave_speeds(self.gravity)
+        return np.where(
+            speeds > 0.0,
+            self.cfl * min(self.dx, self.dy) / np.where(speeds > 0.0, speeds, 1.0),
+            0.1 * min(self.dx, self.dy),
+        )
+
     # ------------------------------------------------------------------
     def run(
         self,
@@ -272,14 +406,24 @@ class ShallowWaterSolver2D:
         gauges: list[Gauge] | None = None,
         max_steps: int = 1_000_000,
         record_max_eta: bool = True,
+        gauge_cells: Sequence[tuple[int, int]] | None = None,
     ) -> SimulationResult:
-        """Run the simulation to ``end_time`` recording gauges every step."""
+        """Run the simulation to ``end_time`` recording gauges every step.
+
+        ``gauge_cells`` optionally supplies precomputed gauge cell indices
+        (one ``(i, j)`` pair per gauge, e.g. from a cached
+        :class:`repro.swe.scenario.ScenarioPlan`), skipping the per-run
+        :meth:`locate_cell` lookups.
+        """
         state = initial_state.copy()
         gauges = gauges or []
         records = [GaugeRecord(gauge=g) for g in gauges]
-        cells = [self.locate_cell(g.x, g.y) for g in gauges]
-        gauge_i = np.array([i for i, _ in cells], dtype=int)
-        gauge_j = np.array([j for _, j in cells], dtype=int)
+        if gauge_cells is None:
+            gauge_cells = [self.locate_cell(g.x, g.y) for g in gauges]
+        elif len(gauge_cells) != len(gauges):
+            raise ValueError("gauge_cells must supply one (i, j) pair per gauge")
+        gauge_i = np.array([i for i, _ in gauge_cells], dtype=int)
+        gauge_j = np.array([j for _, j in gauge_cells], dtype=int)
         reference_eta = np.where(
             state.h[gauge_i, gauge_j] > self.dry_tolerance,
             state.free_surface[gauge_i, gauge_j],
@@ -333,3 +477,438 @@ class ShallowWaterSolver2D:
         )
         for record, anomaly in zip(records, anomalies):
             record.append(time, anomaly)
+
+    # ------------------------------------------------------------------
+    # ensemble (batched) solve path
+    def initial_ensemble(self, surface_displacements: np.ndarray) -> ShallowWaterEnsembleState:
+        """Lake-at-rest ensemble with per-member surface displacements.
+
+        ``surface_displacements`` has shape ``(B, nx, ny)`` (a single
+        ``(nx, ny)`` field yields a one-member ensemble).  Member-wise
+        identical to :meth:`initial_state`.
+        """
+        disp = np.asarray(surface_displacements, dtype=float)
+        if disp.ndim == 2:
+            disp = disp[None]
+        if disp.ndim != 3 or disp.shape[1:] != (self.nx, self.ny):
+            raise ValueError(
+                f"surface displacements of shape {disp.shape} do not match the "
+                f"grid ({self.nx}, {self.ny})"
+            )
+        state = ShallowWaterEnsembleState.lake_at_rest(self.bathymetry, disp.shape[0])
+        state.dry_tolerance = self.dry_tolerance
+        wet = state.h > self.dry_tolerance
+        state.h[wet] = np.maximum(state.h[wet] + disp[wet], 0.0)
+        return state
+
+    def _static_interface_bathymetry(self) -> tuple[np.ndarray, np.ndarray]:
+        """Reconstructed interface bathymetry ``max(b_l, b_r)`` per direction.
+
+        The bathymetry is static in time, so the ghost extension and the
+        per-interface maximum of the hydrostatic reconstruction are computed
+        once per grid and broadcast over any batch axis.
+        """
+        if self._interface_bathymetry is None:
+            b = self.bathymetry
+            b_ext_x = np.concatenate([b[:1], b, b[-1:]], axis=0)
+            b_ext_y = np.concatenate([b[:, :1], b, b[:, -1:]], axis=1)
+            self._interface_bathymetry = (
+                np.maximum(b_ext_x[:-1], b_ext_x[1:]),  # (nx + 1, ny)
+                np.maximum(b_ext_y[:, :-1], b_ext_y[:, 1:]),  # (nx, ny + 1)
+            )
+        return self._interface_bathymetry
+
+    def release_ensemble_buffers(self) -> None:
+        """Free the fused-step workspace (it regrows on the next ensemble solve).
+
+        One buffer set sized for the largest batch seen stays alive between
+        solves (that reuse is the point of the workspace); long-lived solvers
+        that are done with batched work can drop it explicitly.
+        """
+        self._ensemble_workspace = {}
+
+    @staticmethod
+    def _buf(ws: dict[str, np.ndarray], name: str, shape: tuple[int, ...], dtype=float) -> np.ndarray:
+        """A preallocated buffer of the given shape, reused across steps.
+
+        Buffers are keyed by name and sized for the largest leading (batch)
+        dimension seen; smaller requests return a contiguous leading-axis
+        view.  Callers like ``Posterior.log_density_batch`` forward only the
+        physical rows of each block, so consecutive ensemble solves arrive
+        with varying batch sizes — growing in place keeps exactly one buffer
+        set alive per solver instead of one per batch size.
+        """
+        array = ws.get(name)
+        if (
+            array is None
+            or array.dtype != dtype
+            or array.shape[1:] != shape[1:]
+            or array.shape[0] < shape[0]
+        ):
+            array = np.empty(shape, dtype=dtype)
+            ws[name] = array
+        if array.shape[0] != shape[0]:
+            return array[: shape[0]]
+        return array
+
+    def _fused_interface_fluxes(
+        self,
+        ws: dict[str, np.ndarray],
+        tag: str,
+        eta: np.ndarray,
+        un: np.ndarray,
+        ut: np.ndarray,
+        b_star: np.ndarray,
+        axis: int,
+    ) -> tuple[np.ndarray, ...]:
+        """Hydrostatic reconstruction + Rusanov flux, into reused buffers.
+
+        Performs the same elementwise operation sequence as
+        :meth:`_reconstructed_flux` + :func:`repro.swe.riemann.rusanov_flux`
+        (so the results are bitwise identical), but with every repeated
+        subexpression computed once — cell velocities and free surface arrive
+        precomputed — and every intermediate written into a preallocated
+        *contiguous* buffer instead of a fresh temporary: the ghost extension
+        and l/r interface shifts are materialised as copies because strided
+        views and broadcasts cost several times a contiguous SIMD pass.
+        """
+        g = self.gravity
+        batch = eta.shape[0]
+        if axis == -2:
+            shape = (eta.shape[0], eta.shape[1] + 1, eta.shape[2])
+        else:
+            shape = (eta.shape[0], eta.shape[1], eta.shape[2] + 1)
+        # Left and right interface states are stacked along the batch axis
+        # (shape (2B, ...)): the whole per-side pipeline then runs as single
+        # full-width ufunc calls, halving the dispatch count.
+        stacked = (2 * shape[0],) + shape[1:]
+
+        def buf(name: str) -> np.ndarray:
+            return self._buf(ws, f"{tag}:{name}", stacked)
+
+        def half(name: str) -> np.ndarray:
+            return self._buf(ws, f"{tag}:{name}", shape)
+
+        flux_h, flux_hn, flux_ht = half("flux_h"), half("flux_hn"), half("flux_ht")
+        eta_lr, un_lr, ut_lr = buf("eta_lr"), buf("un_lr"), buf("ut_lr")
+        h_star = buf("h_star")
+        hn, ht = buf("hn"), buf("ht")
+        u, c, p = buf("u"), buf("c"), buf("p")
+        f1, f2 = buf("f1"), buf("f2")
+        mask, work_lr = buf("mask"), buf("work_lr")
+        smax, work = half("smax"), half("work")
+
+        # Left/right interface traces with zero-gradient ghost cells.
+        for src, dest in ((eta, eta_lr), (un, un_lr), (ut, ut_lr)):
+            left, right = dest[:batch], dest[batch:]
+            if axis == -2:
+                left[:, 0, :] = src[:, 0, :]
+                left[:, 1:, :] = src
+                right[:, :-1, :] = src
+                right[:, -1, :] = src[:, -1, :]
+            else:
+                left[..., 0] = src[..., 0]
+                left[..., 1:] = src
+                right[..., :-1] = src
+                right[..., -1] = src[..., -1]
+
+        # Hydrostatically reconstructed interface depths and momenta.
+        np.subtract(eta_lr, b_star, out=h_star)
+        np.maximum(h_star, 0.0, out=h_star)
+        np.multiply(h_star, un_lr, out=hn)
+        np.multiply(h_star, ut_lr, out=ht)
+
+        # Branch-free dry handling (`where=`-masked ufunc loops are scalar
+        # and several times slower than full SIMD passes): with tol < 1,
+        # where(wet, h, 1) == maximum(h, dry_indicator) and the dry lanes of
+        # the velocity are zeroed by multiplying with the wet indicator —
+        # x * 1.0 == x exactly, so wet lanes are untouched and the dry-lane
+        # where() branches of the reference kernels (u = 0, f1 = p, f2 = 0)
+        # fall out of the arithmetic: hn * (+-0) + p == p and |+-0| == 0.
+        np.less_equal(h_star, DRY_TOLERANCE, out=mask)  # 1.0 on dry lanes
+        np.maximum(h_star, mask, out=work_lr)  # where(wet, h, 1)
+        np.divide(hn, work_lr, out=u)
+        np.subtract(1.0, mask, out=mask)  # 1.0 on wet lanes
+        np.multiply(u, mask, out=u)  # where(wet, hn / h, +-0)
+        # celerity sqrt(g * max(h, 0)) — h* is already clipped.
+        np.multiply(h_star, g, out=c)
+        np.sqrt(c, out=c)
+        # physical fluxes (the flux_h component is hn itself).
+        np.multiply(h_star, 0.5 * g, out=p)
+        np.multiply(p, h_star, out=p)
+        np.multiply(hn, u, out=f1)
+        np.add(f1, p, out=f1)
+        np.multiply(ht, u, out=f2)
+
+        # Rusanov dissipation speed max(|u_l| + c_l, |u_r| + c_r).
+        np.abs(u, out=work_lr)
+        np.add(work_lr, c, out=work_lr)
+        np.maximum(work_lr[:batch], work_lr[batch:], out=smax)
+        np.multiply(smax, 0.5, out=smax)
+
+        for f_s, q_s, out in ((hn, h_star, flux_h), (f1, hn, flux_hn), (f2, ht, flux_ht)):
+            # 0.5 * (f_l + f_r) - (0.5 * smax) * (q_r - q_l)
+            np.subtract(q_s[batch:], q_s[:batch], out=work)
+            np.multiply(work, smax, out=work)
+            np.add(f_s[:batch], f_s[batch:], out=out)
+            np.multiply(out, 0.5, out=out)
+            np.subtract(out, work, out=out)
+        return flux_h, flux_hn, flux_ht, h_star[:batch], h_star[batch:]
+
+    def _fused_primitives(
+        self, state: ShallowWaterEnsembleState, ws: dict[str, np.ndarray]
+    ) -> None:
+        """Cell-level primitives (dry mask, velocities, free surface), buffered.
+
+        Computed once per loop iteration and shared between the CFL reduction
+        (:meth:`_fused_speeds`) and the step (:meth:`_fused_ensemble_step`) —
+        the reference path derives the same quantities independently in
+        :meth:`ShallowWaterState.max_wave_speed` and per interface side in
+        :meth:`_reconstructed_flux`, with identical values.
+        """
+        h, hu, hv = state.h, state.hu, state.hv
+        cell = h.shape
+        wetf = self._buf(ws, "wetf", cell)
+        safe = self._buf(ws, "cell_safe", cell)
+        u, v = self._buf(ws, "u", cell), self._buf(ws, "v", cell)
+        eta = self._buf(ws, "eta", cell)
+        # Branch-free form of where(wet, momentum / h, 0): dry momenta are
+        # exactly zero (the invariant every constructor and step maintains),
+        # so dividing them by the dry-lane 1.0 yields the exact zero the
+        # reference where() produces.
+        np.less_equal(h, self.dry_tolerance, out=safe)  # 1.0 on dry lanes
+        np.subtract(1.0, safe, out=wetf)  # 1.0 on wet lanes
+        np.maximum(h, safe, out=safe)  # where(wet, h, 1)
+        np.divide(hu, safe, out=u)
+        np.divide(hv, safe, out=v)
+        np.add(h, state.b, out=eta)
+
+    def _fused_speeds(
+        self, state: ShallowWaterEnsembleState, ws: dict[str, np.ndarray]
+    ) -> np.ndarray:
+        """Per-member max wave speeds from the buffered primitives.
+
+        Member-wise identical to :meth:`ShallowWaterEnsembleState.max_wave_speeds`
+        (dry lanes are zeroed before the reduction, so they never win the max).
+        """
+        cell = state.h.shape
+        speed = self._buf(ws, "speed", cell)
+        celerity = self._buf(ws, "celerity", cell)
+        np.abs(self._buf(ws, "u", cell), out=speed)
+        np.abs(self._buf(ws, "v", cell), out=celerity)
+        np.maximum(speed, celerity, out=speed)
+        np.multiply(state.h, self.gravity, out=celerity)
+        np.sqrt(celerity, out=celerity)
+        np.add(speed, celerity, out=speed)
+        # dry lanes: exactly zero
+        np.multiply(speed, self._buf(ws, "wetf", cell), out=speed)
+        return speed.max(axis=(1, 2))
+
+    def _fused_ensemble_step(
+        self, state: ShallowWaterEnsembleState, dt: np.ndarray, ws: dict[str, np.ndarray]
+    ) -> None:
+        """One explicit Euler step of the whole ensemble through fused kernels.
+
+        Operation-for-operation equivalent to :meth:`step` with the Rusanov
+        flux (results are bitwise identical), engineered for the ensemble hot
+        loop: cell-level primitives (wet mask, velocities, free surface) come
+        precomputed from :meth:`_fused_primitives` instead of being derived
+        once per interface side, the static interface bathymetry comes from a
+        per-grid cache, and every intermediate lands in a preallocated
+        buffer, which keeps the time per member nearly flat as the batch
+        grows.
+
+        Assumes the state invariant every constructor and step maintains:
+        dry cells carry exactly zero momenta.
+        """
+        g = self.gravity
+        batch, nx, ny = state.h.shape
+        h, hu, hv = state.h, state.hu, state.hv
+
+        def buf(name: str, shape: tuple[int, ...]) -> np.ndarray:
+            return self._buf(ws, name, shape)
+
+        cell = (batch, nx, ny)
+        work = buf("cell_work", cell)
+        u, v, eta = buf("u", cell), buf("v", cell), buf("eta", cell)
+
+        # Member-replicated contiguous interface bathymetry for the stacked
+        # (2B, ...) left/right state layout, filled once per run by
+        # :meth:`run_ensemble` (a 2-D broadcast inside the hot loop costs
+        # ~3x a contiguous pass).
+        b_star_x = buf("b_star_x", (2 * batch, nx + 1, ny))
+        b_star_y = buf("b_star_y", (2 * batch, nx, ny + 1))
+
+        # --- interface fluxes (x: normal momentum hu; y: normal hv) --------
+        flux_h_x, flux_hu_x, flux_hv_x, h_star_l_x, h_star_r_x = self._fused_interface_fluxes(
+            ws, "x", eta, u, v, b_star_x, axis=-2
+        )
+        flux_h_y, flux_hv_y, flux_hu_y, h_star_l_y, h_star_r_y = self._fused_interface_fluxes(
+            ws, "y", eta, v, u, b_star_y, axis=-1
+        )
+
+        # --- divergence + well-balanced source + update --------------------
+        dt_col = np.asarray(dt, dtype=float)[:, None, None]
+        rhs, src = buf("rhs", cell), buf("src", cell)
+        sq = buf("sq", cell)
+
+        def divergence(name, flux, axis, source=None):
+            take_hi = (slice(None), slice(1, None)) if axis == -2 else (Ellipsis, slice(1, None))
+            take_lo = (slice(None), slice(None, -1)) if axis == -2 else (Ellipsis, slice(None, -1))
+            spacing = self.dx if axis == -2 else self.dy
+            out = buf(f"div_{name}", cell)
+            # -(Δflux) / dx fused as Δflux / (-dx): IEEE division is
+            # sign-symmetric, so the result is bitwise identical.
+            np.subtract(flux[take_hi], flux[take_lo], out=out)
+            np.divide(out, -spacing, out=out)
+            if source is not None:
+                np.divide(source, spacing, out=src)
+                np.add(out, src, out=out)
+            return out
+
+        # src_hn = 0.5 g (h*_l[hi]^2 - h*_r[lo]^2), in the reference order.
+        def balanced_source(h_star_l, h_star_r, axis):
+            take_hi = (slice(None), slice(1, None)) if axis == -2 else (Ellipsis, slice(1, None))
+            take_lo = (slice(None), slice(None, -1)) if axis == -2 else (Ellipsis, slice(None, -1))
+            np.multiply(h_star_l[take_hi], h_star_l[take_hi], out=work)
+            np.multiply(h_star_r[take_lo], h_star_r[take_lo], out=sq)
+            np.subtract(work, sq, out=work)
+            np.multiply(work, 0.5 * g, out=work)
+            return work
+
+        dh_x = divergence("h_x", flux_h_x, -2)
+        dhu_x = divergence("hu_x", flux_hu_x, -2, balanced_source(h_star_l_x, h_star_r_x, -2))
+        dhv_x = divergence("hv_x", flux_hv_x, -2)
+        dh_y = divergence("h_y", flux_h_y, -1)
+        dhu_y = divergence("hu_y", flux_hu_y, -1)
+        dhv_y = divergence("hv_y", flux_hv_y, -1, balanced_source(h_star_l_y, h_star_r_y, -1))
+
+        # target += dt * (d_x + d_y), summed before the dt product like step().
+        for target, part_x, part_y in ((h, dh_x, dh_y), (hu, dhu_x, dhu_y), (hv, dhv_x, dhv_y)):
+            np.add(part_x, part_y, out=rhs)
+            np.multiply(rhs, dt_col, out=rhs)
+            np.add(target, rhs, out=target)
+        state.enforce_positivity()
+
+    def run_ensemble(
+        self,
+        initial_state: ShallowWaterEnsembleState,
+        end_time: float,
+        gauges: list[Gauge] | None = None,
+        max_steps: int = 1_000_000,
+        record_max_eta: bool = True,
+        gauge_cells: Sequence[tuple[int, int]] | None = None,
+        time_stepping: Literal["per-member", "sync-min"] = "per-member",
+    ) -> EnsembleSimulationResult:
+        """Advance a whole ensemble to ``end_time`` as one array program.
+
+        Every iteration advances all still-running members by one explicit
+        Euler step through the same kernels as :meth:`run` (the grid lives in
+        the last two axes); finished members receive ``dt = 0`` and stay
+        bitwise frozen.
+
+        Parameters
+        ----------
+        time_stepping:
+            ``"per-member"`` (default): each member uses its own CFL step, so
+            its trajectory — and therefore its gauge observables — is
+            elementwise identical to a scalar :meth:`run` of that member.
+            ``"sync-min"``: all members share the ensemble-minimum CFL step
+            (a time-synchronized ensemble, at the price of smaller steps for
+            the faster members and results that differ from the scalar path
+            at discretisation order).
+        """
+        if time_stepping not in ("per-member", "sync-min"):
+            raise ValueError(f"unknown time_stepping policy {time_stepping!r}")
+        state = initial_state.copy()
+        batch = state.batch_size
+        gauges = list(gauges or [])
+        if gauge_cells is None:
+            gauge_cells = [self.locate_cell(g.x, g.y) for g in gauges]
+        elif len(gauge_cells) != len(gauges):
+            raise ValueError("gauge_cells must supply one (i, j) pair per gauge")
+        gauge_i = np.array([i for i, _ in gauge_cells], dtype=int)
+        gauge_j = np.array([j for _, j in gauge_cells], dtype=int)
+        # Index-then-add instead of materialising the full (B, nx, ny) free
+        # surface every step: (h + b)[:, i, j] == h[:, i, j] + b[:, i, j]
+        # exactly, and the bathymetry at the gauge cells is static.
+        gauge_b = state.b[:, gauge_i, gauge_j]  # (B, G)
+        h_at_gauges = state.h[:, gauge_i, gauge_j]
+        reference_eta = np.where(
+            h_at_gauges > self.dry_tolerance, h_at_gauges + gauge_b, 0.0
+        )  # (B, G)
+
+        def gauge_sample() -> np.ndarray:
+            h_g = state.h[:, gauge_i, gauge_j]
+            return np.where(
+                h_g > self.dry_tolerance, (h_g + gauge_b) - reference_eta, 0.0
+            )
+
+        times = np.zeros(batch)
+        steps = np.zeros(batch, dtype=int)
+        series_times = [times.copy()]
+        series_values = [gauge_sample()]
+        max_eta = np.zeros_like(state.h) if record_max_eta else np.zeros((0, 0, 0))
+        # The fused buffered step covers the (default) Rusanov flux. Its
+        # branch-free dry handling relies on (i) a dry tolerance below the
+        # 1.0 of the maximum(h, dry_indicator) identity, (ii) the state
+        # sharing the solver's tolerance (enforce_positivity must zero the
+        # same cells the kernels treat as dry) and (iii) dry cells carrying
+        # exactly zero momenta at entry — every constructor maintains this,
+        # but hand-built states may not. Anything else goes through the
+        # generic axis-agnostic kernels, which are correct for any input.
+        fused = (
+            self._flux is rusanov_flux
+            and 0.0 < self.dry_tolerance < 1.0
+            and state.dry_tolerance == self.dry_tolerance
+        )
+        if fused:
+            entry_dry = state.h <= self.dry_tolerance
+            fused = not (np.any(state.hu[entry_dry]) or np.any(state.hv[entry_dry]))
+        workspace = self._ensemble_workspace if fused else None
+        if fused:
+            # Fill the member-replicated interface bathymetry once per run
+            # (the fused step reads it every time step).
+            b_star_x, b_star_y = self._static_interface_bathymetry()
+            self._buf(workspace, "b_star_x", (2 * batch, self.nx + 1, self.ny))[:] = b_star_x
+            self._buf(workspace, "b_star_y", (2 * batch, self.nx, self.ny + 1))[:] = b_star_y
+
+        while True:
+            running = (times < end_time) & (steps < max_steps)
+            if not np.any(running):
+                break
+            if fused:
+                self._fused_primitives(state, workspace)
+                stable = self.stable_timesteps(state, speeds=self._fused_speeds(state, workspace))
+            else:
+                stable = self.stable_timesteps(state)
+            dts = np.minimum(stable, end_time - times)
+            running &= dts > 0.0
+            if not np.any(running):
+                break
+            if time_stepping == "sync-min":
+                dts = np.full(batch, dts[running].min())
+            dt_step = np.where(running, dts, 0.0)
+            if fused:
+                self._fused_ensemble_step(state, dt_step, workspace)
+            else:
+                self.step(state, dt_step)
+            times = times + dt_step
+            steps += running
+            series_times.append(times.copy())
+            series_values.append(gauge_sample())
+            if record_max_eta:
+                wet = state.h > self.dry_tolerance
+                anomaly = np.where(wet, state.free_surface, 0.0)
+                np.maximum(max_eta, anomaly, out=max_eta)
+
+        return EnsembleSimulationResult(
+            state=state,
+            gauges=gauges,
+            num_timesteps=steps,
+            simulated_time=times,
+            dof_updates=steps * self.nx * self.ny * 4,
+            gauge_times=np.stack(series_times, axis=1),
+            gauge_values=np.stack(series_values, axis=1),
+            max_eta_field=max_eta,
+        )

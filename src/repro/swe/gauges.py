@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["Gauge", "GaugeRecord", "wave_observables"]
+__all__ = ["Gauge", "GaugeRecord", "wave_observables", "wave_observables_batch"]
 
 
 @dataclass
@@ -86,3 +86,43 @@ def wave_observables(
     heights = [record.max_height for record in records]
     times = [record.time_of_max / time_unit for record in records]
     return np.asarray(heights + times, dtype=float)
+
+
+def wave_observables_batch(
+    times: np.ndarray,
+    ssha: np.ndarray,
+    sample_counts: np.ndarray | None = None,
+    time_unit: float = 60.0,
+) -> np.ndarray:
+    """Vectorized :func:`wave_observables` over an ensemble of gauge series.
+
+    Parameters
+    ----------
+    times:
+        Per-member sample times, shape ``(B, S)``.
+    ssha:
+        Sea-surface-height anomalies, shape ``(B, S, G)``.
+    sample_counts:
+        Number of valid samples per member (entries beyond a member's count
+        are padding and ignored); ``None`` treats every sample as valid.
+    time_unit:
+        Divisor for the time-of-maximum observables (60 s gives minutes).
+
+    Returns
+    -------
+    Observables of shape ``(B, 2 * G)``: per member, first every gauge's
+    maximum anomaly, then the times of those maxima — row-identical to
+    :func:`wave_observables` applied to each member's records.
+    """
+    times = np.asarray(times, dtype=float)
+    ssha = np.asarray(ssha, dtype=float)
+    num_members, num_samples, num_gauges = ssha.shape
+    if num_gauges == 0:
+        return np.zeros((num_members, 0))
+    if sample_counts is not None:
+        valid = np.arange(num_samples)[None, :] < np.asarray(sample_counts)[:, None]
+        ssha = np.where(valid[:, :, None], ssha, -np.inf)
+    heights = ssha.max(axis=1)
+    first_max = ssha.argmax(axis=1)  # first occurrence, like np.argmax on a list
+    peak_times = times[np.arange(num_members)[:, None], first_max] / time_unit
+    return np.concatenate([heights, peak_times], axis=1)

@@ -16,6 +16,15 @@ buoy data with a fully synthetic but structurally equivalent setup:
 
 The scenario object is deliberately independent of the Bayesian machinery so
 the solver can also be exercised directly in examples and tests.
+
+Per level, everything that does not depend on the source parameters — the
+treated bathymetry, the solver, the gauge cell indices and the cell-centre
+grids of the initial-condition operator — is precomputed once into a cached
+:class:`ScenarioPlan` (the shallow-water analogue of the FEM
+``AssemblyPlan``), so a forward evaluation is only the time loop.  Batched
+evaluation (:meth:`TohokuLikeScenario.observe_batch`) runs whole parameter
+blocks through :meth:`ShallowWaterSolver2D.run_ensemble` with results
+identical to the scalar path row by row.
 """
 
 from __future__ import annotations
@@ -31,10 +40,15 @@ from repro.swe.bathymetry import (
     smooth_bathymetry,
     tohoku_like_bathymetry,
 )
-from repro.swe.fv2d import ShallowWaterSolver2D, SimulationResult
+from repro.swe.fv2d import EnsembleSimulationResult, ShallowWaterSolver2D, SimulationResult
 from repro.swe.gauges import Gauge, wave_observables
 
-__all__ = ["SourceParameters", "TohokuLikeScenario", "LevelConfiguration"]
+__all__ = [
+    "SourceParameters",
+    "TohokuLikeScenario",
+    "LevelConfiguration",
+    "ScenarioPlan",
+]
 
 
 @dataclass(frozen=True)
@@ -80,6 +94,49 @@ class LevelConfiguration:
     bathymetry_treatment: str  # "constant" | "smoothed" | "full"
     limiter: bool
     smoothing_passes: int = 0
+
+
+@dataclass(frozen=True)
+class ScenarioPlan:
+    """Precomputed source-independent data of one scenario level.
+
+    The shallow-water analogue of the FEM ``AssemblyPlan``: built once per
+    ``(level, grid)`` and cached on the scenario, it bundles the solver over
+    the level's treated bathymetry, the resolved gauge cell indices (so gauge
+    lookup never runs inside a forward evaluation) and the cell-centre grids
+    of the initial-condition operator.  With a plan in hand, the per-sample
+    work of a forward evaluation is exactly the time loop.
+    """
+
+    level: int
+    solver: ShallowWaterSolver2D
+    gauges: tuple[Gauge, ...]
+    gauge_cells: tuple[tuple[int, int], ...]
+    cell_x: np.ndarray
+    cell_y: np.ndarray
+
+    def displacement(
+        self,
+        center_x: float | np.ndarray,
+        center_y: float | np.ndarray,
+        amplitude: float,
+        radius: float,
+    ) -> np.ndarray:
+        """Gaussian initial sea-surface displacement(s) on the level grid.
+
+        Scalar centres yield an ``(nx, ny)`` field; ``(B,)`` centre arrays
+        yield a ``(B, nx, ny)`` block whose rows are elementwise identical to
+        the scalar evaluation at each centre.
+        """
+        center_x = np.asarray(center_x, dtype=float)
+        center_y = np.asarray(center_y, dtype=float)
+        if center_x.ndim:
+            r2 = (self.cell_x[None] - center_x[:, None, None]) ** 2 + (
+                self.cell_y[None] - center_y[:, None, None]
+            ) ** 2
+        else:
+            r2 = (self.cell_x - center_x) ** 2 + (self.cell_y - center_y) ** 2
+        return amplitude * np.exp(-0.5 * r2 / radius**2)
 
 
 class TohokuLikeScenario:
@@ -136,7 +193,7 @@ class TohokuLikeScenario:
                 LevelConfiguration(level=2, num_cells=241, bathymetry_treatment="full", limiter=True),
             )
         )
-        self._solver_cache: dict[int, ShallowWaterSolver2D] = {}
+        self._plan_cache: dict[tuple[int, int], ScenarioPlan] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -156,28 +213,58 @@ class TohokuLikeScenario:
             return raw
         raise ValueError(f"unknown bathymetry treatment {config.bathymetry_treatment!r}")
 
-    def solver(self, level: int) -> ShallowWaterSolver2D:
-        """The (cached) FV solver for the given level."""
-        if level not in self._solver_cache:
-            config = self.level_configs[level]
-            self._solver_cache[level] = ShallowWaterSolver2D(
+    def plan(self, level: int) -> ScenarioPlan:
+        """The cached :class:`ScenarioPlan` of one level.
+
+        Keyed on ``(level, grid size)`` like the FEM assembly plan: the plan
+        precomputes the level's treated bathymetry (inside the solver), the
+        gauge cell indices and the cell-centre grids, so per-sample forward
+        work reduces to the time loop.
+        """
+        config = self.level_configs[level]
+        key = (level, config.num_cells)
+        if key not in self._plan_cache:
+            solver = ShallowWaterSolver2D(
                 nx=config.num_cells,
                 ny=config.num_cells,
                 extent=self.extent,
                 bathymetry=self.level_bathymetry(level),
                 cfl=self.cfl,
             )
-        return self._solver_cache[level]
+            cell_x, cell_y = solver.cell_centers()
+            self._plan_cache[key] = ScenarioPlan(
+                level=level,
+                solver=solver,
+                gauges=tuple(self.gauges),
+                gauge_cells=tuple(solver.locate_cell(g.x, g.y) for g in self.gauges),
+                cell_x=cell_x,
+                cell_y=cell_y,
+            )
+        return self._plan_cache[key]
+
+    def solver(self, level: int) -> ShallowWaterSolver2D:
+        """The (cached) FV solver for the given level."""
+        return self.plan(level).solver
 
     # ------------------------------------------------------------------
+    def _source_centers(self, thetas: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Physical displacement centres of a ``(B, 2)`` km-offset block."""
+        block = np.atleast_2d(np.asarray(thetas, dtype=float))
+        if block.ndim != 2 or block.shape[1] != 2:
+            raise ValueError("tsunami source parameters must have dimension 2")
+        return (
+            self.epicenter[0] + block[:, 0] * 1e3,
+            self.epicenter[1] + block[:, 1] * 1e3,
+        )
+
     def displacement_field(self, level: int, source: SourceParameters) -> np.ndarray:
         """Initial sea-surface displacement on the level's grid."""
-        solver = self.solver(level)
-        x, y = solver.cell_centers()
-        cx = self.epicenter[0] + source.x_offset
-        cy = self.epicenter[1] + source.y_offset
-        r2 = (x - cx) ** 2 + (y - cy) ** 2
-        return source.amplitude * np.exp(-0.5 * r2 / source.radius**2)
+        return self.plan(level).displacement(
+            self.epicenter[0] + source.x_offset,
+            self.epicenter[1] + source.y_offset,
+            source.amplitude,
+            source.radius,
+        )
 
     def check_physical(self, level: int, source: SourceParameters) -> None:
         """Raise :class:`UnphysicalModelOutput` for sources on dry land or outside the domain.
@@ -199,21 +286,91 @@ class TohokuLikeScenario:
                 f"source centre ({cx:.0f}, {cy:.0f}) lies on dry land (b = {bathy:.1f} m)"
             )
 
-    def simulate(self, level: int, source: SourceParameters) -> SimulationResult:
+    def physical_mask(self, thetas: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`check_physical`: ``True`` per physically valid row.
+
+        A row is physical when its displacement centre lies inside the
+        computational domain and over water — exactly the conditions the
+        scalar check raises on.
+        """
+        center_x, center_y = self._source_centers(thetas)
+        x0, x1, y0, y1 = self.extent
+        inside = (center_x >= x0) & (center_x <= x1) & (center_y >= y0) & (center_y <= y1)
+        mask = inside.copy()
+        if np.any(inside):
+            bathy = self.bathymetry_field(center_x[inside], center_y[inside])
+            mask[inside] = bathy < 0.0
+        return mask
+
+    def simulate(
+        self, level: int, source: SourceParameters, record_max_eta: bool = True
+    ) -> SimulationResult:
         """Run the forward model for one level and source."""
         self.check_physical(level, source)
-        solver = self.solver(level)
+        plan = self.plan(level)
         displacement = self.displacement_field(level, source)
-        state = solver.initial_state(surface_displacement=displacement)
-        return solver.run(state, end_time=self.end_time, gauges=self.gauges)
+        state = plan.solver.initial_state(surface_displacement=displacement)
+        return plan.solver.run(
+            state,
+            end_time=self.end_time,
+            gauges=self.gauges,
+            gauge_cells=plan.gauge_cells,
+            record_max_eta=record_max_eta,
+        )
+
+    def simulate_batch(
+        self, level: int, thetas: np.ndarray, record_max_eta: bool = False
+    ) -> EnsembleSimulationResult:
+        """Run the forward model for a ``(B, 2)`` parameter block as one ensemble.
+
+        Every row must be physical (callers filter with :meth:`physical_mask`
+        first); a block containing unphysical rows raises
+        :class:`~repro.bayes.likelihood.UnphysicalModelOutput`, mirroring the
+        scalar path.
+
+        Unlike :meth:`simulate`, ``record_max_eta`` defaults to ``False``:
+        the batch path exists for likelihood evaluations, which never read
+        the inundation field — pass ``True`` to get per-member
+        ``max_eta_field`` data.
+        """
+        block = np.atleast_2d(np.asarray(thetas, dtype=float))
+        mask = self.physical_mask(block)
+        if not np.all(mask):
+            bad = int(np.count_nonzero(~mask))
+            raise UnphysicalModelOutput(
+                f"{bad} of {block.shape[0]} sources lie on dry land or outside "
+                "the computational domain; filter with physical_mask() first"
+            )
+        plan = self.plan(level)
+        center_x, center_y = self._source_centers(block)
+        displacements = plan.displacement(
+            center_x, center_y, self.source_amplitude, self.source_radius
+        )
+        ensemble = plan.solver.initial_ensemble(displacements)
+        return plan.solver.run_ensemble(
+            ensemble,
+            end_time=self.end_time,
+            gauges=self.gauges,
+            gauge_cells=plan.gauge_cells,
+            record_max_eta=record_max_eta,
+        )
 
     def observe(self, level: int, theta: np.ndarray) -> np.ndarray:
         """Forward map ``theta -> (max heights, arrival times)`` used by the likelihood."""
         source = SourceParameters.from_theta(
             theta, amplitude=self.source_amplitude, radius=self.source_radius
         )
-        result = self.simulate(level, source)
+        result = self.simulate(level, source, record_max_eta=False)
         return wave_observables(result.gauge_records)
+
+    def observe_batch(self, level: int, thetas: np.ndarray) -> np.ndarray:
+        """Batched forward map: ``(B, 2)`` parameters to ``(B, 2 G)`` observables.
+
+        Row-identical to stacking :meth:`observe` over the block — the
+        ensemble integrates every member with its own CFL step — while
+        running the solver kernels once per time step for the whole block.
+        """
+        return self.simulate_batch(level, thetas).wave_observables()
 
     # ------------------------------------------------------------------
     def hierarchy_summary(self) -> list[dict[str, float | int | str | bool]]:

@@ -1,10 +1,17 @@
-"""Shallow water state container.
+"""Shallow water state containers (single simulation and ensembles).
 
 The conserved variables are the water column height ``h``, the momenta
 ``hu = h*u`` and ``hv = h*v``, and the (static in time, but part of the
 hyperbolic system in the paper's formulation) bathymetry ``b``.  The sea
 surface elevation is ``eta = h + b`` with the convention that ``b`` is
 negative below the undisturbed sea level.
+
+:class:`ShallowWaterState` holds one simulation's fields of shape
+``(nx, ny)``; :class:`ShallowWaterEnsembleState` holds a whole ensemble with
+a leading batch axis, shape ``(B, nx, ny)``.  The solver kernels index the
+grid through the *last two* axes, so both containers flow through the same
+flux/source/update code and the ensemble path is elementwise identical to
+running each member on its own.
 """
 
 from __future__ import annotations
@@ -13,7 +20,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["ShallowWaterState", "DRY_TOLERANCE", "GRAVITY"]
+__all__ = [
+    "ShallowWaterState",
+    "ShallowWaterEnsembleState",
+    "DRY_TOLERANCE",
+    "GRAVITY",
+]
 
 #: water depth below which a cell is treated as dry (velocities zeroed)
 DRY_TOLERANCE = 1.0e-3
@@ -116,6 +128,135 @@ class ShallowWaterState:
 
     def enforce_positivity(self) -> None:
         """Clip tiny negative depths produced by round-off and zero dry-cell momenta."""
+        np.maximum(self.h, 0.0, out=self.h)
+        dry = ~self.wet
+        self.hu[dry] = 0.0
+        self.hv[dry] = 0.0
+
+
+@dataclass
+class ShallowWaterEnsembleState:
+    """An ensemble of shallow-water states with a leading batch axis.
+
+    Attributes
+    ----------
+    h, hu, hv, b:
+        Conserved variables of shape ``(B, nx, ny)``: member ``m``'s fields
+        are ``h[m], hu[m], hv[m], b[m]``.  The bathymetry is replicated per
+        member so the solver's ghost-cell extensions see one homogeneous
+        array.
+
+    All elementwise operations (fluxes, sources, positivity) act on every
+    member at once; only the CFL reduction (:meth:`max_wave_speeds`) is
+    per member.
+    """
+
+    h: np.ndarray
+    hu: np.ndarray
+    hv: np.ndarray
+    b: np.ndarray
+    dry_tolerance: float = field(default=DRY_TOLERANCE)
+
+    def __post_init__(self) -> None:
+        self.h = np.asarray(self.h, dtype=float)
+        self.hu = np.asarray(self.hu, dtype=float)
+        self.hv = np.asarray(self.hv, dtype=float)
+        self.b = np.asarray(self.b, dtype=float)
+        shapes = {self.h.shape, self.hu.shape, self.hv.shape, self.b.shape}
+        if len(shapes) != 1:
+            raise ValueError(f"inconsistent field shapes: {shapes}")
+        if self.h.ndim != 3:
+            raise ValueError(
+                f"ensemble fields must have shape (B, nx, ny), got {self.h.shape}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def lake_at_rest(
+        cls, bathymetry: np.ndarray, batch_size: int, sea_level: float = 0.0
+    ) -> "ShallowWaterEnsembleState":
+        """``batch_size`` identical lake-at-rest members over one bathymetry."""
+        b = np.broadcast_to(
+            np.asarray(bathymetry, dtype=float), (batch_size,) + np.shape(bathymetry)
+        ).copy()
+        h = np.maximum(sea_level - b, 0.0)
+        return cls(h=h, hu=np.zeros_like(h), hv=np.zeros_like(h), b=b)
+
+    @classmethod
+    def from_states(cls, states: list[ShallowWaterState]) -> "ShallowWaterEnsembleState":
+        """Stack individual states into one ensemble (copies)."""
+        if not states:
+            raise ValueError("cannot build an ensemble from zero states")
+        return cls(
+            h=np.stack([s.h for s in states]),
+            hu=np.stack([s.hu for s in states]),
+            hv=np.stack([s.hv for s in states]),
+            b=np.stack([s.b for s in states]),
+            dry_tolerance=states[0].dry_tolerance,
+        )
+
+    def member(self, index: int) -> ShallowWaterState:
+        """Member ``index`` as an independent :class:`ShallowWaterState` (copies)."""
+        return ShallowWaterState(
+            h=self.h[index].copy(),
+            hu=self.hu[index].copy(),
+            hv=self.hv[index].copy(),
+            b=self.b[index].copy(),
+            dry_tolerance=self.dry_tolerance,
+        )
+
+    def copy(self) -> "ShallowWaterEnsembleState":
+        """Deep copy of the ensemble."""
+        return ShallowWaterEnsembleState(
+            h=self.h.copy(),
+            hu=self.hu.copy(),
+            hv=self.hv.copy(),
+            b=self.b.copy(),
+            dry_tolerance=self.dry_tolerance,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def batch_size(self) -> int:
+        """Number of ensemble members ``B``."""
+        return self.h.shape[0]
+
+    @property
+    def grid_shape(self) -> tuple[int, int]:
+        """Grid shape ``(nx, ny)`` shared by all members."""
+        return self.h.shape[1:]
+
+    @property
+    def free_surface(self) -> np.ndarray:
+        """Sea surface elevation ``eta = h + b`` per member."""
+        return self.h + self.b
+
+    @property
+    def wet(self) -> np.ndarray:
+        """Boolean mask of wet cells, shape ``(B, nx, ny)``."""
+        return self.h > self.dry_tolerance
+
+    def max_wave_speeds(self, gravity: float = GRAVITY) -> np.ndarray:
+        """Per-member maximum characteristic speed, shape ``(B,)``.
+
+        Elementwise identical to :meth:`ShallowWaterState.max_wave_speed` on
+        each member: dry cells contribute a speed of exactly zero, so the
+        per-member maximum equals the scalar wet-cell maximum (and is zero
+        for all-dry members).
+        """
+        wet = self.wet
+        safe_h = np.where(wet, self.h, 1.0)
+        u = np.where(wet, self.hu / safe_h, 0.0)
+        v = np.where(wet, self.hv / safe_h, 0.0)
+        speed = np.where(
+            wet,
+            np.maximum(np.abs(u), np.abs(v)) + np.sqrt(gravity * np.where(wet, self.h, 0.0)),
+            0.0,
+        )
+        return speed.max(axis=(1, 2))
+
+    def enforce_positivity(self) -> None:
+        """Clip tiny negative depths and zero dry-cell momenta (all members)."""
         np.maximum(self.h, 0.0, out=self.h)
         dry = ~self.wet
         self.hu[dry] = 0.0

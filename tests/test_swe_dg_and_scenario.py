@@ -146,3 +146,57 @@ class TestTohokuScenario:
         assert len(rows) == 2
         assert rows[0]["bathymetry"] == "constant"
         assert rows[1]["num_cells"] == 32
+
+    def test_plan_is_cached_and_resolves_gauges_once(self, scenario):
+        plan = scenario.plan(0)
+        assert plan is scenario.plan(0)
+        assert scenario.solver(0) is plan.solver
+        # gauge cells match per-run locate_cell resolution
+        assert plan.gauge_cells == tuple(
+            plan.solver.locate_cell(g.x, g.y) for g in scenario.gauges
+        )
+        assert plan.cell_x.shape == (16, 16)
+
+    def test_plan_displacement_batch_rows_equal_scalar(self, scenario):
+        plan = scenario.plan(1)
+        centers = np.array([[0.0, 0.0], [20e3, -10e3], [-15e3, 30e3]])
+        batched = plan.displacement(centers[:, 0], centers[:, 1], 5.0, 30e3)
+        assert batched.shape == (3, 32, 32)
+        for row, (cx, cy) in zip(batched, centers):
+            np.testing.assert_array_equal(row, plan.displacement(cx, cy, 5.0, 30e3))
+
+    def test_observe_batch_rows_equal_scalar_observe(self, scenario):
+        thetas = np.array([[0.0, 0.0], [20.0, -15.0], [-10.0, 30.0]])
+        for level in (0, 1):
+            batched = scenario.observe_batch(level, thetas)
+            stacked = np.stack([scenario.observe(level, theta) for theta in thetas])
+            np.testing.assert_array_equal(batched, stacked)
+
+    def test_physical_mask_matches_check_physical(self, scenario):
+        thetas = np.array([[0.0, 0.0], [-185.0, 0.0], [1e6, 0.0], [40.0, -30.0]])
+        mask = scenario.physical_mask(thetas)
+        for theta, expected in zip(thetas, mask):
+            source = SourceParameters.from_theta(theta)
+            if expected:
+                scenario.check_physical(0, source)
+            else:
+                with pytest.raises(UnphysicalModelOutput):
+                    scenario.check_physical(0, source)
+
+    def test_simulate_batch_rejects_unphysical_rows(self, scenario):
+        with pytest.raises(UnphysicalModelOutput):
+            scenario.simulate_batch(0, np.array([[0.0, 0.0], [-185.0, 0.0]]))
+
+
+class TestDGBasisCache:
+    def test_basis_matrices_are_shared_between_solvers(self):
+        a = ADERDGSolver1D(num_cells=10, order=2)
+        b = ADERDGSolver1D(num_cells=40, order=2)
+        assert a.nodes is b.nodes
+        assert a.diff_matrix is b.diff_matrix
+        assert a._predictor_basis is b._predictor_basis
+        assert not a.nodes.flags.writeable
+        # different orders get different cached matrices
+        c = ADERDGSolver1D(num_cells=10, order=1)
+        assert c.nodes is not a.nodes
+        assert c.nodes.shape == (2,)

@@ -13,8 +13,9 @@ from repro.swe.bathymetry import (
     tohoku_like_bathymetry,
 )
 from repro.swe.fv2d import ShallowWaterSolver2D
+from repro.swe.gauges import Gauge, wave_observables
 from repro.swe.riemann import hll_flux, physical_flux_x, rusanov_flux
-from repro.swe.state import GRAVITY, ShallowWaterState
+from repro.swe.state import GRAVITY, ShallowWaterEnsembleState, ShallowWaterState
 
 
 def _flat_solver(n=20, depth=100.0, extent=(0.0, 1000.0, 0.0, 1000.0), **kwargs):
@@ -235,3 +236,152 @@ class TestShallowWaterSolver:
         result = solver.run(state, end_time=50.0)
         assert result.state.h.min() >= 0.0
         assert np.all(np.isfinite(result.state.free_surface))
+
+
+class TestEnsembleSolver:
+    """The batched solve path: one array program, member-identical results."""
+
+    @staticmethod
+    def _setup(n=20, flux="rusanov"):
+        field = tohoku_like_bathymetry()
+        solver = ShallowWaterSolver2D(n, n, field.extent, field.on_grid(n, n), flux=flux)
+        x, y = solver.cell_centers()
+        centers = [(0.0, 0.0), (30e3, -20e3), (-25e3, 40e3)]
+        displacements = np.stack(
+            [
+                5.0 * np.exp(-0.5 * ((x - cx) ** 2 + (y - cy) ** 2) / 30e3**2)
+                for cx, cy in centers
+            ]
+        )
+        gauges = [Gauge("a", 90e3, 40e3), Gauge("b", 110e3, -60e3)]
+        return solver, displacements, gauges
+
+    def test_ensemble_state_shapes_and_members(self):
+        solver, displacements, _ = self._setup()
+        ensemble = solver.initial_ensemble(displacements)
+        assert ensemble.batch_size == 3
+        assert ensemble.grid_shape == (20, 20)
+        member = ensemble.member(1)
+        np.testing.assert_array_equal(member.h, ensemble.h[1])
+        rebuilt = ShallowWaterEnsembleState.from_states(
+            [ensemble.member(i) for i in range(3)]
+        )
+        np.testing.assert_array_equal(rebuilt.h, ensemble.h)
+
+    def test_member_wise_identical_to_scalar_runs(self):
+        solver, displacements, gauges = self._setup()
+        ensemble = solver.initial_ensemble(displacements)
+        result = solver.run_ensemble(ensemble, end_time=600.0, gauges=gauges)
+        observables = result.wave_observables()
+        assert observables.shape == (3, 4)
+        for m in range(3):
+            scalar = solver.run(
+                solver.initial_state(displacements[m]), end_time=600.0, gauges=gauges
+            )
+            # bitwise: every member integrates with its own CFL step through
+            # operation-identical kernels
+            np.testing.assert_array_equal(result.state.h[m], scalar.state.h)
+            np.testing.assert_array_equal(result.state.hu[m], scalar.state.hu)
+            np.testing.assert_array_equal(result.max_eta_field[m], scalar.max_eta_field)
+            np.testing.assert_array_equal(
+                observables[m], wave_observables(scalar.gauge_records)
+            )
+            assert result.num_timesteps[m] == scalar.num_timesteps
+            assert result.simulated_time[m] == scalar.simulated_time
+            assert result.dof_updates[m] == scalar.dof_updates
+            member = result.member(m)
+            assert member.num_timesteps == scalar.num_timesteps
+            np.testing.assert_array_equal(
+                wave_observables(member.gauge_records),
+                wave_observables(scalar.gauge_records),
+            )
+
+    def test_generic_kernel_path_matches_scalar_for_hll(self):
+        # The hll flux bypasses the fused Rusanov kernels and exercises the
+        # generic axis-agnostic step on the ensemble.
+        solver, displacements, gauges = self._setup(flux="hll")
+        ensemble = solver.initial_ensemble(displacements)
+        result = solver.run_ensemble(ensemble, end_time=300.0, gauges=gauges)
+        for m in range(3):
+            scalar = solver.run(
+                solver.initial_state(displacements[m]), end_time=300.0, gauges=gauges
+            )
+            np.testing.assert_array_equal(result.state.h[m], scalar.state.h)
+
+    def test_sync_min_time_stepping_synchronizes_members(self):
+        solver, displacements, _ = self._setup()
+        ensemble = solver.initial_ensemble(displacements)
+        result = solver.run_ensemble(ensemble, end_time=300.0, time_stepping="sync-min")
+        # all members share the ensemble-minimum dt, so their clocks agree
+        assert np.all(result.simulated_time == result.simulated_time[0])
+        assert np.all(result.num_timesteps == result.num_timesteps[0])
+        with pytest.raises(ValueError):
+            solver.run_ensemble(ensemble, end_time=10.0, time_stepping="bogus")
+
+    def test_lake_at_rest_preserved_for_the_whole_ensemble(self):
+        solver, _, _ = self._setup()
+        ensemble = ShallowWaterEnsembleState.lake_at_rest(solver.bathymetry, 4)
+        reference = ensemble.h.copy()
+        result = solver.run_ensemble(ensemble, end_time=300.0)
+        assert np.abs(result.state.h - reference).max() < 1e-8
+        assert np.abs(result.state.hu).max() < 1e-8
+
+    def test_mismatched_dry_tolerance_falls_back_to_generic_kernels(self):
+        # A state whose dry tolerance differs from the solver's breaks the
+        # fused kernels' zero-dry-momentum invariant; run_ensemble must detect
+        # this and stay member-identical to scalar runs via the generic path.
+        field = tohoku_like_bathymetry()
+        solver = ShallowWaterSolver2D(
+            16, 16, field.extent, field.on_grid(16, 16), dry_tolerance=0.05
+        )
+        x, y = solver.cell_centers()
+        displacements = np.stack(
+            [5.0 * np.exp(-0.5 * ((x - cx) ** 2 + y**2) / 30e3**2) for cx in (0.0, 20e3)]
+        )
+        states = [solver.initial_state(d) for d in displacements]
+        for state in states:
+            state.dry_tolerance = 1e-3  # not the solver's 0.05
+        ensemble = ShallowWaterEnsembleState.from_states(states)
+        result = solver.run_ensemble(ensemble, end_time=300.0)
+        # scalar comparison runs on the same mismatched-tolerance states, so
+        # both sides go through identical (generic) kernels
+        for m, state in enumerate(states):
+            scalar = solver.run(state, end_time=300.0)
+            np.testing.assert_array_equal(result.state.h[m], scalar.state.h)
+            np.testing.assert_array_equal(result.state.hu[m], scalar.state.hu)
+
+    def test_nonzero_dry_momenta_fall_back_to_generic_kernels(self):
+        solver, displacements, _ = self._setup()
+        ensemble = solver.initial_ensemble(displacements)
+        dry = ensemble.h <= solver.dry_tolerance
+        assert np.any(dry), "scenario needs dry land for this regression test"
+        ensemble.hu[dry] = 3.0  # violates the invariant the fused path assumes
+        result = solver.run_ensemble(ensemble, end_time=300.0)
+        for m in range(ensemble.batch_size):
+            scalar = solver.run(ensemble.member(m), end_time=300.0)
+            np.testing.assert_array_equal(result.state.h[m], scalar.state.h)
+            np.testing.assert_array_equal(result.state.hu[m], scalar.state.hu)
+
+    def test_workspace_grows_in_place_across_batch_sizes(self):
+        solver, displacements, _ = self._setup()
+        for size in (2, 3, 1):
+            ensemble = solver.initial_ensemble(np.repeat(displacements[:1], size, axis=0))
+            solver.run_ensemble(ensemble, end_time=50.0)
+        # one buffer set per solver, sized for the largest batch seen
+        assert solver._ensemble_workspace["u"].shape[0] == 3
+        solver.release_ensemble_buffers()
+        assert not solver._ensemble_workspace
+
+    def test_displacement_shape_validation(self):
+        solver, _, _ = self._setup()
+        with pytest.raises(ValueError):
+            solver.initial_ensemble(np.zeros((3, 5, 5)))
+        with pytest.raises(ValueError):
+            ShallowWaterEnsembleState.from_states([])
+        with pytest.raises(ValueError):
+            ShallowWaterEnsembleState(
+                h=np.zeros((2, 4, 4)),
+                hu=np.zeros((2, 4, 4)),
+                hv=np.zeros((2, 4, 4)),
+                b=np.zeros((2, 4, 5)),
+            )
