@@ -12,6 +12,10 @@ persistent-structure fast path:
 * **fast** — write the coefficient field into the precomputed CSR sparsity
   (``scatter @ kappa``), solve the reduced SPD interior system with an
   SPD-ordered LU, and apply the cached sparse observation operator.
+* **fast float32** — the same fast path on a single-precision assembly plan
+  (``PoissonSolver(grid, dtype=np.float32)``), i.e. what a coarse rung of the
+  ``float32-coarse`` precision ladder runs.  Observations are compared against
+  the double fast path with a loose tolerance (round-off, not bit equality).
 
 Results are appended-by-overwrite to ``BENCH_fem_hotpath.json`` at the repo
 root so the performance trajectory accumulates across PRs.  Runnable
@@ -119,6 +123,28 @@ def bench_mesh(mesh_size: int, repeats: int) -> dict:
             f"fast path diverged from seed path on mesh {mesh_size}: {max_diff:.3e}"
         )
 
+    # -- fast path in float32 (coarse rung of the precision ladder) ------
+    solver32 = PoissonSolver(grid, dtype=np.float32)
+    values32 = solver32._dirichlet_values
+    t_assemble_bc_f32, (k_ii32, rhs_i32) = _best_of(
+        repeats, lambda: solver32.plan.reduced_system(kappa, values32)
+    )
+    t_solve_f32, u_interior32 = _best_of(
+        repeats, lambda: solver32._solve_reduced(k_ii32, rhs_i32)
+    )
+    u_f32 = solver32.plan.expand(u_interior32, values32)
+    operator32 = solver32._cached_observation_operator(points)
+    t_observe_f32, obs_f32 = _best_of(repeats, lambda: operator32 @ u_f32)
+
+    f32_total = t_assemble_bc_f32 + t_solve_f32 + t_observe_f32
+    f32_diff = float(np.abs(np.asarray(obs_f32, dtype=np.float64) - obs_fast).max())
+    scale = float(np.abs(obs_fast).max()) or 1.0
+    if f32_diff > 5e-2 * scale:
+        raise AssertionError(
+            f"float32 fast path diverged beyond round-off on mesh {mesh_size}: "
+            f"{f32_diff:.3e} (scale {scale:.3e})"
+        )
+
     seed_total = t_assemble + t_apply_bc + t_solve_seed + t_observe_seed
     fast_total = t_assemble_bc_fast + t_solve_fast + t_observe_fast
     return {
@@ -138,13 +164,21 @@ def bench_mesh(mesh_size: int, repeats: int) -> dict:
             "observe": t_observe_fast,
             "total": fast_total,
         },
+        "fast_float32": {
+            "assemble_bc": t_assemble_bc_f32,
+            "solve": t_solve_f32,
+            "observe": t_observe_f32,
+            "total": f32_total,
+        },
         "speedup": {
             "assemble_bc": (t_assemble + t_apply_bc) / t_assemble_bc_fast,
             "solve": t_solve_seed / t_solve_fast,
             "observe": t_observe_seed / t_observe_fast,
             "end_to_end": seed_total / fast_total,
+            "float32_vs_float64": fast_total / f32_total,
         },
         "max_abs_observation_diff": max_diff,
+        "float32_max_abs_observation_diff": f32_diff,
     }
 
 
@@ -169,9 +203,11 @@ def report(payload: dict) -> None:
                 "fast asm+bc [s]": entry["fast"]["assemble_bc"],
                 "seed total [s]": entry["seed"]["total"],
                 "fast total [s]": entry["fast"]["total"],
+                "f32 total [s]": entry["fast_float32"]["total"],
                 "asm+bc speedup": entry["speedup"]["assemble_bc"],
                 "solve speedup": entry["speedup"]["solve"],
                 "end-to-end speedup": entry["speedup"]["end_to_end"],
+                "f32/f64": entry["speedup"]["float32_vs_float64"],
             }
         )
     print_rows("FEM hot path — seed vs persistent-structure fast path (per sample)", rows)

@@ -10,7 +10,18 @@ comparing
   whole source block, which advances all members as one ``(B, nx, ny)``
   array program through the fused buffered kernels with per-member CFL steps
   (results row-identical to the scalar path — the parity is asserted, not
-  assumed).
+  assumed), and
+* **ensemble (float32)** — the same batched solve with single-precision
+  fields (the coarse rung of the precision ladder): half the memory traffic
+  on a bandwidth-bound kernel, observables still promoted to double at the
+  gauge boundary.
+
+Beyond the per-level timings, the payload records the array-backend
+availability matrix (NumPy / CuPy / torch — the latter two are exercised only
+when installed), an estimator-parity check (a seeded two-level MLMCMC
+estimate under the ``float32-coarse`` ladder vs all-double), and a
+paired-dispatch check (the same estimate with the (coarse, fine) correction
+QOIs batched through one evaluator call — asserted bitwise identical).
 
 The paper-proportioned ladder matters for interpreting the numbers: with the
 paper's subsampling rates ``rho_l = [-, 25, 5]`` the coarse and middle
@@ -48,6 +59,7 @@ import numpy as np
 
 from benchmarks.conftest import print_rows
 from repro.swe.scenario import LevelConfiguration, TohokuLikeScenario
+from repro.utils.array_api import KNOWN_BACKENDS, backend_available
 
 SEED = 7
 DEFAULT_BATCH_SIZE = 16
@@ -66,10 +78,18 @@ BENCH_LEVEL_CONFIGS = (
 )
 
 
-def _scenario(num_levels: int, end_time: float) -> TohokuLikeScenario:
+def _scenario(
+    num_levels: int,
+    end_time: float,
+    precision: str | None = None,
+    backend: str | None = None,
+) -> TohokuLikeScenario:
     """The benchmark hierarchy (truncated to ``num_levels``)."""
     return TohokuLikeScenario(
-        level_configs=BENCH_LEVEL_CONFIGS[:num_levels], end_time=end_time
+        level_configs=BENCH_LEVEL_CONFIGS[:num_levels],
+        end_time=end_time,
+        precision=precision,
+        backend=backend,
     )
 
 
@@ -84,22 +104,28 @@ def _source_block(scenario: TohokuLikeScenario, batch_size: int) -> np.ndarray:
 
 
 def bench_level(
-    scenario: TohokuLikeScenario, level: int, thetas: np.ndarray, repeats: int
+    scenario: TohokuLikeScenario,
+    scenario_f32: TohokuLikeScenario,
+    level: int,
+    thetas: np.ndarray,
+    repeats: int,
 ) -> dict:
-    """Scalar-vs-ensemble timings of one level's forward solves.
+    """Scalar-vs-ensemble(-vs-float32) timings of one level's forward solves.
 
-    The scalar and ensemble measurements are interleaved per repeat (and the
-    best of each kept) so both paths sample the same machine conditions —
-    back-to-back blocks would let one slow scheduling window bias the ratio.
+    All measurements are interleaved per repeat (and the best of each kept)
+    so every path samples the same machine conditions — back-to-back blocks
+    would let one slow scheduling window bias the ratios.
     """
     tic = time.perf_counter()
     plan = scenario.plan(level)
     plan_build = time.perf_counter() - tic
     batch_size = thetas.shape[0]
+    num_gauges = len(scenario.gauges)
 
-    scenario.simulate_batch(level, thetas)  # warm the ensemble workspace
-    t_scalar = t_ensemble = np.inf
-    scalar = result = None
+    scenario.simulate_batch(level, thetas)  # warm the ensemble workspaces
+    scenario_f32.simulate_batch(level, thetas)
+    t_scalar = t_ensemble = t_f32 = np.inf
+    scalar = result = result_f32 = None
     for _ in range(repeats):
         tic = time.perf_counter()
         scalar = np.stack([scenario.observe(level, theta) for theta in thetas])
@@ -107,12 +133,27 @@ def bench_level(
         tic = time.perf_counter()
         result = scenario.simulate_batch(level, thetas)
         t_ensemble = min(t_ensemble, time.perf_counter() - tic)
+        tic = time.perf_counter()
+        result_f32 = scenario_f32.simulate_batch(level, thetas)
+        t_f32 = min(t_f32, time.perf_counter() - tic)
     ensemble = result.wave_observables()
+    ensemble_f32 = result_f32.wave_observables()
 
     max_diff = float(np.abs(ensemble - scalar).max())
     if max_diff > 1e-10:
         raise AssertionError(
             f"ensemble path diverged from the scalar path on level {level}: {max_diff:.3e}"
+        )
+    # float32 fields accumulate round-off over thousands of steps; heights
+    # must stay close, the time-of-max may shift by a few CFL steps when two
+    # crests are nearly level.
+    f32_diff = np.abs(ensemble_f32 - ensemble)
+    f32_height_diff = float(f32_diff[:, :num_gauges].max())
+    f32_time_diff = float(f32_diff[:, num_gauges:].max())
+    if f32_height_diff > 0.05:
+        raise AssertionError(
+            f"float32 wave heights drifted beyond tolerance on level {level}: "
+            f"{f32_height_diff:.3e} m"
         )
     return {
         "level": level,
@@ -122,18 +163,126 @@ def bench_level(
         "plan_build_seconds": plan_build,
         "scalar": {"total": t_scalar, "per_sample": t_scalar / batch_size},
         "ensemble": {"total": t_ensemble, "per_sample": t_ensemble / batch_size},
+        "ensemble_float32": {"total": t_f32, "per_sample": t_f32 / batch_size},
         "per_sample_speedup": t_scalar / t_ensemble,
+        "float32_speedup_vs_scalar": t_scalar / t_f32,
+        "float32_speedup_vs_float64_ensemble": t_ensemble / t_f32,
         "max_abs_observation_diff": max_diff,
+        "float32_max_height_diff_m": f32_height_diff,
+        "float32_max_time_diff_s": f32_time_diff,
+    }
+
+
+def _estimator_factory(quick: bool, precision: str | None = None):
+    """A two-level tsunami inverse problem on the benchmark grids (8/24 cells)."""
+    from repro.models.tsunami import TsunamiInverseProblemFactory, TsunamiLevelSpec
+
+    return TsunamiInverseProblemFactory(
+        level_specs=(
+            TsunamiLevelSpec(0, 8, "constant", False, sigma_heights=0.15, sigma_times=2.5),
+            TsunamiLevelSpec(1, 24, "smoothed", True, sigma_heights=0.10, sigma_times=1.5,
+                             smoothing_passes=4),
+        ),
+        end_time=QUICK_END_TIME,
+        subsampling_rates=[0, 3],
+        precision=precision,
+    )
+
+
+def estimator_parity(quick: bool) -> dict:
+    """Seeded two-level MLMCMC estimate: ``float32-coarse`` ladder vs all-double.
+
+    The telescoping sum absorbs the coarse level's round-off bias the same way
+    it absorbs its discretisation bias, so the mixed-precision estimate must
+    stay within the run's own statistical error of the double-precision one.
+    """
+    from repro.core import MLMCMCSampler
+
+    num_samples = [4, 2] if quick else [8, 4]
+    estimates = {}
+    for precision in ("float64", "float32-coarse"):
+        factory = _estimator_factory(quick, precision=precision)
+        tic = time.perf_counter()
+        result = MLMCMCSampler(
+            factory, num_samples=num_samples, burnin=[1, 1], seed=SEED
+        ).run()
+        estimates[precision] = {
+            "mean": [float(v) for v in result.mean],
+            "wall_time_seconds": time.perf_counter() - tic,
+            "result": result,
+        }
+    delta = np.asarray(estimates["float32-coarse"]["mean"]) - np.asarray(
+        estimates["float64"]["mean"]
+    )
+    # The statistical scale of the comparison: the double run's own standard
+    # error (contribution variances over their sample counts, summed).
+    stderr = np.sqrt(
+        sum(
+            c.variance / max(1, c.num_samples)
+            for c in estimates["float64"]["result"].estimate.contributions
+        )
+    )
+    for entry in estimates.values():
+        del entry["result"]
+    return {
+        "num_samples": num_samples,
+        "seed": SEED,
+        "estimates": estimates,
+        "delta": [float(v) for v in delta],
+        "delta_norm_km": float(np.linalg.norm(delta)),
+        "stderr_norm_km": float(np.linalg.norm(stderr)),
+    }
+
+
+def paired_dispatch_check(quick: bool) -> dict:
+    """The same seeded estimate with and without paired correction dispatch."""
+    from repro.core import MLMCMCSampler
+
+    num_samples = [4, 2] if quick else [8, 4]
+    runs = {}
+    for paired in (False, True):
+        factory = _estimator_factory(quick)
+        tic = time.perf_counter()
+        result = MLMCMCSampler(
+            factory, num_samples=num_samples, burnin=[1, 1], seed=SEED,
+            paired_dispatch=paired,
+        ).run()
+        runs[paired] = {"result": result, "wall_time_seconds": time.perf_counter() - tic}
+    identical = bool(
+        np.array_equal(runs[False]["result"].mean, runs[True]["result"].mean)
+    )
+    if not identical:
+        raise AssertionError("paired dispatch changed the multilevel estimate")
+    return {
+        "num_samples": num_samples,
+        "seed": SEED,
+        "estimate_identical": identical,
+        "pair_dispatches": [
+            int(s.pair_dispatches) for s in runs[True]["result"].evaluation_stats
+        ],
+        "wall_time_seconds": {
+            "scalar": runs[False]["wall_time_seconds"],
+            "paired": runs[True]["wall_time_seconds"],
+        },
     }
 
 
 def run(num_levels: int, batch_size: int, end_time: float, repeats: int, quick: bool) -> dict:
-    scenario = _scenario(num_levels, end_time)
-    thetas = _source_block(scenario, batch_size)
-    results = [
-        bench_level(scenario, level, thetas, repeats)
-        for level in range(scenario.num_levels)
-    ]
+    backends = {name: backend_available(name) for name in KNOWN_BACKENDS}
+    results = []
+    for backend, available in backends.items():
+        if not available:
+            continue
+        backend_arg = None if backend == "numpy" else backend
+        scenario = _scenario(num_levels, end_time, backend=backend_arg)
+        scenario_f32 = _scenario(
+            num_levels, end_time, precision="float32", backend=backend_arg
+        )
+        thetas = _source_block(scenario, batch_size)
+        for level in range(scenario.num_levels):
+            entry = bench_level(scenario, scenario_f32, level, thetas, repeats)
+            entry["backend"] = backend
+            results.append(entry)
     return {
         "benchmark": "swe_hotpath",
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -141,7 +290,10 @@ def run(num_levels: int, batch_size: int, end_time: float, repeats: int, quick: 
         "repeats": repeats,
         "batch_size": batch_size,
         "end_time_s": end_time,
+        "backends": backends,
         "results": results,
+        "estimator_parity": estimator_parity(quick),
+        "paired_dispatch": paired_dispatch_check(quick),
     }
 
 
@@ -151,17 +303,31 @@ def report(payload: dict) -> None:
         rows.append(
             {
                 "level": entry["level"],
+                "backend": entry["backend"],
                 "grid": f"{entry['num_cells']}x{entry['num_cells']}",
                 "steps": entry["timesteps"],
                 "scalar/sample [ms]": entry["scalar"]["per_sample"] * 1e3,
-                "ensemble/sample [ms]": entry["ensemble"]["per_sample"] * 1e3,
-                "per-sample speedup": entry["per_sample_speedup"],
-                "max |diff|": entry["max_abs_observation_diff"],
+                "ensemble f64 [ms]": entry["ensemble"]["per_sample"] * 1e3,
+                "ensemble f32 [ms]": entry["ensemble_float32"]["per_sample"] * 1e3,
+                "f64 speedup": entry["per_sample_speedup"],
+                "f32 speedup": entry["float32_speedup_vs_scalar"],
+                "f32/f64": entry["float32_speedup_vs_float64_ensemble"],
             }
         )
     print_rows(
         f"SWE hot path — scalar loop vs ensemble solve (B = {payload['batch_size']})",
         rows,
+    )
+    parity = payload["estimator_parity"]
+    paired = payload["paired_dispatch"]
+    print(
+        f"\nestimator parity (seed {parity['seed']}): "
+        f"|float32-coarse - float64| = {parity['delta_norm_km']:.4f} km "
+        f"(stderr {parity['stderr_norm_km']:.4f} km)"
+    )
+    print(
+        f"paired dispatch: estimate identical = {paired['estimate_identical']}, "
+        f"pair dispatches per level = {paired['pair_dispatches']}"
     )
 
 

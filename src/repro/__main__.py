@@ -48,7 +48,8 @@ def _print_scenario_list() -> None:
     print(format_rows(f"Registered scenarios ({len(rows)})", rows))
     print(
         "\nRun one with: python -m repro run <scenario> "
-        "[--quick] [--backend NAME] [--parallel-backend NAME] [--out DIR] [--seed N]"
+        "[--quick] [--backend NAME] [--parallel-backend NAME] "
+        "[--precision NAME] [--out DIR] [--seed N]"
     )
 
 
@@ -112,6 +113,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             seed=args.seed,
             out_dir=args.out,
             parallel_backend=args.parallel_backend,
+            precision=args.precision,
         )
     except (UnknownScenarioError, BackendNotApplicableError) as exc:
         # usage errors → exit 2; run/validation failures propagate (exit 1).
@@ -172,6 +174,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["simulated", "multiprocess"],
         help="transport backend for parallel-machine scenarios: the "
         "discrete-event simulation (virtual time) or real OS processes",
+    )
+    run_parser.add_argument(
+        "--precision",
+        choices=["float64", "float32-coarse", "float32"],
+        help="precision-ladder policy for the per-level forward solves "
+        "(float32-coarse: single precision below the finest level)",
     )
     run_parser.add_argument("--out", metavar="DIR", help="write the manifest here")
     run_parser.add_argument("--seed", type=int, help="override the spec's seed")

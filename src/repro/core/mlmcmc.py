@@ -70,6 +70,10 @@ class MLMCMCSampler:
         used when level ``l`` draws from level ``l-1``; entry 0 is ignored).
     seed:
         Seed of the random source from which all chain generators are spawned.
+    paired_dispatch:
+        Forwarded to every correction level's :class:`MultilevelKernel`: batch
+        the (coarse, fine) QOI evaluations of each correction step through one
+        evaluator call.  Estimates are bitwise identical either way.
     """
 
     def __init__(
@@ -79,6 +83,7 @@ class MLMCMCSampler:
         burnin: Sequence[int] | None = None,
         subsampling_rates: Sequence[int] | None = None,
         seed: int | None = None,
+        paired_dispatch: bool = False,
     ) -> None:
         self.factory = factory
         self.index_set = factory.index_set()
@@ -99,6 +104,7 @@ class MLMCMCSampler:
             [int(r) for r in subsampling_rates] if subsampling_rates is not None else None
         )
         self.random_source = RandomSource(seed)
+        self.paired_dispatch = bool(paired_dispatch)
         self._problem_cache: dict[MultiIndex, object] = {}
 
     # ------------------------------------------------------------------
@@ -112,8 +118,18 @@ class MLMCMCSampler:
             return max(0, self.subsampling_rates[level])
         return max(0, self.factory.subsampling_rate(index))
 
-    def build_chain(self, level: int, chain_id: str = "main") -> SingleChainMCMC:
-        """Recursively build the chain stack whose top chain samples level ``level``."""
+    def build_chain(
+        self, level: int, chain_id: str = "main", evaluate_qoi: bool = True
+    ) -> SingleChainMCMC:
+        """Recursively build the chain stack whose top chain samples level ``level``.
+
+        Only the top chain of each level's estimator records QOIs and
+        corrections; the embedded coarse-source chains are built with
+        ``evaluate_qoi=False`` — their collections are never consumed, and
+        skipping the per-step QOI warm-up both avoids evaluating QOIs of
+        subsampled-away states and hands genuinely cold states to a
+        paired-dispatch fine kernel.
+        """
         indices = self.index_set.coarse_to_fine()
         index = indices[level]
         problem = self._problem(index)
@@ -128,13 +144,18 @@ class MLMCMCSampler:
                 rng=rng,
                 burnin=self.burnin[0],
                 level=0,
+                evaluate_qoi=evaluate_qoi,
             )
 
         coarse_index = indices[level - 1]
         coarse_problem = self._problem(coarse_index)
-        coarse_chain = self.build_chain(level - 1, chain_id=f"{chain_id}/coarse{level - 1}")
+        coarse_chain = self.build_chain(
+            level - 1, chain_id=f"{chain_id}/coarse{level - 1}", evaluate_qoi=False
+        )
         coarse_source = SubsampledChainSource(
-            coarse_chain, subsampling_rate=self._subsampling_rate(level, index)
+            coarse_chain,
+            subsampling_rate=self._subsampling_rate(level, index),
+            precompute_qoi=not self.paired_dispatch,
         )
         coarse_proposal = self.factory.coarse_proposal(index, coarse_problem, coarse_source)
         fine_proposal = (
@@ -148,6 +169,7 @@ class MLMCMCSampler:
             coarse_proposal=coarse_proposal,
             fine_proposal=fine_proposal,
             interpolation=self.factory.interpolation(index),
+            paired_dispatch=self.paired_dispatch,
         )
         return SingleChainMCMC(
             kernel=kernel,
@@ -155,6 +177,7 @@ class MLMCMCSampler:
             rng=rng,
             burnin=self.burnin[level],
             level=level,
+            evaluate_qoi=evaluate_qoi,
         )
 
     # ------------------------------------------------------------------

@@ -59,8 +59,8 @@ def make_evaluator(backend: str = "inprocess", **options) -> Evaluator:
     backend:
         One of ``"inprocess"``, ``"caching"``, ``"batch"`` or ``"pool"``.
     options:
-        Backend-specific keyword arguments: ``cache_size`` / ``inner``
-        (caching), ``max_batch_size`` (batch), ``processes`` /
+        Backend-specific keyword arguments: ``cache_size`` / ``inner`` /
+        ``key_context`` (caching), ``max_batch_size`` (batch), ``processes`` /
         ``min_batch_size`` (pool).  ``inner`` may be an
         :class:`Evaluator` instance or a zero-argument callable returning
         one — pass a callable whenever the same options are reused for
@@ -83,6 +83,7 @@ def make_evaluator(backend: str = "inprocess", **options) -> Evaluator:
         evaluator = CachingEvaluator(
             inner=inner,
             max_entries=int(options.pop("cache_size", 4096)),
+            key_context=options.pop("key_context", None),
         )
     elif name == "batch":
         evaluator = BatchEvaluator(max_batch_size=int(options.pop("max_batch_size", 1024)))

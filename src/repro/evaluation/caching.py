@@ -35,16 +35,28 @@ class CachingEvaluator(Evaluator):
     max_entries:
         Cache capacity across both density and QOI entries; the least recently
         used entry is evicted when it is exceeded.
+    key_context:
+        Optional salt mixed into every cache key (e.g. ``"level=1"`` or a
+        backend name).  Distinct contexts can never serve each other's
+        entries even for bit-identical parameters — the guard that keeps a
+        float32 coarse-level result from answering a float64 fine-level
+        request if one cache is ever shared.
     """
 
-    def __init__(self, inner: Evaluator | None = None, max_entries: int = 4096) -> None:
+    def __init__(
+        self,
+        inner: Evaluator | None = None,
+        max_entries: int = 4096,
+        key_context: str | None = None,
+    ) -> None:
         super().__init__()
         if max_entries < 1:
             raise ValueError("max_entries must be at least 1")
         self._inner = inner if inner is not None else InProcessEvaluator()
         self.stats = self._inner.stats
         self.max_entries = int(max_entries)
-        self._cache: OrderedDict[tuple[str, bytes], float | np.ndarray] = OrderedDict()
+        self.key_context = str(key_context) if key_context is not None else ""
+        self._cache: OrderedDict[tuple, float | np.ndarray] = OrderedDict()
 
     # ------------------------------------------------------------------
     @property
@@ -70,11 +82,13 @@ class CachingEvaluator(Evaluator):
         return self._inner.is_bound
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _key(kind: str, theta: np.ndarray) -> tuple[str, bytes]:
-        return kind, theta.tobytes()
+    def _key(self, kind: str, theta: np.ndarray) -> tuple:
+        # Raw bytes alone are ambiguous: the same buffer can spell different
+        # parameters under another dtype or shape.  Keying on (dtype, shape,
+        # bytes) — plus the configured context — makes collisions impossible.
+        return kind, self.key_context, theta.dtype.str, theta.shape, theta.tobytes()
 
-    def _lookup(self, key: tuple[str, bytes]):
+    def _lookup(self, key: tuple):
         if key in self._cache:
             self._cache.move_to_end(key)
             self.stats.record(EvaluationRecord(key[0], 0.0, 0.0, cache_hit=True))
@@ -82,7 +96,7 @@ class CachingEvaluator(Evaluator):
         self.stats.cache_misses += 1
         return None
 
-    def _store(self, key: tuple[str, bytes], value) -> None:
+    def _store(self, key: tuple, value) -> None:
         self._cache[key] = value
         self._cache.move_to_end(key)
         while len(self._cache) > self.max_entries:
@@ -115,7 +129,7 @@ class CachingEvaluator(Evaluator):
         thetas = np.atleast_2d(np.asarray(parameters, dtype=float))
         values = np.empty(thetas.shape[0], dtype=float)
         # Deduplicate misses within the batch: identical rows are evaluated once.
-        miss_rows: dict[tuple[str, bytes], list[int]] = {}
+        miss_rows: dict[tuple, list[int]] = {}
         for i, theta in enumerate(thetas):
             key = self._key("log_density", theta)
             if key in miss_rows:

@@ -26,6 +26,7 @@ from repro.experiments.spec import ExperimentSpec
 __all__ = [
     "BACKEND_AGNOSTIC_DRIVERS",
     "PARALLEL_BACKEND_DRIVERS",
+    "PRECISION_AGNOSTIC_DRIVERS",
     "DriverResult",
     "driver",
     "driver_names",
@@ -58,6 +59,13 @@ BACKEND_AGNOSTIC_DRIVERS = frozenset(
 #: deterministic virtual-time comparison, and the runner rejects an override
 #: for them so manifests never record a backend the run did not use.
 PARALLEL_BACKEND_DRIVERS = frozenset({"parallel"})
+
+#: drivers whose work never flows through a model hierarchy with per-level
+#: solve dtypes: ``random-field`` samples covariance realisations and
+#: ``fem-hotpath`` builds its solvers directly.  The runner rejects a
+#: ``--precision`` override for these so manifests never record a precision
+#: ladder the run did not use.
+PRECISION_AGNOSTIC_DRIVERS = frozenset({"random-field", "fem-hotpath"})
 
 
 @dataclass
@@ -114,6 +122,7 @@ def _spec_factory(spec: ExperimentSpec, application: str | None = None):
         spec.problem,
         evaluation_backend=evaluation.get("backend"),
         evaluator_options=evaluation.get("options") or None,
+        precision=spec.precision,
     )
 
 
@@ -135,6 +144,7 @@ def prewarm(spec: ExperimentSpec) -> None:
             build_factory(
                 spec.application, spec.problem,
                 evaluation_backend=backend, evaluator_options=options,
+                precision=spec.precision,
             )
         return
     _spec_factory(spec)
@@ -308,12 +318,14 @@ def run_sequential(spec: ExperimentSpec) -> DriverResult:
 
     factory = _spec_factory(spec)
     num_samples = _num_samples(spec)
+    paired = bool(spec.sampler.get("paired_dispatch", False))
     sampler = MLMCMCSampler(
         factory,
         num_samples=num_samples,
         burnin=_burnin(spec, num_samples),
         subsampling_rates=spec.sampler.get("subsampling_rates"),
         seed=spec.seed,
+        paired_dispatch=paired,
     )
     result = sampler.run()
 
@@ -324,6 +336,11 @@ def run_sequential(spec: ExperimentSpec) -> DriverResult:
         "model_evaluations": [int(n) for n in result.model_evaluations],
         "levels": _sequential_levels(factory, result),
     }
+    if paired:
+        payload["paired_dispatch"] = True
+        payload["pair_dispatches"] = [
+            int(stats.pair_dispatches) for stats in result.evaluation_stats
+        ]
     if hasattr(factory, "exact_mean"):
         exact = factory.exact_mean()
         payload["exact_mean"] = _floats(exact)
@@ -683,6 +700,7 @@ def run_evaluator_cache(spec: ExperimentSpec) -> DriverResult:
         factory = build_factory(
             spec.application, spec.problem,
             evaluation_backend=backend, evaluator_options=options,
+            precision=spec.precision,
         )
         start = time.perf_counter()
         result = MLMCMCSampler(factory, num_samples=num_samples, seed=spec.seed).run()

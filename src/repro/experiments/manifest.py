@@ -30,8 +30,9 @@ __all__ = [
 
 #: bump on any backwards-incompatible change to the manifest layout
 #: (v2: added the required ``parallel_backend`` field recording which
-#: transport ran the parallel MLMCMC machine)
-MANIFEST_SCHEMA_VERSION = 2
+#: transport ran the parallel MLMCMC machine; v3: added the required
+#: ``precision`` field recording the run's precision-ladder policy)
+MANIFEST_SCHEMA_VERSION = 3
 
 #: top-level manifest fields and their required types
 _TOP_LEVEL_FIELDS: dict[str, type | tuple] = {
@@ -45,6 +46,7 @@ _TOP_LEVEL_FIELDS: dict[str, type | tuple] = {
     "quick": bool,
     "backend": (str, type(None)),
     "parallel_backend": (str, type(None)),
+    "precision": str,
     "seed": int,
     "repro_version": str,
     "created_at": str,
@@ -102,6 +104,7 @@ def build_manifest(
         "quick": bool(quick),
         "backend": backend,
         "parallel_backend": parallel_backend,
+        "precision": str(spec.precision),
         "seed": int(spec.seed),
         "repro_version": __version__,
         "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -143,6 +146,12 @@ def validate_manifest(manifest: Any) -> None:
             errors.append("spec_hash does not match the recorded spec")
         if manifest["wall_time_s"] < 0:
             errors.append("wall_time_s must be non-negative")
+        from repro.utils.array_api import PRECISION_LADDERS
+
+        if manifest["precision"] not in PRECISION_LADDERS:
+            errors.append(
+                f"precision {manifest['precision']!r} is not one of {PRECISION_LADDERS}"
+            )
         if not manifest["results"]:
             errors.append("results payload is empty")
         environment = manifest["environment"]

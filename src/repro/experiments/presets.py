@@ -142,6 +142,7 @@ def build_factory(
     problem: dict | None = None,
     evaluation_backend: str | None = None,
     evaluator_options: dict | None = None,
+    precision: str | None = None,
     cache: bool = True,
 ):
     """Construct (or reuse) the model-hierarchy factory of one application.
@@ -163,6 +164,7 @@ def build_factory(
             "options": options,
             "backend": evaluation_backend,
             "evaluator_options": evaluator_options,
+            "precision": precision or "float64",
         },
         sort_keys=True,
         default=str,
@@ -174,6 +176,7 @@ def build_factory(
         factory = GaussianHierarchyFactory(
             evaluation_backend=evaluation_backend,
             evaluator_options=evaluator_options,
+            precision=precision,
             **options,
         )
     elif application == "poisson":
@@ -182,6 +185,7 @@ def build_factory(
         factory = PoissonInverseProblemFactory(
             evaluation_backend=evaluation_backend,
             evaluator_options=evaluator_options,
+            precision=precision,
             **options,
         )
     elif application == "tsunami":
@@ -193,6 +197,7 @@ def build_factory(
         factory = TsunamiInverseProblemFactory(
             evaluation_backend=evaluation_backend,
             evaluator_options=evaluator_options,
+            precision=precision,
             **options,
         )
     else:

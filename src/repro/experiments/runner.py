@@ -18,6 +18,7 @@ from typing import Any
 from repro.experiments.drivers import (
     BACKEND_AGNOSTIC_DRIVERS,
     PARALLEL_BACKEND_DRIVERS,
+    PRECISION_AGNOSTIC_DRIVERS,
     get_driver,
     prewarm,
 )
@@ -62,6 +63,7 @@ def run_scenario(
     seed: int | None = None,
     out_dir: str | Path | None = None,
     parallel_backend: str | None = None,
+    precision: str | None = None,
 ) -> ScenarioRun:
     """Run one scenario end to end.
 
@@ -88,6 +90,12 @@ def run_scenario(
         ``"multiprocess"``).  Rejected for scenarios whose driver does not
         run the parallel MLMCMC machine on a spec-selected transport
         (:data:`repro.experiments.drivers.PARALLEL_BACKEND_DRIVERS`).
+    precision:
+        Override the precision-ladder policy (``"float64"``,
+        ``"float32-coarse"`` or ``"float32"``).  Rejected for scenarios whose
+        driver never builds a model hierarchy with per-level solve dtypes
+        (:data:`repro.experiments.drivers.PRECISION_AGNOSTIC_DRIVERS`), so
+        the manifest never records a precision the run did not use.
 
     Examples
     --------
@@ -108,8 +116,18 @@ def run_scenario(
             "parallel machine on a selectable transport; drop the "
             "parallel-backend override"
         )
+    if precision is not None and spec.driver in PRECISION_AGNOSTIC_DRIVERS:
+        raise BackendNotApplicableError(
+            f"scenario {spec.name!r} (driver {spec.driver!r}) does not build a "
+            "model hierarchy with per-level solve dtypes; drop the precision "
+            "override"
+        )
     resolved = spec.resolved(
-        quick=quick, backend=backend, seed=seed, parallel_backend=parallel_backend
+        quick=quick,
+        backend=backend,
+        seed=seed,
+        parallel_backend=parallel_backend,
+        precision=precision,
     )
     driver = get_driver(resolved.driver)
 

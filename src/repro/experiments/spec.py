@@ -64,6 +64,12 @@ class ExperimentSpec:
         the transport backend for scenarios that run the parallel MLMCMC
         machine (:class:`repro.parallel.ParallelMLMCMCSampler`); empty means
         the simulated backend.
+    precision:
+        Precision-ladder policy for the per-level forward solves
+        (``"float64"``, ``"float32-coarse"`` or ``"float32"``; see
+        :func:`repro.utils.array_api.level_dtypes`).  The default
+        ``"float64"`` runs everything in double, exactly as before the
+        ladder existed.
     seed:
         Base random seed of the run.
     quick:
@@ -82,6 +88,7 @@ class ExperimentSpec:
     sampler: dict = field(default_factory=dict)
     evaluation: dict = field(default_factory=dict)
     parallel: dict = field(default_factory=dict)
+    precision: str = "float64"
     seed: int = 0
     quick: dict = field(default_factory=dict)
     tags: tuple = ()
@@ -94,12 +101,15 @@ class ExperimentSpec:
         first manifests were written, and emitting ``{"parallel": {}}``
         everywhere would shift the content hash of every scenario — breaking
         cross-PR ``spec_hash`` comparisons for configurations that did not
-        change.
+        change.  ``precision`` is omitted under the default ``"float64"``
+        policy for the same hash-stability reason.
         """
         payload = asdict(self)
         payload["tags"] = list(self.tags)
         if not payload["parallel"]:
             del payload["parallel"]
+        if payload["precision"] == "float64":
+            del payload["precision"]
         return payload
 
     @classmethod
@@ -120,6 +130,7 @@ class ExperimentSpec:
         backend: str | None = None,
         seed: int | None = None,
         parallel_backend: str | None = None,
+        precision: str | None = None,
     ) -> "ExperimentSpec":
         """The spec with run-time overrides applied.
 
@@ -127,9 +138,10 @@ class ExperimentSpec:
         ``sampler``; ``backend`` replaces the evaluation backend (evaluator
         options survive only when the backend stays the same — options are
         backend-specific); ``parallel_backend`` replaces the parallel
-        transport backend under the same options rule; ``seed`` replaces the
-        base seed.  The returned spec is what the manifest records (its hash
-        identifies the configuration that actually ran).
+        transport backend under the same options rule; ``precision`` replaces
+        the precision-ladder policy; ``seed`` replaces the base seed.  The
+        returned spec is what the manifest records (its hash identifies the
+        configuration that actually ran).
         """
         spec = self
         if quick and spec.quick:
@@ -154,6 +166,8 @@ class ExperimentSpec:
             ):
                 parallel["options"] = spec.parallel["options"]
             spec = replace(spec, parallel=parallel)
+        if precision is not None:
+            spec = replace(spec, precision=str(precision))
         if seed is not None:
             spec = replace(spec, seed=int(seed))
         return spec

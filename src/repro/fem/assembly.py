@@ -26,6 +26,7 @@ import scipy.sparse as sp
 
 from repro.fem.grid import StructuredGrid
 from repro.fem.q1 import Q1Element
+from repro.utils.array_api import resolve_dtype
 
 __all__ = [
     "assemble_diffusion_system",
@@ -59,7 +60,7 @@ def assemble_diffusion_system(
         ``K`` is the CSR stiffness matrix (without boundary conditions),
         ``b`` the load vector.
     """
-    kappa = np.asarray(element_coefficients, dtype=float).ravel()
+    kappa = np.asarray(element_coefficients, dtype=np.float64).ravel()
     if kappa.shape[0] != grid.num_elements:
         raise ValueError(
             f"expected {grid.num_elements} element coefficients, got {kappa.shape[0]}"
@@ -80,7 +81,7 @@ def assemble_diffusion_system(
 
     # Load vector.
     load = np.zeros(grid.num_nodes)
-    source_arr = np.broadcast_to(np.asarray(source, dtype=float), (grid.num_elements,))
+    source_arr = np.broadcast_to(np.asarray(source, dtype=np.float64), (grid.num_elements,))
     if np.any(source_arr != 0.0):
         element_area = grid.hx * grid.hy
         contrib = source_arr * element_area / 4.0
@@ -114,9 +115,9 @@ def apply_dirichlet(
     ``tolil`` conversion, no Python loop over boundary nodes).
     """
     nodes = np.asarray(dirichlet_nodes, dtype=int).ravel()
-    values = np.broadcast_to(np.asarray(dirichlet_values, dtype=float), nodes.shape)
+    values = np.broadcast_to(np.asarray(dirichlet_values, dtype=np.float64), nodes.shape)
     num = matrix.shape[0]
-    rhs = np.array(rhs, dtype=float, copy=True)
+    rhs = np.array(rhs, dtype=np.float64, copy=True)
 
     # Move known values to the RHS: b -= K @ g where g carries the boundary
     # values (accumulated, so duplicate nodes behave like repeated columns).
@@ -177,6 +178,12 @@ class AssemblyPlan:
     source:
         Fixed right-hand side ``f`` (scalar or per element), baked into
         :attr:`load` exactly as in :func:`assemble_diffusion_system`.
+    dtype:
+        Assembly dtype (``float32`` or ``float64``, default double): the
+        scatter operators, the load vector and every per-sample matrix/vector
+        the plan produces carry this dtype, so a coarse level of the precision
+        ladder assembles and solves in single precision.  The plan geometry
+        (sparsity, slot mapping) is computed in double either way.
     """
 
     def __init__(
@@ -184,8 +191,10 @@ class AssemblyPlan:
         grid: StructuredGrid,
         dirichlet_nodes: np.ndarray | None = None,
         source: np.ndarray | float = 0.0,
+        dtype=None,
     ) -> None:
         self.grid = grid
+        self.dtype = resolve_dtype(dtype)
         num_nodes = grid.num_nodes
         conn = grid.element_connectivity()
         ke_unit = Q1Element.local_stiffness(grid.hx, grid.hy, coefficient=1.0)
@@ -214,20 +223,22 @@ class AssemblyPlan:
         #: ``scatter @ kappa == assembled CSR data``
         self.scatter = sp.coo_matrix(
             (
-                np.tile(ke_unit.ravel(), grid.num_elements),
+                np.tile(ke_unit.ravel(), grid.num_elements).astype(self.dtype),
                 (slots, np.repeat(np.arange(grid.num_elements), 16)),
             ),
             shape=(nnz, grid.num_elements),
         ).tocsr()
 
-        #: fixed load vector for the plan's source term
-        self.load = np.zeros(num_nodes)
+        #: fixed load vector for the plan's source term (accumulated in double,
+        #: rounded once to the plan dtype)
+        load = np.zeros(num_nodes)
         source_arr = np.broadcast_to(
-            np.asarray(source, dtype=float), (grid.num_elements,)
+            np.asarray(source, dtype=np.float64), (grid.num_elements,)
         )
         if np.any(source_arr != 0.0):
             contrib = source_arr * (grid.hx * grid.hy) / 4.0
-            np.add.at(self.load, conn.ravel(), np.repeat(contrib, 4))
+            np.add.at(load, conn.ravel(), np.repeat(contrib, 4))
+        self.load = load.astype(self.dtype, copy=False)
 
         # Interior-DOF reduction: split nodes into interior/boundary once and
         # record, for K_ii and K_ib, which full-matrix data slot feeds each of
@@ -264,8 +275,12 @@ class AssemblyPlan:
         return self.interior.size
 
     def coefficients(self, element_coefficients: np.ndarray) -> np.ndarray:
-        """Validate a per-element coefficient vector (same checks as assembly)."""
-        kappa = np.asarray(element_coefficients, dtype=float).ravel()
+        """Validate a per-element coefficient vector (same checks as assembly).
+
+        Validation runs in double; the returned vector carries the plan dtype
+        so the scatter products stay in the level's precision.
+        """
+        kappa = np.asarray(element_coefficients, dtype=np.float64).ravel()
         if kappa.shape[0] != self.grid.num_elements:
             raise ValueError(
                 f"expected {self.grid.num_elements} element coefficients, "
@@ -273,7 +288,7 @@ class AssemblyPlan:
             )
         if np.any(kappa <= 0):
             raise ValueError("diffusion coefficients must be positive")
-        return kappa
+        return kappa.astype(self.dtype, copy=False)
 
     # ------------------------------------------------------------------
     def assemble(self, element_coefficients: np.ndarray) -> tuple[sp.csr_matrix, np.ndarray]:
@@ -299,7 +314,7 @@ class AssemblyPlan:
         """The SPD interior system ``(K_ii, b_i - K_ib u_b)`` for one sample."""
         kappa = self.coefficients(element_coefficients)
         values = np.broadcast_to(
-            np.asarray(dirichlet_values, dtype=float), self.dirichlet_nodes.shape
+            np.asarray(dirichlet_values, dtype=self.dtype), self.dirichlet_nodes.shape
         )
         k_ii = sp.csr_matrix(
             (self.scatter_ii @ kappa, self.ii_indices.copy(), self.ii_indptr.copy()),
@@ -318,9 +333,9 @@ class AssemblyPlan:
         dirichlet_values: np.ndarray | float,
     ) -> np.ndarray:
         """Scatter an interior solution and the boundary values to all nodes."""
-        full = np.empty(self.grid.num_nodes)
+        full = np.empty(self.grid.num_nodes, dtype=self.dtype)
         full[self.interior] = interior_solution
         full[self.dirichlet_nodes] = np.broadcast_to(
-            np.asarray(dirichlet_values, dtype=float), self.dirichlet_nodes.shape
+            np.asarray(dirichlet_values, dtype=self.dtype), self.dirichlet_nodes.shape
         )
         return full

@@ -24,6 +24,7 @@ import scipy.sparse.linalg as spla
 from repro.fem.assembly import AssemblyPlan, apply_dirichlet, assemble_diffusion_system
 from repro.fem.grid import StructuredGrid
 from repro.fem.q1 import Q1Element
+from repro.utils.array_api import resolve_dtype
 
 __all__ = ["PoissonSolver"]
 
@@ -51,6 +52,11 @@ class PoissonSolver:
           factorization of the prior-mean operator (``kappa = 1``); cheaper
           per sample on fine meshes when the coefficient field stays close
           to its mean, at iterative-tolerance accuracy.
+    dtype:
+        Solve dtype (``float32`` or ``float64``, default double): assembly,
+        factorization and nodal solutions run at this precision; observations
+        are promoted back to double by the (double) observation operator so
+        likelihoods stay ``float64`` on every rung of the precision ladder.
 
     Notes
     -----
@@ -67,10 +73,12 @@ class PoissonSolver:
         left_value: float = 0.0,
         right_value: float = 1.0,
         solver: str = "splu",
+        dtype=None,
     ) -> None:
         if solver not in ("splu", "cg"):
             raise ValueError(f"unknown solver strategy {solver!r}")
         self.grid = grid
+        self.dtype = resolve_dtype(dtype)
         self.left_value = float(left_value)
         self.right_value = float(right_value)
         self.solver_strategy = solver
@@ -83,7 +91,7 @@ class PoissonSolver:
                 np.full(right_nodes.shape[0], self.right_value),
             ]
         )
-        self.plan = AssemblyPlan(grid, self._dirichlet_nodes)
+        self.plan = AssemblyPlan(grid, self._dirichlet_nodes, dtype=self.dtype)
         self._cg_preconditioner: spla.LinearOperator | None = None
         self._observation_operators: dict[tuple, sp.csr_matrix] = {}
         self._solve_count = 0
@@ -130,8 +138,11 @@ class PoissonSolver:
         if rhs.size == 0:
             return rhs
         if self.solver_strategy == "cg":
+            # Near machine epsilon for the solve dtype: 1e-12 is unreachable
+            # in float32 arithmetic and would always fall through to splu.
+            rtol = 1e-12 if self.dtype == np.dtype(np.float64) else 1e-6
             solution, info = spla.cg(
-                k_ii, rhs, rtol=1e-12, atol=0.0, M=self._preconditioner()
+                k_ii, rhs, rtol=rtol, atol=0.0, M=self._preconditioner()
             )
             if info == 0:
                 return solution
@@ -152,8 +163,8 @@ class PoissonSolver:
         product each, no Python-level triplet work); the factorizations remain
         per sample, which is what dominates.  Returns ``(n, num_dofs)``.
         """
-        block = np.atleast_2d(np.asarray(coefficient_block, dtype=float))
-        solutions = np.empty((block.shape[0], self.grid.num_nodes))
+        block = np.atleast_2d(np.asarray(coefficient_block, dtype=np.float64))
+        solutions = np.empty((block.shape[0], self.grid.num_nodes), dtype=self.dtype)
         for k, kappa in enumerate(block):
             k_ii, rhs = self.plan.reduced_system(kappa, self._dirichlet_values)
             solutions[k] = self.plan.expand(
@@ -184,7 +195,7 @@ class PoissonSolver:
         element containing point ``k`` (boundary-clamped, like
         :meth:`StructuredGrid.locate`).
         """
-        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
         elements, xi, eta = self.grid.locate_batch(pts)
         weights = Q1Element.shape_functions_batch(xi, eta)
         cols = self.grid.element_connectivity()[elements].ravel()
@@ -195,7 +206,7 @@ class PoissonSolver:
         ).tocsr()
 
     def _cached_observation_operator(self, points: np.ndarray) -> sp.csr_matrix:
-        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
         key = (pts.shape, pts.tobytes())
         operator = self._observation_operators.get(key)
         if operator is None:
@@ -215,7 +226,7 @@ class PoissonSolver:
         Scalar reference implementation; :meth:`solve_and_observe` applies the
         cached sparse observation operator instead.
         """
-        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
         conn = self.grid.element_connectivity()
         values = np.empty(pts.shape[0])
         for k, point in enumerate(pts):
@@ -227,14 +238,22 @@ class PoissonSolver:
     def solve_and_observe(
         self, element_coefficients: np.ndarray, observation_points: np.ndarray
     ) -> np.ndarray:
-        """Convenience: solve then evaluate at the observation points."""
+        """Convenience: solve then evaluate at the observation points.
+
+        The observation operator is double, so a float32 nodal solution is
+        promoted to ``float64`` here — the precision ladder's observation
+        boundary.
+        """
         solution = self.solve(element_coefficients)
         return self._cached_observation_operator(observation_points) @ solution
 
     def solve_and_observe_batch(
         self, coefficient_block: np.ndarray, observation_points: np.ndarray
     ) -> np.ndarray:
-        """Observations of an ``(n, num_elements)`` block, shape ``(n, num_points)``."""
+        """Observations of an ``(n, num_elements)`` block, shape ``(n, num_points)``.
+
+        Promoted to ``float64`` by the (double) observation operator.
+        """
         solutions = self.solve_batch(coefficient_block)
         return solutions @ self._cached_observation_operator(observation_points).T
 
@@ -248,7 +267,7 @@ class PoissonSolver:
         means of ``kappa``).
         """
         solution = self.solve(element_coefficients)
-        kappa = np.asarray(element_coefficients, dtype=float)
+        kappa = np.asarray(element_coefficients, dtype=np.float64)
         grid = self.grid
         # Flux integral over the rightmost element column using the FEM
         # gradient du/dx at each element's right edge midpoint (xi=1, eta=0.5).

@@ -20,6 +20,7 @@ from repro.core.proposals.base import MCMCProposal
 from repro.core.proposals.random_walk import GaussianRandomWalkProposal
 from repro.models.base import ForwardModelBase
 from repro.multiindex import MultiIndex
+from repro.utils.array_api import level_dtypes, resolve_dtype
 
 __all__ = ["GaussianHierarchyFactory", "GaussianIdentityForwardModel"]
 
@@ -32,26 +33,32 @@ class GaussianIdentityForwardModel(ForwardModelBase):
     :class:`repro.models.base.ForwardModel` contract is the identity —
     batched evaluation is a single array copy.  Used by the conformance tests
     and anywhere a trivially cheap stand-in forward model is useful.
+
+    With a ``float32`` solve dtype the identity rounds through single
+    precision before the (double) observation boundary — the analytic model's
+    version of running the forward solve at a coarse rung of the precision
+    ladder.
     """
 
-    def __init__(self, dim: int) -> None:
+    def __init__(self, dim: int, dtype=None) -> None:
         self._dim = int(dim)
+        self.dtype = resolve_dtype(dtype)
 
     @property
     def output_dim(self) -> int:
         return self._dim
 
     def forward(self, theta: np.ndarray) -> np.ndarray:
-        theta = np.atleast_1d(np.asarray(theta, dtype=float)).ravel()
+        theta = np.atleast_1d(np.asarray(theta, dtype=np.float64)).ravel()
         if theta.shape[0] != self._dim:
             raise ValueError(f"expected a parameter of dimension {self._dim}")
-        return theta.copy()
+        return theta.astype(self.dtype).astype(np.float64)
 
     def forward_batch(self, thetas: np.ndarray) -> np.ndarray:
-        block = np.atleast_2d(np.asarray(thetas, dtype=float))
+        block = np.atleast_2d(np.asarray(thetas, dtype=np.float64))
         if block.shape[1] != self._dim:
             raise ValueError(f"expected parameters of dimension {self._dim}")
-        return block.copy()
+        return block.astype(self.dtype).astype(np.float64)
 
 
 class GaussianHierarchyFactory(MLComponentFactory):
@@ -91,6 +98,9 @@ class GaussianHierarchyFactory(MLComponentFactory):
         Extra keyword arguments for :func:`repro.evaluation.make_evaluator`;
         instance-valued options (the caching backend's ``inner``) must be
         zero-argument callables, since each level builds a fresh backend.
+    precision:
+        Precision-ladder policy mapping each level's forward model to its
+        solve dtype (the analytic targets themselves are exact either way).
     """
 
     def __init__(
@@ -105,6 +115,7 @@ class GaussianHierarchyFactory(MLComponentFactory):
         costs: list[float] | None = None,
         evaluation_backend: str | None = None,
         evaluator_options: dict | None = None,
+        precision: str | None = None,
     ) -> None:
         if num_levels < 1:
             raise ValueError("num_levels must be at least 1")
@@ -126,7 +137,9 @@ class GaussianHierarchyFactory(MLComponentFactory):
         )
         self.evaluation_backend = evaluation_backend
         self.evaluator_options = dict(evaluator_options or {})
-        self._forward_model: GaussianIdentityForwardModel | None = None
+        self.precision = precision or "float64"
+        self._level_dtypes = level_dtypes(self.precision, self._num_levels)
+        self._forward_models: dict[str, GaussianIdentityForwardModel] = {}
 
     # ------------------------------------------------------------------
     def level_mean(self, level: int) -> np.ndarray:
@@ -151,13 +164,17 @@ class GaussianHierarchyFactory(MLComponentFactory):
     def forward_model(self, level: int) -> GaussianIdentityForwardModel:
         """The level's forward map under the shared ``ForwardModel`` contract.
 
-        The analytic targets observe the parameters directly, so every level
-        shares one cached identity operator (identity-stable across calls,
-        like the Poisson and tsunami factories).
+        The analytic targets observe the parameters directly, so levels with
+        the same solve dtype share one cached identity operator
+        (identity-stable across calls, like the Poisson and tsunami
+        factories).
         """
-        if self._forward_model is None:
-            self._forward_model = GaussianIdentityForwardModel(self.dim)
-        return self._forward_model
+        dtype = self._level_dtypes[level]
+        if dtype.str not in self._forward_models:
+            self._forward_models[dtype.str] = GaussianIdentityForwardModel(
+                self.dim, dtype=dtype
+            )
+        return self._forward_models[dtype.str]
 
     def num_levels(self) -> int:
         return self._num_levels

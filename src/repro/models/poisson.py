@@ -38,6 +38,7 @@ from repro.multiindex import MultiIndex
 from repro.fem.poisson import PoissonSolver
 from repro.randomfield.covariance import ExponentialCovariance
 from repro.randomfield.field import GaussianRandomField
+from repro.utils.array_api import level_dtypes, resolve_dtype
 
 __all__ = ["PoissonLevelSpec", "PoissonForwardModel", "PoissonInverseProblemFactory"]
 
@@ -81,11 +82,13 @@ class PoissonForwardModel:
         field: GaussianRandomField,
         observation_points: np.ndarray,
         solver: str = "splu",
+        dtype=None,
     ) -> None:
         self.spec = spec
         self.field = field
         self.grid = StructuredGrid(spec.mesh_size)
-        self.solver = PoissonSolver(self.grid, solver=solver)
+        self.dtype = resolve_dtype(dtype)
+        self.solver = PoissonSolver(self.grid, solver=solver, dtype=self.dtype)
         self.observation_points = np.atleast_2d(np.asarray(observation_points, dtype=float))
         midpoints = self.solver.element_midpoints()
         #: precomputed scaled KL modes at element midpoints, (num_elements, m)
@@ -186,6 +189,10 @@ class PoissonInverseProblemFactory(MLComponentFactory):
         Strategy of each level's reduced FEM solve: ``"splu"`` (default,
         direct) or ``"cg"`` (conjugate gradients with a cached prior-mean
         preconditioner); see :class:`repro.fem.poisson.PoissonSolver`.
+    precision:
+        Precision-ladder policy (``"float64"``, ``"float32-coarse"``,
+        ``"float32"``) mapping each level to its FEM solve dtype; parameters,
+        observations and likelihoods stay double regardless.
     """
 
     def __init__(
@@ -207,11 +214,14 @@ class PoissonInverseProblemFactory(MLComponentFactory):
         evaluation_backend: str | None = None,
         evaluator_options: dict | None = None,
         fem_solver: Literal["splu", "cg"] = "splu",
+        precision: str | None = None,
     ) -> None:
         self.evaluation_backend = evaluation_backend
         self.evaluator_options = dict(evaluator_options or {})
         self.fem_solver = fem_solver
         self.specs = [PoissonLevelSpec(level=l, mesh_size=int(n)) for l, n in enumerate(mesh_sizes)]
+        self.precision = precision or "float64"
+        self._level_dtypes = level_dtypes(self.precision, len(self.specs))
         self.noise_std = float(noise_std)
         self.prior_variance = float(prior_variance)
         self.proposal_type = proposal
@@ -271,6 +281,7 @@ class PoissonInverseProblemFactory(MLComponentFactory):
                 self.field,
                 self.observation_points,
                 solver=self.fem_solver,
+                dtype=self._level_dtypes[level],
             )
         return self._forward_models[level]
 

@@ -141,6 +141,15 @@ class TsunamiInverseProblemFactory(MLComponentFactory):
         Extra keyword arguments for :func:`repro.evaluation.make_evaluator`;
         instance-valued options (the caching backend's ``inner``) must be
         zero-argument callables, since each level builds a fresh backend.
+    precision:
+        Precision-ladder policy (``"float64"``, ``"float32-coarse"``,
+        ``"float32"``) mapping each level to its shallow-water solve dtype;
+        the synthetic data come from the finest level, which ``float32-coarse``
+        keeps in double, and observables are promoted to double at the gauge
+        boundary regardless.
+    backend:
+        Explicit array backend name for the per-level solvers (``None`` means
+        NumPy).
     """
 
     def __init__(
@@ -158,10 +167,13 @@ class TsunamiInverseProblemFactory(MLComponentFactory):
         source_radius: float = 30e3,
         evaluation_backend: str | None = None,
         evaluator_options: dict | None = None,
+        precision: str | None = None,
+        backend: str | None = None,
     ) -> None:
         self.evaluation_backend = evaluation_backend
         self.evaluator_options = dict(evaluator_options or {})
         self.specs = list(level_specs)
+        self.precision = precision or "float64"
         self._subsampling = (
             [int(r) for r in subsampling_rates]
             if subsampling_rates is not None
@@ -173,7 +185,7 @@ class TsunamiInverseProblemFactory(MLComponentFactory):
         self.adapt_interval = int(adapt_interval)
         self.prior_std = float(prior_std)
         self.prior_halfwidth = float(prior_halfwidth)
-        self.true_location = np.asarray(true_location, dtype=float)
+        self.true_location = np.asarray(true_location, dtype=np.float64)
 
         self.scenario = TohokuLikeScenario(
             end_time=end_time,
@@ -189,6 +201,8 @@ class TsunamiInverseProblemFactory(MLComponentFactory):
             ),
             source_amplitude=source_amplitude,
             source_radius=source_radius,
+            precision=self.precision,
+            backend=backend,
         )
 
         self._forward_models: dict[int, TsunamiForwardModel] = {}

@@ -46,6 +46,7 @@ from repro.swe.state import (
     ShallowWaterEnsembleState,
     ShallowWaterState,
 )
+from repro.utils.array_api import array_namespace, resolve_backend, resolve_dtype
 
 __all__ = ["ShallowWaterSolver2D", "SimulationResult", "EnsembleSimulationResult"]
 
@@ -179,6 +180,16 @@ class ShallowWaterSolver2D:
         ``"rusanov"`` (default) or ``"hll"``.
     dry_tolerance:
         Depth below which a cell is treated as dry.
+    dtype:
+        Solve dtype of the field arrays (``float32`` or ``float64``, default
+        double).  States constructed by the solver carry this dtype and every
+        kernel preserves it; the CFL control plane (per-member step sizes and
+        simulation times) stays double so float32 members take the same steps
+        a scalar run of the same member would.
+    backend:
+        Explicit array backend name (``"numpy"``, ``"cupy"``, ``"torch"``);
+        ``None`` infers the namespace from the bathymetry array (NumPy for
+        plain arrays).  All kernels run through the resolved namespace.
     """
 
     def __init__(
@@ -191,6 +202,8 @@ class ShallowWaterSolver2D:
         cfl: float = 0.45,
         flux: Literal["rusanov", "hll"] = "rusanov",
         dry_tolerance: float = DRY_TOLERANCE,
+        dtype=None,
+        backend: str | None = None,
     ) -> None:
         self.nx = int(nx)
         self.ny = int(ny)
@@ -198,7 +211,10 @@ class ShallowWaterSolver2D:
         x0, x1, y0, y1 = extent
         self.dx = (x1 - x0) / self.nx
         self.dy = (y1 - y0) / self.ny
-        bathy = np.asarray(bathymetry, dtype=float)
+        self.dtype = resolve_dtype(dtype)
+        xp = resolve_backend(backend) if backend else array_namespace(bathymetry)
+        self._xp = xp
+        bathy = xp.asarray(bathymetry, dtype=self.dtype)
         if bathy.shape != (self.nx, self.ny):
             raise ValueError(
                 f"bathymetry shape {bathy.shape} does not match grid ({self.nx}, {self.ny})"
@@ -239,14 +255,15 @@ class ShallowWaterSolver2D:
         displacement is translated directly to the sea surface: the water
         column height of wet cells is increased by the displacement.
         """
+        xp = self._xp
         state = ShallowWaterState.lake_at_rest(self.bathymetry)
         state.dry_tolerance = self.dry_tolerance
         if surface_displacement is not None:
-            disp = np.asarray(surface_displacement, dtype=float)
+            disp = xp.asarray(surface_displacement, dtype=self.dtype)
             if disp.shape != (self.nx, self.ny):
                 raise ValueError("surface displacement shape does not match the grid")
             wet = state.h > self.dry_tolerance
-            state.h[wet] = np.maximum(state.h[wet] + disp[wet], 0.0)
+            state.h[wet] = xp.maximum(state.h[wet] + disp[wet], 0.0)
         return state
 
     # ------------------------------------------------------------------
@@ -260,12 +277,13 @@ class ShallowWaterSolver2D:
         well-balanced source term.  The grid occupies the last two axes, so
         any leading batch axes pass straight through.
         """
+        xp = self._xp
         h, hu, hv, b = state.h, state.hu, state.hv, state.b
         # Extend with zero-gradient ghost cells in x.
-        h_ext = np.concatenate([h[..., :1, :], h, h[..., -1:, :]], axis=-2)
-        hu_ext = np.concatenate([hu[..., :1, :], hu, hu[..., -1:, :]], axis=-2)
-        hv_ext = np.concatenate([hv[..., :1, :], hv, hv[..., -1:, :]], axis=-2)
-        b_ext = np.concatenate([b[..., :1, :], b, b[..., -1:, :]], axis=-2)
+        h_ext = xp.concatenate([h[..., :1, :], h, h[..., -1:, :]], axis=-2)
+        hu_ext = xp.concatenate([hu[..., :1, :], hu, hu[..., -1:, :]], axis=-2)
+        hv_ext = xp.concatenate([hv[..., :1, :], hv, hv[..., -1:, :]], axis=-2)
+        b_ext = xp.concatenate([b[..., :1, :], b, b[..., -1:, :]], axis=-2)
 
         h_l, h_r = h_ext[..., :-1, :], h_ext[..., 1:, :]
         hu_l, hu_r = hu_ext[..., :-1, :], hu_ext[..., 1:, :]
@@ -278,11 +296,12 @@ class ShallowWaterSolver2D:
         self, state: ShallowWaterState | ShallowWaterEnsembleState
     ) -> tuple[np.ndarray, ...]:
         """Same as :meth:`_interface_fluxes_x` for y-interfaces (roles of hu/hv swapped)."""
+        xp = self._xp
         h, hu, hv, b = state.h, state.hu, state.hv, state.b
-        h_ext = np.concatenate([h[..., :1], h, h[..., -1:]], axis=-1)
-        hu_ext = np.concatenate([hu[..., :1], hu, hu[..., -1:]], axis=-1)
-        hv_ext = np.concatenate([hv[..., :1], hv, hv[..., -1:]], axis=-1)
-        b_ext = np.concatenate([b[..., :1], b, b[..., -1:]], axis=-1)
+        h_ext = xp.concatenate([h[..., :1], h, h[..., -1:]], axis=-1)
+        hu_ext = xp.concatenate([hu[..., :1], hu, hu[..., -1:]], axis=-1)
+        hv_ext = xp.concatenate([hv[..., :1], hv, hv[..., -1:]], axis=-1)
+        b_ext = xp.concatenate([b[..., :1], b, b[..., -1:]], axis=-1)
 
         h_l, h_r = h_ext[..., :-1], h_ext[..., 1:]
         hu_l, hu_r = hu_ext[..., :-1], hu_ext[..., 1:]
@@ -312,19 +331,20 @@ class ShallowWaterSolver2D:
         ``hn`` is the momentum normal to the interface, ``ht`` the transverse
         momentum.  Returns ``(flux_h, flux_hn, flux_ht, h*_l, h*_r)``.
         """
+        xp = self._xp
         wet_l = h_l > self.dry_tolerance
         wet_r = h_r > self.dry_tolerance
-        un_l = np.where(wet_l, hn_l / np.where(wet_l, h_l, 1.0), 0.0)
-        ut_l = np.where(wet_l, ht_l / np.where(wet_l, h_l, 1.0), 0.0)
-        un_r = np.where(wet_r, hn_r / np.where(wet_r, h_r, 1.0), 0.0)
-        ut_r = np.where(wet_r, ht_r / np.where(wet_r, h_r, 1.0), 0.0)
+        un_l = xp.where(wet_l, hn_l / xp.where(wet_l, h_l, 1.0), 0.0)
+        ut_l = xp.where(wet_l, ht_l / xp.where(wet_l, h_l, 1.0), 0.0)
+        un_r = xp.where(wet_r, hn_r / xp.where(wet_r, h_r, 1.0), 0.0)
+        ut_r = xp.where(wet_r, ht_r / xp.where(wet_r, h_r, 1.0), 0.0)
 
         # Hydrostatic reconstruction of interface depths.
-        b_star = np.maximum(b_l, b_r)
+        b_star = xp.maximum(b_l, b_r)
         eta_l = h_l + b_l
         eta_r = h_r + b_r
-        h_star_l = np.maximum(eta_l - b_star, 0.0)
-        h_star_r = np.maximum(eta_r - b_star, 0.0)
+        h_star_l = xp.maximum(eta_l - b_star, 0.0)
+        h_star_r = xp.maximum(eta_r - b_star, 0.0)
 
         q_l = (h_star_l, h_star_l * un_l, h_star_l * ut_l)
         q_r = (h_star_r, h_star_r * un_r, h_star_r * ut_r)
@@ -343,7 +363,11 @@ class ShallowWaterSolver2D:
         per-member step sizes (a member with ``dt = 0`` is left unchanged).
         """
         g = self.gravity
-        dt_arr = np.asarray(dt, dtype=float)
+        xp = self._xp
+        # A (B,) dt column is cast to the field dtype before the update so the
+        # product matches the scalar path, where a Python-float dt combines
+        # with the fields at their own precision.
+        dt_arr = xp.asarray(dt, dtype=state.h.dtype)
         if dt_arr.ndim:
             dt = dt_arr[:, None, None]
 
@@ -390,11 +414,16 @@ class ShallowWaterSolver2D:
         the same ``0.1 * min(dx, dy)`` fallback).  ``speeds`` optionally
         supplies precomputed per-member max wave speeds.
         """
+        xp = self._xp
         if speeds is None:
             speeds = state.max_wave_speeds(self.gravity)
-        return np.where(
+        # The CFL control plane runs in double regardless of the field dtype:
+        # the scalar path derives dt from Python floats, so a float32 member
+        # must see the identical double-precision quotient here.
+        speeds = xp.asarray(speeds, dtype=xp.float64)
+        return xp.where(
             speeds > 0.0,
-            self.cfl * min(self.dx, self.dy) / np.where(speeds > 0.0, speeds, 1.0),
+            self.cfl * min(self.dx, self.dy) / xp.where(speeds > 0.0, speeds, 1.0),
             0.1 * min(self.dx, self.dy),
         )
 
@@ -422,15 +451,16 @@ class ShallowWaterSolver2D:
             gauge_cells = [self.locate_cell(g.x, g.y) for g in gauges]
         elif len(gauge_cells) != len(gauges):
             raise ValueError("gauge_cells must supply one (i, j) pair per gauge")
+        xp = self._xp
         gauge_i = np.array([i for i, _ in gauge_cells], dtype=int)
         gauge_j = np.array([j for _, j in gauge_cells], dtype=int)
-        reference_eta = np.where(
+        reference_eta = xp.where(
             state.h[gauge_i, gauge_j] > self.dry_tolerance,
             state.free_surface[gauge_i, gauge_j],
             0.0,
         )
 
-        max_eta = np.zeros_like(state.h) if record_max_eta else np.zeros((0, 0))
+        max_eta = xp.zeros_like(state.h) if record_max_eta else np.zeros((0, 0))
         time = 0.0
         steps = 0
         self._record_gauges(state, time, records, gauge_i, gauge_j, reference_eta)
@@ -444,8 +474,8 @@ class ShallowWaterSolver2D:
             self._record_gauges(state, time, records, gauge_i, gauge_j, reference_eta)
             if record_max_eta:
                 wet = state.h > self.dry_tolerance
-                anomaly = np.where(wet, state.free_surface, 0.0)
-                np.maximum(max_eta, anomaly, out=max_eta)
+                anomaly = xp.where(wet, state.free_surface, 0.0)
+                xp.maximum(max_eta, anomaly, out=max_eta)
 
         dof_updates = steps * self.nx * self.ny * 4  # 4 conserved variables
         return SimulationResult(
@@ -470,7 +500,7 @@ class ShallowWaterSolver2D:
             return
         # One fancy-indexed read per field instead of per-gauge scalar lookups
         # (this runs every timestep).
-        anomalies = np.where(
+        anomalies = self._xp.where(
             state.h[gauge_i, gauge_j] > self.dry_tolerance,
             state.free_surface[gauge_i, gauge_j] - reference_eta,
             0.0,
@@ -487,7 +517,8 @@ class ShallowWaterSolver2D:
         ``(nx, ny)`` field yields a one-member ensemble).  Member-wise
         identical to :meth:`initial_state`.
         """
-        disp = np.asarray(surface_displacements, dtype=float)
+        xp = self._xp
+        disp = xp.asarray(surface_displacements, dtype=self.dtype)
         if disp.ndim == 2:
             disp = disp[None]
         if disp.ndim != 3 or disp.shape[1:] != (self.nx, self.ny):
@@ -498,7 +529,7 @@ class ShallowWaterSolver2D:
         state = ShallowWaterEnsembleState.lake_at_rest(self.bathymetry, disp.shape[0])
         state.dry_tolerance = self.dry_tolerance
         wet = state.h > self.dry_tolerance
-        state.h[wet] = np.maximum(state.h[wet] + disp[wet], 0.0)
+        state.h[wet] = xp.maximum(state.h[wet] + disp[wet], 0.0)
         return state
 
     def _static_interface_bathymetry(self) -> tuple[np.ndarray, np.ndarray]:
@@ -509,12 +540,13 @@ class ShallowWaterSolver2D:
         once per grid and broadcast over any batch axis.
         """
         if self._interface_bathymetry is None:
+            xp = self._xp
             b = self.bathymetry
-            b_ext_x = np.concatenate([b[:1], b, b[-1:]], axis=0)
-            b_ext_y = np.concatenate([b[:, :1], b, b[:, -1:]], axis=1)
+            b_ext_x = xp.concatenate([b[:1], b, b[-1:]], axis=0)
+            b_ext_y = xp.concatenate([b[:, :1], b, b[:, -1:]], axis=1)
             self._interface_bathymetry = (
-                np.maximum(b_ext_x[:-1], b_ext_x[1:]),  # (nx + 1, ny)
-                np.maximum(b_ext_y[:, :-1], b_ext_y[:, 1:]),  # (nx, ny + 1)
+                xp.maximum(b_ext_x[:-1], b_ext_x[1:]),  # (nx + 1, ny)
+                xp.maximum(b_ext_y[:, :-1], b_ext_y[:, 1:]),  # (nx, ny + 1)
             )
         return self._interface_bathymetry
 
@@ -527,9 +559,8 @@ class ShallowWaterSolver2D:
         """
         self._ensemble_workspace = {}
 
-    @staticmethod
-    def _buf(ws: dict[str, np.ndarray], name: str, shape: tuple[int, ...], dtype=float) -> np.ndarray:
-        """A preallocated buffer of the given shape, reused across steps.
+    def _buf(self, ws: dict[str, np.ndarray], name: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """A preallocated buffer of the given shape and dtype, reused across steps.
 
         Buffers are keyed by name and sized for the largest leading (batch)
         dimension seen; smaller requests return a contiguous leading-axis
@@ -545,7 +576,7 @@ class ShallowWaterSolver2D:
             or array.shape[1:] != shape[1:]
             or array.shape[0] < shape[0]
         ):
-            array = np.empty(shape, dtype=dtype)
+            array = self._xp.empty(shape, dtype=dtype)
             ws[name] = array
         if array.shape[0] != shape[0]:
             return array[: shape[0]]
@@ -571,8 +602,15 @@ class ShallowWaterSolver2D:
         *contiguous* buffer instead of a fresh temporary: the ghost extension
         and l/r interface shifts are materialised as copies because strided
         views and broadcasts cost several times a contiguous SIMD pass.
+
+        All array operations go through the state's namespace and dtype: a
+        float32 ensemble runs the identical operation sequence in single
+        precision, which halves the memory traffic of this (bandwidth-bound)
+        pipeline.
         """
         g = self.gravity
+        xp = self._xp
+        dtype = eta.dtype
         batch = eta.shape[0]
         if axis == -2:
             shape = (eta.shape[0], eta.shape[1] + 1, eta.shape[2])
@@ -584,10 +622,10 @@ class ShallowWaterSolver2D:
         stacked = (2 * shape[0],) + shape[1:]
 
         def buf(name: str) -> np.ndarray:
-            return self._buf(ws, f"{tag}:{name}", stacked)
+            return self._buf(ws, f"{tag}:{name}", stacked, dtype)
 
         def half(name: str) -> np.ndarray:
-            return self._buf(ws, f"{tag}:{name}", shape)
+            return self._buf(ws, f"{tag}:{name}", shape, dtype)
 
         flux_h, flux_hn, flux_ht = half("flux_h"), half("flux_hn"), half("flux_ht")
         eta_lr, un_lr, ut_lr = buf("eta_lr"), buf("un_lr"), buf("ut_lr")
@@ -613,10 +651,10 @@ class ShallowWaterSolver2D:
                 right[..., -1] = src[..., -1]
 
         # Hydrostatically reconstructed interface depths and momenta.
-        np.subtract(eta_lr, b_star, out=h_star)
-        np.maximum(h_star, 0.0, out=h_star)
-        np.multiply(h_star, un_lr, out=hn)
-        np.multiply(h_star, ut_lr, out=ht)
+        xp.subtract(eta_lr, b_star, out=h_star)
+        xp.maximum(h_star, 0.0, out=h_star)
+        xp.multiply(h_star, un_lr, out=hn)
+        xp.multiply(h_star, ut_lr, out=ht)
 
         # Branch-free dry handling (`where=`-masked ufunc loops are scalar
         # and several times slower than full SIMD passes): with tol < 1,
@@ -625,34 +663,34 @@ class ShallowWaterSolver2D:
         # x * 1.0 == x exactly, so wet lanes are untouched and the dry-lane
         # where() branches of the reference kernels (u = 0, f1 = p, f2 = 0)
         # fall out of the arithmetic: hn * (+-0) + p == p and |+-0| == 0.
-        np.less_equal(h_star, DRY_TOLERANCE, out=mask)  # 1.0 on dry lanes
-        np.maximum(h_star, mask, out=work_lr)  # where(wet, h, 1)
-        np.divide(hn, work_lr, out=u)
-        np.subtract(1.0, mask, out=mask)  # 1.0 on wet lanes
-        np.multiply(u, mask, out=u)  # where(wet, hn / h, +-0)
+        xp.less_equal(h_star, DRY_TOLERANCE, out=mask)  # 1.0 on dry lanes
+        xp.maximum(h_star, mask, out=work_lr)  # where(wet, h, 1)
+        xp.divide(hn, work_lr, out=u)
+        xp.subtract(1.0, mask, out=mask)  # 1.0 on wet lanes
+        xp.multiply(u, mask, out=u)  # where(wet, hn / h, +-0)
         # celerity sqrt(g * max(h, 0)) — h* is already clipped.
-        np.multiply(h_star, g, out=c)
-        np.sqrt(c, out=c)
+        xp.multiply(h_star, g, out=c)
+        xp.sqrt(c, out=c)
         # physical fluxes (the flux_h component is hn itself).
-        np.multiply(h_star, 0.5 * g, out=p)
-        np.multiply(p, h_star, out=p)
-        np.multiply(hn, u, out=f1)
-        np.add(f1, p, out=f1)
-        np.multiply(ht, u, out=f2)
+        xp.multiply(h_star, 0.5 * g, out=p)
+        xp.multiply(p, h_star, out=p)
+        xp.multiply(hn, u, out=f1)
+        xp.add(f1, p, out=f1)
+        xp.multiply(ht, u, out=f2)
 
         # Rusanov dissipation speed max(|u_l| + c_l, |u_r| + c_r).
-        np.abs(u, out=work_lr)
-        np.add(work_lr, c, out=work_lr)
-        np.maximum(work_lr[:batch], work_lr[batch:], out=smax)
-        np.multiply(smax, 0.5, out=smax)
+        xp.abs(u, out=work_lr)
+        xp.add(work_lr, c, out=work_lr)
+        xp.maximum(work_lr[:batch], work_lr[batch:], out=smax)
+        xp.multiply(smax, 0.5, out=smax)
 
         for f_s, q_s, out in ((hn, h_star, flux_h), (f1, hn, flux_hn), (f2, ht, flux_ht)):
             # 0.5 * (f_l + f_r) - (0.5 * smax) * (q_r - q_l)
-            np.subtract(q_s[batch:], q_s[:batch], out=work)
-            np.multiply(work, smax, out=work)
-            np.add(f_s[:batch], f_s[batch:], out=out)
-            np.multiply(out, 0.5, out=out)
-            np.subtract(out, work, out=out)
+            xp.subtract(q_s[batch:], q_s[:batch], out=work)
+            xp.multiply(work, smax, out=work)
+            xp.add(f_s[:batch], f_s[batch:], out=out)
+            xp.multiply(out, 0.5, out=out)
+            xp.subtract(out, work, out=out)
         return flux_h, flux_hn, flux_ht, h_star[:batch], h_star[batch:]
 
     def _fused_primitives(
@@ -666,22 +704,23 @@ class ShallowWaterSolver2D:
         :meth:`ShallowWaterState.max_wave_speed` and per interface side in
         :meth:`_reconstructed_flux`, with identical values.
         """
+        xp = self._xp
         h, hu, hv = state.h, state.hu, state.hv
-        cell = h.shape
-        wetf = self._buf(ws, "wetf", cell)
-        safe = self._buf(ws, "cell_safe", cell)
-        u, v = self._buf(ws, "u", cell), self._buf(ws, "v", cell)
-        eta = self._buf(ws, "eta", cell)
+        cell, dtype = h.shape, h.dtype
+        wetf = self._buf(ws, "wetf", cell, dtype)
+        safe = self._buf(ws, "cell_safe", cell, dtype)
+        u, v = self._buf(ws, "u", cell, dtype), self._buf(ws, "v", cell, dtype)
+        eta = self._buf(ws, "eta", cell, dtype)
         # Branch-free form of where(wet, momentum / h, 0): dry momenta are
         # exactly zero (the invariant every constructor and step maintains),
         # so dividing them by the dry-lane 1.0 yields the exact zero the
         # reference where() produces.
-        np.less_equal(h, self.dry_tolerance, out=safe)  # 1.0 on dry lanes
-        np.subtract(1.0, safe, out=wetf)  # 1.0 on wet lanes
-        np.maximum(h, safe, out=safe)  # where(wet, h, 1)
-        np.divide(hu, safe, out=u)
-        np.divide(hv, safe, out=v)
-        np.add(h, state.b, out=eta)
+        xp.less_equal(h, self.dry_tolerance, out=safe)  # 1.0 on dry lanes
+        xp.subtract(1.0, safe, out=wetf)  # 1.0 on wet lanes
+        xp.maximum(h, safe, out=safe)  # where(wet, h, 1)
+        xp.divide(hu, safe, out=u)
+        xp.divide(hv, safe, out=v)
+        xp.add(h, state.b, out=eta)
 
     def _fused_speeds(
         self, state: ShallowWaterEnsembleState, ws: dict[str, np.ndarray]
@@ -691,17 +730,18 @@ class ShallowWaterSolver2D:
         Member-wise identical to :meth:`ShallowWaterEnsembleState.max_wave_speeds`
         (dry lanes are zeroed before the reduction, so they never win the max).
         """
-        cell = state.h.shape
-        speed = self._buf(ws, "speed", cell)
-        celerity = self._buf(ws, "celerity", cell)
-        np.abs(self._buf(ws, "u", cell), out=speed)
-        np.abs(self._buf(ws, "v", cell), out=celerity)
-        np.maximum(speed, celerity, out=speed)
-        np.multiply(state.h, self.gravity, out=celerity)
-        np.sqrt(celerity, out=celerity)
-        np.add(speed, celerity, out=speed)
+        xp = self._xp
+        cell, dtype = state.h.shape, state.h.dtype
+        speed = self._buf(ws, "speed", cell, dtype)
+        celerity = self._buf(ws, "celerity", cell, dtype)
+        xp.abs(self._buf(ws, "u", cell, dtype), out=speed)
+        xp.abs(self._buf(ws, "v", cell, dtype), out=celerity)
+        xp.maximum(speed, celerity, out=speed)
+        xp.multiply(state.h, self.gravity, out=celerity)
+        xp.sqrt(celerity, out=celerity)
+        xp.add(speed, celerity, out=speed)
         # dry lanes: exactly zero
-        np.multiply(speed, self._buf(ws, "wetf", cell), out=speed)
+        xp.multiply(speed, self._buf(ws, "wetf", cell, dtype), out=speed)
         return speed.max(axis=(1, 2))
 
     def _fused_ensemble_step(
@@ -722,11 +762,13 @@ class ShallowWaterSolver2D:
         dry cells carry exactly zero momenta.
         """
         g = self.gravity
+        xp = self._xp
         batch, nx, ny = state.h.shape
         h, hu, hv = state.h, state.hu, state.hv
+        dtype = h.dtype
 
         def buf(name: str, shape: tuple[int, ...]) -> np.ndarray:
-            return self._buf(ws, name, shape)
+            return self._buf(ws, name, shape, dtype)
 
         cell = (batch, nx, ny)
         work = buf("cell_work", cell)
@@ -748,7 +790,10 @@ class ShallowWaterSolver2D:
         )
 
         # --- divergence + well-balanced source + update --------------------
-        dt_col = np.asarray(dt, dtype=float)[:, None, None]
+        # dt arrives double from the CFL control plane; cast to the field
+        # dtype so the update product matches the scalar path, where the
+        # Python-float dt combines with the fields at their own precision.
+        dt_col = xp.asarray(dt, dtype=dtype)[:, None, None]
         rhs, src = buf("rhs", cell), buf("src", cell)
         sq = buf("sq", cell)
 
@@ -759,21 +804,21 @@ class ShallowWaterSolver2D:
             out = buf(f"div_{name}", cell)
             # -(Δflux) / dx fused as Δflux / (-dx): IEEE division is
             # sign-symmetric, so the result is bitwise identical.
-            np.subtract(flux[take_hi], flux[take_lo], out=out)
-            np.divide(out, -spacing, out=out)
+            xp.subtract(flux[take_hi], flux[take_lo], out=out)
+            xp.divide(out, -spacing, out=out)
             if source is not None:
-                np.divide(source, spacing, out=src)
-                np.add(out, src, out=out)
+                xp.divide(source, spacing, out=src)
+                xp.add(out, src, out=out)
             return out
 
         # src_hn = 0.5 g (h*_l[hi]^2 - h*_r[lo]^2), in the reference order.
         def balanced_source(h_star_l, h_star_r, axis):
             take_hi = (slice(None), slice(1, None)) if axis == -2 else (Ellipsis, slice(1, None))
             take_lo = (slice(None), slice(None, -1)) if axis == -2 else (Ellipsis, slice(None, -1))
-            np.multiply(h_star_l[take_hi], h_star_l[take_hi], out=work)
-            np.multiply(h_star_r[take_lo], h_star_r[take_lo], out=sq)
-            np.subtract(work, sq, out=work)
-            np.multiply(work, 0.5 * g, out=work)
+            xp.multiply(h_star_l[take_hi], h_star_l[take_hi], out=work)
+            xp.multiply(h_star_r[take_lo], h_star_r[take_lo], out=sq)
+            xp.subtract(work, sq, out=work)
+            xp.multiply(work, 0.5 * g, out=work)
             return work
 
         dh_x = divergence("h_x", flux_h_x, -2)
@@ -785,9 +830,9 @@ class ShallowWaterSolver2D:
 
         # target += dt * (d_x + d_y), summed before the dt product like step().
         for target, part_x, part_y in ((h, dh_x, dh_y), (hu, dhu_x, dhu_y), (hv, dhv_x, dhv_y)):
-            np.add(part_x, part_y, out=rhs)
-            np.multiply(rhs, dt_col, out=rhs)
-            np.add(target, rhs, out=target)
+            xp.add(part_x, part_y, out=rhs)
+            xp.multiply(rhs, dt_col, out=rhs)
+            xp.add(target, rhs, out=target)
         state.enforce_positivity()
 
     def run_ensemble(
@@ -820,6 +865,7 @@ class ShallowWaterSolver2D:
         """
         if time_stepping not in ("per-member", "sync-min"):
             raise ValueError(f"unknown time_stepping policy {time_stepping!r}")
+        xp = self._xp
         state = initial_state.copy()
         batch = state.batch_size
         gauges = list(gauges or [])
@@ -834,21 +880,24 @@ class ShallowWaterSolver2D:
         # exactly, and the bathymetry at the gauge cells is static.
         gauge_b = state.b[:, gauge_i, gauge_j]  # (B, G)
         h_at_gauges = state.h[:, gauge_i, gauge_j]
-        reference_eta = np.where(
+        reference_eta = xp.where(
             h_at_gauges > self.dry_tolerance, h_at_gauges + gauge_b, 0.0
         )  # (B, G)
 
         def gauge_sample() -> np.ndarray:
             h_g = state.h[:, gauge_i, gauge_j]
-            return np.where(
+            return xp.where(
                 h_g > self.dry_tolerance, (h_g + gauge_b) - reference_eta, 0.0
             )
 
-        times = np.zeros(batch)
-        steps = np.zeros(batch, dtype=int)
+        # The time-stepping control plane stays double: the scalar path
+        # computes dt in Python floats, so double times/steps are what keeps
+        # per-member trajectories elementwise identical at any field dtype.
+        times = xp.zeros(batch, dtype=xp.float64)
+        steps = xp.zeros(batch, dtype=xp.int64)
         series_times = [times.copy()]
         series_values = [gauge_sample()]
-        max_eta = np.zeros_like(state.h) if record_max_eta else np.zeros((0, 0, 0))
+        max_eta = xp.zeros_like(state.h) if record_max_eta else xp.zeros((0, 0, 0))
         # The fused buffered step covers the (default) Rusanov flux. Its
         # branch-free dry handling relies on (i) a dry tolerance below the
         # 1.0 of the maximum(h, dry_indicator) identity, (ii) the state
@@ -864,31 +913,32 @@ class ShallowWaterSolver2D:
         )
         if fused:
             entry_dry = state.h <= self.dry_tolerance
-            fused = not (np.any(state.hu[entry_dry]) or np.any(state.hv[entry_dry]))
+            fused = not (bool(xp.any(state.hu[entry_dry])) or bool(xp.any(state.hv[entry_dry])))
         workspace = self._ensemble_workspace if fused else None
         if fused:
             # Fill the member-replicated interface bathymetry once per run
             # (the fused step reads it every time step).
             b_star_x, b_star_y = self._static_interface_bathymetry()
-            self._buf(workspace, "b_star_x", (2 * batch, self.nx + 1, self.ny))[:] = b_star_x
-            self._buf(workspace, "b_star_y", (2 * batch, self.nx, self.ny + 1))[:] = b_star_y
+            dtype = state.h.dtype
+            self._buf(workspace, "b_star_x", (2 * batch, self.nx + 1, self.ny), dtype)[:] = b_star_x
+            self._buf(workspace, "b_star_y", (2 * batch, self.nx, self.ny + 1), dtype)[:] = b_star_y
 
         while True:
             running = (times < end_time) & (steps < max_steps)
-            if not np.any(running):
+            if not bool(xp.any(running)):
                 break
             if fused:
                 self._fused_primitives(state, workspace)
                 stable = self.stable_timesteps(state, speeds=self._fused_speeds(state, workspace))
             else:
                 stable = self.stable_timesteps(state)
-            dts = np.minimum(stable, end_time - times)
+            dts = xp.minimum(stable, end_time - times)
             running &= dts > 0.0
-            if not np.any(running):
+            if not bool(xp.any(running)):
                 break
             if time_stepping == "sync-min":
-                dts = np.full(batch, dts[running].min())
-            dt_step = np.where(running, dts, 0.0)
+                dts = xp.full(batch, dts[running].min())
+            dt_step = xp.where(running, dts, 0.0)
             if fused:
                 self._fused_ensemble_step(state, dt_step, workspace)
             else:
@@ -899,8 +949,8 @@ class ShallowWaterSolver2D:
             series_values.append(gauge_sample())
             if record_max_eta:
                 wet = state.h > self.dry_tolerance
-                anomaly = np.where(wet, state.free_surface, 0.0)
-                np.maximum(max_eta, anomaly, out=max_eta)
+                anomaly = xp.where(wet, state.free_surface, 0.0)
+                xp.maximum(max_eta, anomaly, out=max_eta)
 
         return EnsembleSimulationResult(
             state=state,
@@ -908,7 +958,7 @@ class ShallowWaterSolver2D:
             num_timesteps=steps,
             simulated_time=times,
             dof_updates=steps * self.nx * self.ny * 4,
-            gauge_times=np.stack(series_times, axis=1),
-            gauge_values=np.stack(series_values, axis=1),
+            gauge_times=xp.stack(series_times, axis=1),
+            gauge_values=xp.stack(series_values, axis=1),
             max_eta_field=max_eta,
         )

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.swe.state import DRY_TOLERANCE, GRAVITY
+from repro.swe.state import DRY_TOLERANCE, GRAVITY, _float_field
 
 __all__ = ["physical_flux_x", "rusanov_flux", "hll_flux"]
 
@@ -26,9 +26,9 @@ def physical_flux_x(
     ``F(q) = (hu, hu^2/h + g h^2 / 2, hu hv / h)`` with a desingularised
     division on dry cells.
     """
-    h = np.asarray(h, dtype=float)
-    hu = np.asarray(hu, dtype=float)
-    hv = np.asarray(hv, dtype=float)
+    h = _float_field(h)
+    hu = _float_field(hu)
+    hv = _float_field(hv)
     wet = h > DRY_TOLERANCE
     u = np.where(wet, hu / np.where(wet, h, 1.0), 0.0)
     flux_h = hu
@@ -71,8 +71,8 @@ def rusanov_flux(
     q_l, q_r:
         Left/right states as ``(h, hu, hv)`` arrays.
     """
-    h_l, hu_l, hv_l = (np.asarray(a, dtype=float) for a in q_l)
-    h_r, hu_r, hv_r = (np.asarray(a, dtype=float) for a in q_r)
+    h_l, hu_l, hv_l = (_float_field(a) for a in q_l)
+    h_r, hu_r, hv_r = (_float_field(a) for a in q_r)
     u_l = _velocity(h_l, hu_l)
     u_r = _velocity(h_r, hu_r)
     c_l = np.sqrt(gravity * np.maximum(h_l, 0.0))
@@ -94,8 +94,8 @@ def hll_flux(
     gravity: float = GRAVITY,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """HLL numerical flux in the x-direction (sharper than Rusanov, still robust)."""
-    h_l, hu_l, hv_l = (np.asarray(a, dtype=float) for a in q_l)
-    h_r, hu_r, hv_r = (np.asarray(a, dtype=float) for a in q_r)
+    h_l, hu_l, hv_l = (_float_field(a) for a in q_l)
+    h_r, hu_r, hv_r = (_float_field(a) for a in q_r)
     u_l = _velocity(h_l, hu_l)
     u_r = _velocity(h_r, hu_r)
     s_l, s_r = _wave_speeds(h_l, u_l, h_r, u_r, gravity)

@@ -42,6 +42,7 @@ from repro.swe.bathymetry import (
 )
 from repro.swe.fv2d import EnsembleSimulationResult, ShallowWaterSolver2D, SimulationResult
 from repro.swe.gauges import Gauge, wave_observables
+from repro.utils.array_api import level_dtypes
 
 __all__ = [
     "SourceParameters",
@@ -74,7 +75,7 @@ class SourceParameters:
     @staticmethod
     def from_theta(theta: np.ndarray, amplitude: float = 5.0, radius: float = 30e3) -> "SourceParameters":
         """Build source parameters from the 2-vector MCMC parameter (in km)."""
-        theta = np.atleast_1d(np.asarray(theta, dtype=float)).ravel()
+        theta = np.atleast_1d(np.asarray(theta, dtype=np.float64)).ravel()
         if theta.shape[0] != 2:
             raise ValueError("tsunami source parameter must have dimension 2")
         return SourceParameters(
@@ -114,6 +115,8 @@ class ScenarioPlan:
     gauge_cells: tuple[tuple[int, int], ...]
     cell_x: np.ndarray
     cell_y: np.ndarray
+    #: solve dtype of this level's forward runs (the precision ladder's rung)
+    dtype: np.dtype = np.dtype(np.float64)
 
     def displacement(
         self,
@@ -126,17 +129,20 @@ class ScenarioPlan:
 
         Scalar centres yield an ``(nx, ny)`` field; ``(B,)`` centre arrays
         yield a ``(B, nx, ny)`` block whose rows are elementwise identical to
-        the scalar evaluation at each centre.
+        the scalar evaluation at each centre.  The geometry is evaluated in
+        double (source parameters stay double end to end) and the field is
+        rounded once to the plan dtype.
         """
-        center_x = np.asarray(center_x, dtype=float)
-        center_y = np.asarray(center_y, dtype=float)
+        center_x = np.asarray(center_x, dtype=np.float64)
+        center_y = np.asarray(center_y, dtype=np.float64)
         if center_x.ndim:
             r2 = (self.cell_x[None] - center_x[:, None, None]) ** 2 + (
                 self.cell_y[None] - center_y[:, None, None]
             ) ** 2
         else:
             r2 = (self.cell_x - center_x) ** 2 + (self.cell_y - center_y) ** 2
-        return amplitude * np.exp(-0.5 * r2 / radius**2)
+        field = amplitude * np.exp(-0.5 * r2 / radius**2)
+        return field.astype(self.dtype, copy=False)
 
 
 class TohokuLikeScenario:
@@ -156,6 +162,14 @@ class TohokuLikeScenario:
         bathymetry).  The number of cells can be reduced for fast test runs.
     source_amplitude, source_radius:
         Fixed (assumed known) source parameters; only the location is inferred.
+    precision:
+        Precision-ladder policy (``"float64"``, ``"float32-coarse"``,
+        ``"float32"``) mapping each level to its solve dtype.  Parameters and
+        observables stay double regardless — only the forward solves run at
+        the level's dtype.
+    backend:
+        Explicit array backend name passed through to the per-level solvers
+        (``None`` means NumPy / inferred from the bathymetry arrays).
     """
 
     #: gauge locations loosely mimicking DART buoys 21418 and 21419 relative
@@ -175,6 +189,8 @@ class TohokuLikeScenario:
         source_radius: float = 30e3,
         gauges: tuple[Gauge, ...] | None = None,
         cfl: float = 0.45,
+        precision: str | None = None,
+        backend: str | None = None,
     ) -> None:
         self.extent = extent
         self.epicenter = epicenter
@@ -193,7 +209,10 @@ class TohokuLikeScenario:
                 LevelConfiguration(level=2, num_cells=241, bathymetry_treatment="full", limiter=True),
             )
         )
-        self._plan_cache: dict[tuple[int, int], ScenarioPlan] = {}
+        self.precision = precision or "float64"
+        self.backend = backend
+        self._level_dtypes = level_dtypes(self.precision, len(self.level_configs))
+        self._plan_cache: dict[tuple[int, int, str], ScenarioPlan] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -222,7 +241,8 @@ class TohokuLikeScenario:
         work reduces to the time loop.
         """
         config = self.level_configs[level]
-        key = (level, config.num_cells)
+        dtype = self.level_dtype(level)
+        key = (level, config.num_cells, dtype.str)
         if key not in self._plan_cache:
             solver = ShallowWaterSolver2D(
                 nx=config.num_cells,
@@ -230,6 +250,8 @@ class TohokuLikeScenario:
                 extent=self.extent,
                 bathymetry=self.level_bathymetry(level),
                 cfl=self.cfl,
+                dtype=dtype,
+                backend=self.backend,
             )
             cell_x, cell_y = solver.cell_centers()
             self._plan_cache[key] = ScenarioPlan(
@@ -239,8 +261,13 @@ class TohokuLikeScenario:
                 gauge_cells=tuple(solver.locate_cell(g.x, g.y) for g in self.gauges),
                 cell_x=cell_x,
                 cell_y=cell_y,
+                dtype=dtype,
             )
         return self._plan_cache[key]
+
+    def level_dtype(self, level: int) -> np.dtype:
+        """The solve dtype of one level under the scenario's precision ladder."""
+        return self._level_dtypes[level]
 
     def solver(self, level: int) -> ShallowWaterSolver2D:
         """The (cached) FV solver for the given level."""
@@ -249,7 +276,7 @@ class TohokuLikeScenario:
     # ------------------------------------------------------------------
     def _source_centers(self, thetas: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Physical displacement centres of a ``(B, 2)`` km-offset block."""
-        block = np.atleast_2d(np.asarray(thetas, dtype=float))
+        block = np.atleast_2d(np.asarray(thetas, dtype=np.float64))
         if block.ndim != 2 or block.shape[1] != 2:
             raise ValueError("tsunami source parameters must have dimension 2")
         return (
@@ -333,7 +360,7 @@ class TohokuLikeScenario:
         the inundation field — pass ``True`` to get per-member
         ``max_eta_field`` data.
         """
-        block = np.atleast_2d(np.asarray(thetas, dtype=float))
+        block = np.atleast_2d(np.asarray(thetas, dtype=np.float64))
         mask = self.physical_mask(block)
         if not np.all(mask):
             bad = int(np.count_nonzero(~mask))

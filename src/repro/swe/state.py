@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.utils.array_api import array_namespace
+
 __all__ = [
     "ShallowWaterState",
     "ShallowWaterEnsembleState",
@@ -31,6 +33,19 @@ __all__ = [
 DRY_TOLERANCE = 1.0e-3
 #: gravitational acceleration [m/s^2]
 GRAVITY = 9.81
+
+
+def _float_field(values):
+    """Coerce to a floating array, preserving the backend and a float32 dtype.
+
+    Integer and exotic inputs become float64; float32/float64 arrays pass
+    through untouched so single-precision ensembles stay single precision.
+    """
+    xp = array_namespace(values)
+    array = xp.asarray(values)
+    if array.dtype == xp.float32 or array.dtype == xp.float64:
+        return array
+    return xp.asarray(array, dtype=xp.float64)
 
 
 @dataclass
@@ -57,10 +72,10 @@ class ShallowWaterState:
         shapes = {self.h.shape, self.hu.shape, self.hv.shape, self.b.shape}
         if len(shapes) != 1:
             raise ValueError(f"inconsistent field shapes: {shapes}")
-        self.h = np.asarray(self.h, dtype=float)
-        self.hu = np.asarray(self.hu, dtype=float)
-        self.hv = np.asarray(self.hv, dtype=float)
-        self.b = np.asarray(self.b, dtype=float)
+        self.h = _float_field(self.h)
+        self.hu = _float_field(self.hu)
+        self.hv = _float_field(self.hv)
+        self.b = _float_field(self.b)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -69,9 +84,10 @@ class ShallowWaterState:
 
         Cells whose bathymetry is above the sea level are dry (``h = 0``).
         """
-        b = np.asarray(bathymetry, dtype=float)
-        h = np.maximum(sea_level - b, 0.0)
-        return cls(h=h, hu=np.zeros_like(h), hv=np.zeros_like(h), b=b.copy())
+        xp = array_namespace(bathymetry)
+        b = _float_field(bathymetry)
+        h = xp.maximum(sea_level - b, 0.0)
+        return cls(h=h, hu=xp.zeros_like(h), hv=xp.zeros_like(h), b=b.copy())
 
     def copy(self) -> "ShallowWaterState":
         """Deep copy of the state."""
@@ -158,10 +174,10 @@ class ShallowWaterEnsembleState:
     dry_tolerance: float = field(default=DRY_TOLERANCE)
 
     def __post_init__(self) -> None:
-        self.h = np.asarray(self.h, dtype=float)
-        self.hu = np.asarray(self.hu, dtype=float)
-        self.hv = np.asarray(self.hv, dtype=float)
-        self.b = np.asarray(self.b, dtype=float)
+        self.h = _float_field(self.h)
+        self.hu = _float_field(self.hu)
+        self.hv = _float_field(self.hv)
+        self.b = _float_field(self.b)
         shapes = {self.h.shape, self.hu.shape, self.hv.shape, self.b.shape}
         if len(shapes) != 1:
             raise ValueError(f"inconsistent field shapes: {shapes}")
@@ -176,11 +192,11 @@ class ShallowWaterEnsembleState:
         cls, bathymetry: np.ndarray, batch_size: int, sea_level: float = 0.0
     ) -> "ShallowWaterEnsembleState":
         """``batch_size`` identical lake-at-rest members over one bathymetry."""
-        b = np.broadcast_to(
-            np.asarray(bathymetry, dtype=float), (batch_size,) + np.shape(bathymetry)
-        ).copy()
-        h = np.maximum(sea_level - b, 0.0)
-        return cls(h=h, hu=np.zeros_like(h), hv=np.zeros_like(h), b=b)
+        xp = array_namespace(bathymetry)
+        single = _float_field(bathymetry)
+        b = xp.broadcast_to(single, (batch_size,) + single.shape).copy()
+        h = xp.maximum(sea_level - b, 0.0)
+        return cls(h=h, hu=xp.zeros_like(h), hv=xp.zeros_like(h), b=b)
 
     @classmethod
     def from_states(cls, states: list[ShallowWaterState]) -> "ShallowWaterEnsembleState":
@@ -244,13 +260,14 @@ class ShallowWaterEnsembleState:
         per-member maximum equals the scalar wet-cell maximum (and is zero
         for all-dry members).
         """
+        xp = array_namespace(self.h)
         wet = self.wet
-        safe_h = np.where(wet, self.h, 1.0)
-        u = np.where(wet, self.hu / safe_h, 0.0)
-        v = np.where(wet, self.hv / safe_h, 0.0)
-        speed = np.where(
+        safe_h = xp.where(wet, self.h, 1.0)
+        u = xp.where(wet, self.hu / safe_h, 0.0)
+        v = xp.where(wet, self.hv / safe_h, 0.0)
+        speed = xp.where(
             wet,
-            np.maximum(np.abs(u), np.abs(v)) + np.sqrt(gravity * np.where(wet, self.h, 0.0)),
+            xp.maximum(xp.abs(u), xp.abs(v)) + xp.sqrt(gravity * xp.where(wet, self.h, 0.0)),
             0.0,
         )
         return speed.max(axis=(1, 2))
