@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.experiments import (
@@ -98,6 +99,23 @@ def _print_payload_summary(payload: dict, prefix: str = "", depth: int = 0) -> N
             _print_payload_summary(value, prefix=f"{prefix}{key}.", depth=depth + 1)
 
 
+def _load_fault_plan(source: str):
+    """Parse ``--fault-plan``: a JSON file path or an inline JSON object."""
+    from repro.parallel import FaultPlan
+
+    text = source
+    if os.path.exists(source):
+        with open(source, encoding="utf-8") as handle:
+            text = handle.read()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"--fault-plan is neither an existing JSON file nor inline JSON: {exc}"
+        ) from None
+    return FaultPlan.from_dict(data)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.list or args.scenario is None:
         if args.scenario is None and not args.list:
@@ -105,6 +123,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
         _print_scenario_list()
         return 0
+    try:
+        fault_plan = (
+            _load_fault_plan(args.fault_plan) if args.fault_plan else None
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     try:
         run = run_scenario(
             args.scenario,
@@ -114,6 +139,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             out_dir=args.out,
             parallel_backend=args.parallel_backend,
             precision=args.precision,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            fault_plan=fault_plan,
         )
     except (UnknownScenarioError, BackendNotApplicableError) as exc:
         # usage errors → exit 2; run/validation failures propagate (exit 1).
@@ -183,6 +211,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--out", metavar="DIR", help="write the manifest here")
     run_parser.add_argument("--seed", type=int, help="override the spec's seed")
+    run_parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="write in-flight sampling snapshots here (parallel scenarios); "
+        "a completed run leaves a final snapshot --resume can restart from",
+    )
+    run_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="restart from the latest snapshot in --checkpoint-dir instead "
+        "of sampling from scratch",
+    )
+    run_parser.add_argument(
+        "--fault-plan",
+        metavar="JSON",
+        help="inject seeded faults (rank kills, message drops/delays, "
+        "evaluator errors): a JSON file path or an inline JSON object, "
+        "parsed by repro.parallel.FaultPlan.from_dict",
+    )
     run_parser.set_defaults(handler=_cmd_run)
 
     list_parser = sub.add_parser("list", help="list all scenarios")

@@ -129,6 +129,41 @@ class SingleChainMCMC:
             self.step()
         return self.samples
 
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the chain's in-flight state.
+
+        Captures everything :meth:`load_state_dict` needs to continue the
+        chain *bitwise identically* to an uninterrupted run: the RNG's
+        bit-generator state, the kernel counters, the current state and the
+        recorded collections.  Model caches (problems, evaluators) are
+        deliberately excluded — they are rebuilt by the host process.
+        """
+        return {
+            "level": self.level,
+            "burnin": self.burnin,
+            "steps_taken": self._steps_taken,
+            "current": self._current.copy(),
+            "rng_state": self.rng.bit_generator.state,
+            "kernel": self.kernel.state_dict(),
+            "samples": self.samples.state_dict(),
+            "corrections": self.corrections.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot captured by :meth:`state_dict`."""
+        if int(state["level"]) != self.level:
+            raise ValueError(
+                f"checkpoint is for level {state['level']}, chain is level {self.level}"
+            )
+        self.burnin = int(state["burnin"])
+        self._steps_taken = int(state["steps_taken"])
+        self._current = state["current"].copy()
+        self.rng.bit_generator.state = state["rng_state"]
+        self.kernel.load_state_dict(state["kernel"])
+        self.samples = SampleCollection.from_state_dict(state["samples"])
+        self.corrections = CorrectionCollection.from_state_dict(state["corrections"])
+
 
 class SubsampledChainSource(ChainSampleSource):
     """Expose a :class:`SingleChainMCMC` as a coarse-proposal source.

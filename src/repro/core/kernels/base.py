@@ -66,6 +66,16 @@ class TransitionKernel(ABC):
             self._num_accepted += 1
 
     # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable kernel state (counters; subclasses may extend)."""
+        return {"num_steps": self._num_steps, "num_accepted": self._num_accepted}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self._num_steps = int(state["num_steps"])
+        self._num_accepted = int(state["num_accepted"])
+
+    # ------------------------------------------------------------------
     @abstractmethod
     def step(self, current: SamplingState, rng: np.random.Generator) -> KernelResult:
         """Advance the chain by one step."""

@@ -152,6 +152,36 @@ class SampleCollection:
         result._states = list(self._states[start:stop])
         return result
 
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot (checkpointing); states are deep-copied."""
+        return {"states": [state.copy() for state in self._states]}
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "SampleCollection":
+        """Rebuild a collection from a :meth:`state_dict` snapshot."""
+        collection = cls()
+        collection._states = [s.copy() for s in state["states"]]
+        return collection
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` unless the collection is internally consistent.
+
+        Used on salvaged crash-path state: every stored state must carry a
+        positive integer weight, and the expanded count must equal the sum of
+        weights (a torn snapshot or a half-applied merge breaks either).
+        """
+        total = 0
+        for i, state in enumerate(self._states):
+            weight = state.weight
+            if not isinstance(weight, int) or weight <= 0:
+                raise ValueError(f"state {i} has invalid weight {weight!r}")
+            total += weight
+        if total != self.num_samples:
+            raise ValueError(
+                f"weight sum {total} does not match num_samples {self.num_samples}"
+            )
+
 
 class CorrectionCollection:
     """Coupled (fine, coarse) QOI pairs for one telescoping correction term.
@@ -237,3 +267,42 @@ class CorrectionCollection:
         self._fine_qois.extend(other._fine_qois)
         self._coarse_qois.extend(other._coarse_qois)
         return self
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot (checkpointing); QOI arrays are copied."""
+        return {
+            "level": self.level,
+            "fine": [np.array(q, copy=True) for q in self._fine_qois],
+            "coarse": [np.array(q, copy=True) for q in self._coarse_qois],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "CorrectionCollection":
+        """Rebuild a collection from a :meth:`state_dict` snapshot."""
+        collection = cls(level=int(state["level"]))
+        collection._fine_qois = [np.array(q, copy=True) for q in state["fine"]]
+        collection._coarse_qois = [np.array(q, copy=True) for q in state["coarse"]]
+        return collection
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` unless every correction pair is complete.
+
+        Guards salvaged crash-path state: levels above 0 must pair every fine
+        QOI with a coarse QOI (a half-recorded pair would silently bias the
+        telescoping difference), QOI dimensions must agree, and every entry
+        must be finite-shaped (1-d).
+        """
+        if self.level > 0 and len(self._coarse_qois) != len(self._fine_qois):
+            raise ValueError(
+                f"level {self.level}: {len(self._fine_qois)} fine QOIs but "
+                f"{len(self._coarse_qois)} coarse QOIs (half-recorded pair)"
+            )
+        if self.level == 0 and self._coarse_qois:
+            raise ValueError("level 0 must not store coarse QOIs")
+        dims = {q.shape for q in self._fine_qois} | {q.shape for q in self._coarse_qois}
+        if len(dims) > 1:
+            raise ValueError(f"inconsistent QOI shapes in collection: {sorted(dims)}")
+        for q in (*self._fine_qois, *self._coarse_qois):
+            if q.ndim != 1:
+                raise ValueError("correction QOIs must be 1-d arrays")

@@ -22,7 +22,14 @@ or, from the command line::
     python -m repro run table3-poisson-multilevel --quick --out runs
 """
 
-from repro.experiments.drivers import DriverResult, driver, driver_names, get_driver
+from repro.experiments.drivers import (
+    DriverResult,
+    RunContext,
+    driver,
+    driver_names,
+    get_driver,
+    run_context,
+)
 from repro.experiments.manifest import (
     MANIFEST_SCHEMA_VERSION,
     ManifestError,
@@ -48,6 +55,7 @@ __all__ = [
     "ExperimentSpec",
     "MANIFEST_SCHEMA_VERSION",
     "ManifestError",
+    "RunContext",
     "ScenarioRun",
     "UnknownScenarioError",
     "all_scenarios",
@@ -60,6 +68,7 @@ __all__ = [
     "get_scenario",
     "print_rows",
     "register",
+    "run_context",
     "run_scenario",
     "scaled",
     "scenario_names",

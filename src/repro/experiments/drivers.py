@@ -14,6 +14,7 @@ calling :func:`repro.experiments.run_scenario`.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -28,10 +29,13 @@ __all__ = [
     "PARALLEL_BACKEND_DRIVERS",
     "PRECISION_AGNOSTIC_DRIVERS",
     "DriverResult",
+    "RunContext",
+    "current_run_context",
     "driver",
     "driver_names",
     "get_driver",
     "prewarm",
+    "run_context",
 ]
 
 #: drivers that do not route work through a spec-selected evaluation backend:
@@ -83,6 +87,56 @@ class DriverResult:
     raw: Any = None
     factory: Any = None
     evaluations: list[dict] = field(default_factory=list)
+    #: robustness lineage for the manifest's ``fault_tolerance`` field:
+    #: checkpoint directory, resume provenance, injected fault plan and the
+    #: run's failure report.  Empty for runs without any of those.
+    fault_tolerance: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """Out-of-band execution options for one driver invocation.
+
+    Checkpointing, resume and fault injection are properties of *one
+    execution*, not of the experiment being defined — the same spec (and
+    spec hash) must describe a run with or without them, or checkpointed
+    manifests would stop being comparable to ordinary ones.  They therefore
+    travel to the driver through this context rather than through
+    :class:`ExperimentSpec` fields.
+    """
+
+    #: directory for :class:`repro.parallel.CheckpointConfig` snapshots
+    checkpoint_dir: str | None = None
+    #: restart from the latest snapshot in ``checkpoint_dir``
+    resume: bool = False
+    #: resolved or declarative :class:`repro.parallel.FaultPlan` to inject
+    fault_plan: Any = None
+
+
+_RUN_CONTEXT = RunContext()
+
+
+@contextlib.contextmanager
+def run_context(
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
+    fault_plan: Any = None,
+):
+    """Install a :class:`RunContext` for the duration of one driver call."""
+    global _RUN_CONTEXT
+    previous = _RUN_CONTEXT
+    _RUN_CONTEXT = RunContext(
+        checkpoint_dir=checkpoint_dir, resume=resume, fault_plan=fault_plan
+    )
+    try:
+        yield _RUN_CONTEXT
+    finally:
+        _RUN_CONTEXT = previous
+
+
+def current_run_context() -> RunContext:
+    """The context installed by :func:`run_context` (default: all off)."""
+    return _RUN_CONTEXT
 
 
 _DRIVERS: dict[str, Callable[[ExperimentSpec], DriverResult]] = {}
@@ -357,15 +411,57 @@ def run_sequential(spec: ExperimentSpec) -> DriverResult:
 
 # ----------------------------------------------------------------------------
 # parallel scheduler runs (Figure 9, load-balancing demo)
+def _fault_tolerance_record(context: RunContext, result) -> dict:
+    """The manifest's ``fault_tolerance`` entry for one parallel run."""
+    record: dict[str, Any] = {}
+    if context.checkpoint_dir is not None:
+        record["checkpoint_dir"] = str(context.checkpoint_dir)
+        record["resume_requested"] = bool(context.resume)
+    if result.resumed_from is not None:
+        record["resumed_from"] = str(result.resumed_from)
+    if context.fault_plan is not None:
+        record["fault_plan"] = context.fault_plan.as_dict()
+    if result.failure_report is not None:
+        record["failure_report"] = result.failure_report.as_dict()
+        record["degraded"] = bool(result.degraded)
+    return record
+
+
 @driver("parallel")
 def run_parallel(spec: ExperimentSpec) -> DriverResult:
-    """One parallel MLMCMC run on the spec-selected transport backend."""
-    from repro.parallel import ParallelMLMCMCSampler
+    """One parallel MLMCMC run on the spec-selected transport backend.
+
+    Checkpointing, resume and fault injection come from the ambient
+    :func:`run_context` (the ``repro run --checkpoint-dir/--resume/
+    --fault-plan`` options), never from the spec: one spec hash must cover a
+    run with or without a robustness harness around it.
+    """
+    from repro.parallel import (
+        CheckpointConfig,
+        FaultToleranceConfig,
+        ParallelMLMCMCSampler,
+    )
 
     factory = _spec_factory(spec)
     num_samples = _num_samples(spec)
     sampler_options = spec.sampler
     parallel = spec.parallel or {}
+    context = current_run_context()
+    checkpoint = (
+        CheckpointConfig(directory=context.checkpoint_dir)
+        if context.checkpoint_dir is not None
+        else None
+    )
+    backend = parallel.get("backend", "simulated")
+    fault_tolerance = None
+    if context.fault_plan is not None or (
+        backend == "multiprocess" and checkpoint is not None
+    ):
+        # A fault plan (or a checkpointed run on real processes) implies the
+        # caller wants the failure-handling machinery: heartbeats and respawn
+        # on the multiprocess backend, and on every backend the
+        # degrade-not-crash contract when recovery is exhausted.
+        fault_tolerance = FaultToleranceConfig()
     sampler = ParallelMLMCMCSampler(
         factory,
         num_samples=num_samples,
@@ -376,8 +472,12 @@ def run_parallel(spec: ExperimentSpec) -> DriverResult:
         dynamic_load_balancing=bool(sampler_options.get("dynamic_load_balancing", True)),
         level_weights=sampler_options.get("level_weights"),
         seed=spec.seed,
-        backend=parallel.get("backend", "simulated"),
+        backend=backend,
         backend_options=parallel.get("options"),
+        fault_tolerance=fault_tolerance,
+        checkpoint=checkpoint,
+        resume=context.resume,
+        fault_plan=context.fault_plan,
     )
     result = sampler.run()
 
@@ -394,7 +494,8 @@ def run_parallel(spec: ExperimentSpec) -> DriverResult:
         if len(durations) > 1 and np.mean(durations) > 0
     }
     payload = {
-        "mean": _floats(result.mean),
+        "mean": _floats(result.mean) if result.estimate is not None else None,
+        "degraded": bool(result.degraded),
         "parallel_backend": str(result.backend),
         "wall_time_s": float(result.wall_time_s),
         "summary": {k: float(v) for k, v in result.summary().items()},
@@ -424,6 +525,7 @@ def run_parallel(spec: ExperimentSpec) -> DriverResult:
     return DriverResult(
         payload, raw=result, factory=factory,
         evaluations=_stats_entries(result.evaluation_stats),
+        fault_tolerance=_fault_tolerance_record(context, result),
     )
 
 

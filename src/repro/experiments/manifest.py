@@ -14,6 +14,8 @@ beyond numpy/scipy.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import time
 from pathlib import Path
 from typing import Any
@@ -31,8 +33,10 @@ __all__ = [
 #: bump on any backwards-incompatible change to the manifest layout
 #: (v2: added the required ``parallel_backend`` field recording which
 #: transport ran the parallel MLMCMC machine; v3: added the required
-#: ``precision`` field recording the run's precision-ladder policy)
-MANIFEST_SCHEMA_VERSION = 3
+#: ``precision`` field recording the run's precision-ladder policy;
+#: v4: added the required ``fault_tolerance`` object recording checkpoint /
+#: resume lineage, injected faults and the run's failure report)
+MANIFEST_SCHEMA_VERSION = 4
 
 #: top-level manifest fields and their required types
 _TOP_LEVEL_FIELDS: dict[str, type | tuple] = {
@@ -52,6 +56,7 @@ _TOP_LEVEL_FIELDS: dict[str, type | tuple] = {
     "created_at": str,
     "wall_time_s": (int, float),
     "environment": dict,
+    "fault_tolerance": dict,
     "evaluations": list,
     "results": dict,
 }
@@ -87,8 +92,14 @@ def build_manifest(
     quick: bool = False,
     backend: str | None = None,
     parallel_backend: str | None = None,
+    fault_tolerance: dict | None = None,
 ) -> dict:
-    """Assemble a schema-valid manifest for one completed run."""
+    """Assemble a schema-valid manifest for one completed run.
+
+    ``fault_tolerance`` records the run's robustness lineage: checkpoint
+    directory, whether it resumed and from what, the injected fault plan and
+    the failure report (all absent/empty for an ordinary run).
+    """
     from repro import __version__
     from repro.experiments.presets import paper_scale, sample_scale
 
@@ -116,6 +127,7 @@ def build_manifest(
             "bench_scale": float(sample_scale()),
             "paper_scale": bool(paper_scale()),
         },
+        "fault_tolerance": _scrub(dict(fault_tolerance or {})),
         "evaluations": _scrub(list(evaluations or [])),
         "results": _scrub(results),
     }
@@ -172,15 +184,37 @@ def validate_manifest(manifest: Any) -> None:
             json.dumps(manifest["results"], allow_nan=False)
         except (TypeError, ValueError) as exc:
             errors.append(f"results payload is not strict-JSON-serialisable: {exc}")
+        try:
+            json.dumps(manifest["fault_tolerance"], allow_nan=False)
+        except (TypeError, ValueError) as exc:
+            errors.append(
+                f"fault_tolerance payload is not strict-JSON-serialisable: {exc}"
+            )
     if errors:
         raise ManifestError("; ".join(errors))
 
 
 def write_manifest(manifest: dict, out_dir: str | Path) -> Path:
-    """Validate and write a manifest to ``<out_dir>/<scenario>.manifest.json``."""
+    """Validate and write a manifest to ``<out_dir>/<scenario>.manifest.json``.
+
+    The write is atomic (same-directory temp file + ``os.replace``), so a
+    crash mid-write can never leave a truncated manifest where a valid one is
+    expected — readers see either the old file or the new one.
+    """
     validate_manifest(manifest)
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     path = out / f"{manifest['scenario']}.manifest.json"
-    path.write_text(json.dumps(manifest, indent=2, sort_keys=False) + "\n")
+    payload = json.dumps(manifest, indent=2, sort_keys=False) + "\n"
+    fd, tmp_name = tempfile.mkstemp(dir=str(out), prefix=path.name + ".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return path

@@ -21,6 +21,7 @@ from repro.experiments.drivers import (
     PRECISION_AGNOSTIC_DRIVERS,
     get_driver,
     prewarm,
+    run_context,
 )
 from repro.experiments.manifest import build_manifest, write_manifest
 from repro.experiments.registry import get_scenario
@@ -64,6 +65,9 @@ def run_scenario(
     out_dir: str | Path | None = None,
     parallel_backend: str | None = None,
     precision: str | None = None,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
+    fault_plan: Any = None,
 ) -> ScenarioRun:
     """Run one scenario end to end.
 
@@ -96,6 +100,20 @@ def run_scenario(
         driver never builds a model hierarchy with per-level solve dtypes
         (:data:`repro.experiments.drivers.PRECISION_AGNOSTIC_DRIVERS`), so
         the manifest never records a precision the run did not use.
+    checkpoint_dir:
+        Directory for in-flight sampling snapshots (parallel-machine
+        scenarios only).  Deliberately *not* a spec field: the spec hash must
+        describe the experiment, not the robustness harness around one
+        execution of it.
+    resume:
+        Restart from the latest snapshot in ``checkpoint_dir`` instead of
+        sampling from scratch; requires ``checkpoint_dir``.
+    fault_plan:
+        A :class:`repro.parallel.FaultPlan` of seeded faults (rank kills,
+        message drops/delays, evaluator exceptions) to inject into the run.
+        Like the checkpoint options, rejected
+        (:class:`BackendNotApplicableError`) for scenarios whose driver does
+        not run the parallel MLMCMC machine.
 
     Examples
     --------
@@ -122,6 +140,19 @@ def run_scenario(
             "model hierarchy with per-level solve dtypes; drop the precision "
             "override"
         )
+    wants_fault_harness = (
+        checkpoint_dir is not None or resume or fault_plan is not None
+    )
+    if wants_fault_harness and spec.driver not in PARALLEL_BACKEND_DRIVERS:
+        raise BackendNotApplicableError(
+            f"scenario {spec.name!r} (driver {spec.driver!r}) does not run the "
+            "parallel MLMCMC machine; drop the checkpoint/resume/fault-plan "
+            "options"
+        )
+    if resume and checkpoint_dir is None:
+        raise BackendNotApplicableError(
+            "--resume requires --checkpoint-dir (there is nothing to resume from)"
+        )
     resolved = spec.resolved(
         quick=quick,
         backend=backend,
@@ -135,7 +166,12 @@ def run_scenario(
     # region, so wall_time_s is comparable between cold and warm runs.
     prewarm(resolved)
     start = time.perf_counter()
-    outcome = driver(resolved)
+    with run_context(
+        checkpoint_dir=str(checkpoint_dir) if checkpoint_dir is not None else None,
+        resume=bool(resume),
+        fault_plan=fault_plan,
+    ):
+        outcome = driver(resolved)
     wall_time_s = time.perf_counter() - start
 
     # Record the transport backend the run actually used: the resolved spec's
@@ -154,6 +190,7 @@ def run_scenario(
         quick=quick,
         backend=backend,
         parallel_backend=effective_parallel_backend,
+        fault_tolerance=outcome.fault_tolerance,
     )
     manifest_path = write_manifest(manifest, out_dir) if out_dir is not None else None
     return ScenarioRun(

@@ -13,6 +13,20 @@ processes in :mod:`repro.parallel.mp` (queue-based delivery, wall-clock
 timing).
 """
 
+from repro.parallel.chaos import (
+    EvaluatorFault,
+    FaultPlan,
+    InjectedEvaluatorError,
+    MessageDelay,
+    MessageDrop,
+    RankKill,
+    apply_chaos_to_virtual,
+)
+from repro.parallel.checkpoint import (
+    CheckpointConfig,
+    CheckpointError,
+    Checkpointer,
+)
 from repro.parallel.costmodel import (
     ConstantCostModel,
     CostModel,
@@ -21,6 +35,12 @@ from repro.parallel.costmodel import (
     POISSON_PAPER_COSTS,
     TSUNAMI_PAPER_COSTS,
     cost_model_from_stats,
+)
+from repro.parallel.fault import (
+    FailureReport,
+    FaultToleranceConfig,
+    RankFailure,
+    Reassignment,
 )
 from repro.parallel.layout import ProcessLayout, WorkGroup
 from repro.parallel.loadbalancer import (
@@ -39,9 +59,24 @@ from repro.parallel.scaling import (
 from repro.parallel.mp import MultiprocessWorld
 from repro.parallel.simmpi import Message, RankProcess, VirtualWorld
 from repro.parallel.trace import TraceEvent, TraceRecorder
-from repro.parallel.transport import Compute, Receive, Send, Transport
+from repro.parallel.transport import Compute, Receive, ReceiveTimeout, Send, Transport
 
 __all__ = [
+    "FaultPlan",
+    "RankKill",
+    "EvaluatorFault",
+    "MessageDrop",
+    "MessageDelay",
+    "InjectedEvaluatorError",
+    "apply_chaos_to_virtual",
+    "CheckpointConfig",
+    "Checkpointer",
+    "CheckpointError",
+    "FaultToleranceConfig",
+    "FailureReport",
+    "RankFailure",
+    "Reassignment",
+    "ReceiveTimeout",
     "CostModel",
     "ConstantCostModel",
     "LogNormalCostModel",

@@ -1,0 +1,176 @@
+"""Fault-tolerance policy and failure reporting for the parallel machine.
+
+Two small vocabularies shared by the multiprocess transport and the driver:
+
+* :class:`FaultToleranceConfig` — *how* the machine reacts to dying ranks:
+  heartbeat cadence, receive timeouts, how many rank restarts the run may
+  spend, and whether an exhausted budget degrades into a partial result or
+  raises like the legacy all-or-nothing machine.
+* :class:`FailureReport` — *what happened*: which ranks died and when, what
+  state died with them, which subchains were restarted where, and whether the
+  run still met its contract.  The report is JSON-safe (``as_dict``) so the
+  manifest can record the degradation.
+
+The report never raises away completed work: when recovery is exhausted the
+transport attaches the report to the run and returns, and the sampler salvages
+whatever collections survived (harvested role state plus on-disk checkpoints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "FaultToleranceConfig",
+    "FailureReport",
+    "RankFailure",
+    "Reassignment",
+]
+
+
+@dataclass(frozen=True)
+class FaultToleranceConfig:
+    """Recovery policy of one parallel run.
+
+    Attributes
+    ----------
+    heartbeat_interval_s:
+        How often worker ranks emit a heartbeat to the driver.  The driver
+        declares a rank hung when no heartbeat arrived for
+        ``heartbeat_grace * heartbeat_interval_s`` seconds.
+    receive_timeout_s:
+        Per-receive timeout inside the child ranks; a receive that stays
+        blocked this long raises instead of waiting forever on a dead peer.
+        ``None`` keeps the legacy block-forever behaviour.
+    max_rank_restarts:
+        Total restart budget across the whole run (not per rank).
+    restart_backoff_s:
+        Delay before restarting a dead rank, multiplied by the number of
+        times *that* rank already died (retry with linear backoff).
+    on_exhausted:
+        ``"degrade"`` (default) returns a partial result plus a
+        :class:`FailureReport` when the budget is spent or an unrecoverable
+        rank dies; ``"raise"`` restores the legacy ``RuntimeError``.
+    """
+
+    heartbeat_interval_s: float = 0.5
+    heartbeat_grace: float = 6.0
+    receive_timeout_s: float | None = 60.0
+    max_rank_restarts: int = 3
+    restart_backoff_s: float = 0.25
+    on_exhausted: str = "degrade"
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat_interval_s must be positive")
+        if self.max_rank_restarts < 0:
+            raise ValueError("max_rank_restarts must be non-negative")
+        if self.on_exhausted not in ("degrade", "raise"):
+            raise ValueError("on_exhausted must be 'degrade' or 'raise'")
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe view for the manifest."""
+        return {
+            "heartbeat_interval_s": float(self.heartbeat_interval_s),
+            "heartbeat_grace": float(self.heartbeat_grace),
+            "receive_timeout_s": (
+                None if self.receive_timeout_s is None else float(self.receive_timeout_s)
+            ),
+            "max_rank_restarts": int(self.max_rank_restarts),
+            "restart_backoff_s": float(self.restart_backoff_s),
+            "on_exhausted": str(self.on_exhausted),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultToleranceConfig":
+        """Inverse of :meth:`as_dict` (unknown keys rejected loudly)."""
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown fault-tolerance option(s): {sorted(unknown)}")
+        return cls(**data)
+
+
+@dataclass
+class RankFailure:
+    """One observed rank death."""
+
+    rank: int
+    role: str
+    when_s: float
+    reason: str
+    #: what died with the rank (heartbeat metadata at last contact)
+    lost: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "rank": int(self.rank),
+            "role": str(self.role),
+            "when_s": float(self.when_s),
+            "reason": str(self.reason),
+            "lost": dict(self.lost),
+        }
+
+
+@dataclass
+class Reassignment:
+    """One recovery action: a dead rank's subchain restarted in its place."""
+
+    rank: int
+    role: str
+    when_s: float
+    #: level the replacement incarnation was bootstrapped onto (None for workers)
+    level: int | None = None
+    #: whether the replacement resumed from an on-disk checkpoint
+    from_checkpoint: bool = False
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "rank": int(self.rank),
+            "role": str(self.role),
+            "when_s": float(self.when_s),
+            "level": None if self.level is None else int(self.level),
+            "from_checkpoint": bool(self.from_checkpoint),
+        }
+
+
+@dataclass
+class FailureReport:
+    """Structured account of every failure and recovery action in one run."""
+
+    failures: list[RankFailure] = field(default_factory=list)
+    reassignments: list[Reassignment] = field(default_factory=list)
+    restarts_used: int = 0
+    #: True when the run still completed its collection targets
+    recovered: bool = True
+    #: why recovery stopped (empty when the run recovered)
+    exhausted_reason: str = ""
+    #: per-level correction-sample counts salvaged into the partial result
+    salvaged_per_level: dict[int, int] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return bool(self.failures)
+
+    @property
+    def dead_ranks(self) -> list[int]:
+        """Ranks that died at least once, in order of first death."""
+        seen: list[int] = []
+        for failure in self.failures:
+            if failure.rank not in seen:
+                seen.append(failure.rank)
+        return seen
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe view recorded in the run manifest."""
+        return {
+            "failures": [f.as_dict() for f in self.failures],
+            "reassignments": [r.as_dict() for r in self.reassignments],
+            "restarts_used": int(self.restarts_used),
+            "recovered": bool(self.recovered),
+            "exhausted_reason": str(self.exhausted_reason),
+            "salvaged_per_level": {
+                str(level): int(count)
+                for level, count in sorted(self.salvaged_per_level.items())
+            },
+        }

@@ -26,26 +26,73 @@ When the generator finishes, the child ships its trace events and a
 role-specific :meth:`~repro.parallel.transport.RankProcess.harvest` payload
 back to the driver, which applies it to the driver-side twin so the
 surrounding result-assembly code runs unchanged on either backend.
+
+Fault tolerance
+---------------
+
+With a :class:`~repro.parallel.fault.FaultToleranceConfig` the machine
+survives dying ranks instead of aborting:
+
+* every child runs a daemon **heartbeat** thread putting
+  ``(rank, "heartbeat", meta)`` on the result queue; ``meta`` is the role's
+  :meth:`~repro.parallel.transport.RankProcess.heartbeat_state` (current
+  level, progress counters),
+* the driver's pump loop detects **crashed** ranks (child exited with a
+  non-zero code) and **hung** ranks (no heartbeat for
+  ``heartbeat_grace * heartbeat_interval_s``) and respawns restartable roles
+  in place after a linear backoff, injecting the role's
+  :meth:`~repro.parallel.transport.RankProcess.restart_message` bootstrap
+  into the rank's (persistent) queue.  The queue survives the death, so
+  fetch orders addressed to the dead incarnation are served by the
+  replacement — at-least-once delivery,
+* a global **restart budget** bounds recovery; when it is exhausted (or a
+  non-restartable rank — root, phonebook — dies) the run either degrades
+  into a partial result carrying a
+  :class:`~repro.parallel.fault.FailureReport` (``on_exhausted="degrade"``)
+  or raises like the legacy all-or-nothing machine (``"raise"``),
+* inside the children, receives honour ``receive_timeout_s`` so a rank
+  waiting on a dead peer raises
+  :class:`~repro.parallel.transport.ReceiveTimeout` instead of blocking
+  forever.
+
+An injected :class:`~repro.parallel.chaos.FaultPlan` is shipped only to the
+*first* incarnation of each rank; respawned replacements run chaos-free so a
+deterministic kill rule cannot re-fire and drain the restart budget.
 """
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import queue as queue_module
+import threading
 import time
 import traceback
 
+from repro.parallel.chaos import FaultPlan, RankChaos
+from repro.parallel.fault import (
+    FailureReport,
+    FaultToleranceConfig,
+    RankFailure,
+    Reassignment,
+)
 from repro.parallel.trace import TraceRecorder
 from repro.parallel.transport import (
     Compute,
     Message,
     RankProcess,
     Receive,
+    ReceiveTimeout,
     Send,
     Transport,
 )
 
 __all__ = ["MultiprocessWorld"]
+
+logger = logging.getLogger(__name__)
+
+#: rank used as the source of driver-injected bootstrap messages
+DRIVER_RANK = -1
 
 
 class _ProcessTransport(Transport):
@@ -57,14 +104,20 @@ class _ProcessTransport(Transport):
         queues: dict[int, object],
         origin: float,
         trace_enabled: bool,
+        receive_timeout_s: float | None = None,
+        chaos: RankChaos | None = None,
     ) -> None:
         self.rank = rank
         self._queues = queues
         self._inbox = queues[rank]
         self._origin = origin
         self.trace = TraceRecorder(enabled=trace_enabled)
+        self.receive_timeout_s = receive_timeout_s
+        self.chaos = chaos
         self.messages_sent = 0
         self.events_processed = 0
+        #: sends addressed to a rank outside the machine (protocol bug telltale)
+        self.messages_dropped = 0
 
     # ------------------------------------------------------------------
     @property
@@ -88,7 +141,24 @@ class _ProcessTransport(Transport):
         message.send_time = self.now
         target = self._queues.get(message.dest)
         if target is None:
+            # A send to a rank outside the machine would otherwise vanish
+            # without a trace; count and log it so protocol bugs surface in
+            # the run summary instead of as mysterious hangs.
+            self.messages_dropped += 1
+            logger.warning(
+                "rank %d dropped message with tag %r: destination rank %d "
+                "is not part of this machine",
+                self.rank,
+                message.tag,
+                message.dest,
+            )
             return
+        if self.chaos is not None:
+            delivered, delay = self.chaos.outgoing(message)
+            if not delivered:
+                return
+            if delay > 0.0:
+                time.sleep(delay)
         target.put(message)
         self.messages_sent += 1
 
@@ -99,8 +169,18 @@ class _ProcessTransport(Transport):
             state.mailbox.remove(matched)
             return matched
         blocked_since = self.now
+        timeout = self.receive_timeout_s
         while True:
-            message = self._inbox.get()
+            try:
+                message = self._inbox.get(timeout=None if timeout is None else 1.0)
+            except queue_module.Empty:
+                waited = self.now - blocked_since
+                if timeout is not None and waited >= timeout:
+                    # A peer that should have answered is probably dead; die
+                    # loudly so the driver's recovery machinery sees us
+                    # instead of blocking forever.
+                    raise ReceiveTimeout(process.rank, spec, waited)
+                continue
             message.delivery_time = self.now
             if RankProcess.matches(message, spec):
                 waited = self.now - blocked_since
@@ -133,6 +213,9 @@ class _ProcessTransport(Transport):
             return
         while item is not None:
             self.events_processed += 1
+            if self.chaos is not None:
+                # May os._exit (injected kill) or raise (evaluator fault).
+                self.chaos.before_item(item)
             if isinstance(item, Compute):
                 # The real work declared by a Compute happens when the
                 # generator resumes (the chain step after the yield); measure
@@ -167,11 +250,44 @@ def _rank_main(
     result_queue,
     origin: float,
     trace_enabled: bool,
+    heartbeat_interval_s: float | None = None,
+    receive_timeout_s: float | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> None:
     """Child entry point: drive one rank and ship the outcome back."""
-    transport = _ProcessTransport(process.rank, queues, origin, trace_enabled)
+    chaos: RankChaos | None = None
+    if fault_plan is not None:
+        candidate = RankChaos(fault_plan, process.rank)
+        if candidate:
+            chaos = candidate
+    transport = _ProcessTransport(
+        process.rank,
+        queues,
+        origin,
+        trace_enabled,
+        receive_timeout_s=receive_timeout_s,
+        chaos=chaos,
+    )
+
+    stop_heartbeat = threading.Event()
+    if heartbeat_interval_s is not None:
+
+        def _beat() -> None:
+            while not stop_heartbeat.wait(heartbeat_interval_s):
+                try:
+                    result_queue.put(
+                        (process.rank, "heartbeat", dict(process.heartbeat_state()))
+                    )
+                except Exception:  # pragma: no cover - queue torn down
+                    return
+
+        threading.Thread(
+            target=_beat, name=f"repro-heartbeat-{process.rank}", daemon=True
+        ).start()
+
     try:
         transport.drive(process)
+        stop_heartbeat.set()
         result_queue.put(
             (
                 process.rank,
@@ -181,10 +297,13 @@ def _rank_main(
                     "events": transport.trace.events(),
                     "messages_sent": transport.messages_sent,
                     "events_processed": transport.events_processed,
+                    "messages_dropped": transport.messages_dropped,
+                    "chaos_dropped": chaos.dropped if chaos is not None else 0,
                 },
             )
         )
     except BaseException:
+        stop_heartbeat.set()
         try:
             result_queue.put((process.rank, "error", traceback.format_exc()))
         except Exception:  # pragma: no cover - best effort
@@ -217,6 +336,12 @@ class MultiprocessWorld:
         are terminated and a :class:`RuntimeError` names the unfinished ranks
         (the real-process analogue of the virtual world's deadlock
         diagnostics).
+    fault_tolerance:
+        Recovery policy (heartbeats, restarts, degradation); ``None`` keeps
+        the legacy all-or-nothing behaviour.
+    fault_plan:
+        Injected faults for this run (must be resolved against the layout);
+        shipped into each rank's first incarnation only.
     """
 
     def __init__(
@@ -224,6 +349,8 @@ class MultiprocessWorld:
         trace: TraceRecorder | None = None,
         start_method: str | None = None,
         join_timeout: float = 600.0,
+        fault_tolerance: FaultToleranceConfig | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.trace = trace if trace is not None else TraceRecorder()
         if start_method is None:
@@ -232,10 +359,18 @@ class MultiprocessWorld:
             )
         self._start_method = start_method
         self.join_timeout = float(join_timeout)
+        self.fault_tolerance = fault_tolerance
+        if fault_plan is not None and not fault_plan.resolved:
+            raise ValueError("fault plan must be resolved against the layout first")
+        self.fault_plan = fault_plan
+        #: populated when a fault-tolerant run observed any failures
+        self.failure_report: FailureReport | None = None
         self.now = 0.0
         self._processes: dict[int, RankProcess] = {}
         self._messages_sent = 0
         self._events_processed = 0
+        self._messages_dropped = 0
+        self._chaos_dropped = 0
 
     # ------------------------------------------------------------------
     @property
@@ -257,6 +392,11 @@ class MultiprocessWorld:
     def events_processed(self) -> int:
         """Total primitives interpreted across all ranks."""
         return self._events_processed
+
+    @property
+    def messages_dropped(self) -> int:
+        """Sends addressed to ranks outside the machine (should be zero)."""
+        return self._messages_dropped
 
     def add_process(self, process: RankProcess) -> None:
         """Register a rank process (ranks must be unique)."""
@@ -286,77 +426,248 @@ class MultiprocessWorld:
         queues = {rank: ctx.Queue() for rank in self._processes}
         result_queue = ctx.Queue()
         origin = time.perf_counter()
+        ft = self.fault_tolerance
 
-        children: dict[int, multiprocessing.Process] = {}
-        for rank, process in self._processes.items():
+        def spawn(rank: int, with_chaos: bool) -> multiprocessing.Process:
+            process = self._processes[rank]
             process.world = None  # children attach their own transport
             child = ctx.Process(
                 target=_rank_main,
-                args=(process, queues, result_queue, origin, self.trace.enabled),
+                args=(
+                    process,
+                    queues,
+                    result_queue,
+                    origin,
+                    self.trace.enabled,
+                    ft.heartbeat_interval_s if ft is not None else None,
+                    ft.receive_timeout_s if ft is not None else None,
+                    self.fault_plan if with_chaos else None,
+                ),
                 name=f"repro-rank-{rank}-{process.role}",
                 daemon=True,
             )
             child.start()
-            children[rank] = child
+            return child
+
+        children: dict[int, multiprocessing.Process] = {
+            rank: spawn(rank, with_chaos=True) for rank in self._processes
+        }
 
         pending = set(self._processes)
         failures: dict[int, str] = {}
+        deaths: dict[int, int] = {}
+        restarts_used = 0
+        ft_failures: list[RankFailure] = []
+        reassignments: list[Reassignment] = []
+        last_heartbeat = {rank: time.monotonic() for rank in pending}
+        heartbeat_meta: dict[int, dict] = {rank: {} for rank in pending}
+        root_rank = next(
+            (r for r, p in self._processes.items() if p.role == "root"), None
+        )
+        root_done = False
+        exhausted: str | None = None
         deadline = time.monotonic() + self.join_timeout
+
+        def reap(rank: int) -> None:
+            child = children[rank]
+            child.join(timeout=0.2)
+            if child.is_alive():
+                child.terminate()
+                child.join(timeout=1.0)
+
+        def handle_death(rank: int, reason: str) -> None:
+            nonlocal restarts_used, exhausted
+            process = self._processes[rank]
+            meta = heartbeat_meta.get(rank, {})
+            deaths[rank] = deaths.get(rank, 0) + 1
+            ft_failures.append(
+                RankFailure(
+                    rank=rank,
+                    role=process.role,
+                    when_s=time.perf_counter() - origin,
+                    reason=reason,
+                    lost=dict(meta),
+                )
+            )
+            logger.warning("rank %d (%s) died: %s", rank, process.role, reason)
+            reap(rank)
+            if meta.get("done"):
+                # The rank had already delivered its result (e.g. a collector
+                # past COLLECTOR_DONE); only its trace died with it.
+                pending.discard(rank)
+                process._state.finished = True
+                return
+            if not process.restartable:
+                exhausted = f"rank {rank} ({process.role}) is not restartable"
+                return
+            if root_done:
+                # The machine is winding down; a replacement would block on a
+                # protocol that has already completed.
+                pending.discard(rank)
+                return
+            if restarts_used >= (ft.max_rank_restarts if ft is not None else 0):
+                exhausted = (
+                    f"restart budget ({ft.max_rank_restarts}) exhausted when "
+                    f"rank {rank} ({process.role}) died"
+                )
+                return
+            restarts_used += 1
+            backoff = ft.restart_backoff_s * deaths[rank]
+            if backoff > 0:
+                time.sleep(min(backoff, 5.0))
+            bootstrap = process.restart_message(meta)
+            if bootstrap is not None:
+                tag, payload = bootstrap
+                queues[rank].put(
+                    Message(source=DRIVER_RANK, dest=rank, tag=tag, payload=payload)
+                )
+            # Respawn chaos-free so a deterministic kill rule cannot re-fire
+            # and burn the whole budget on one rank.
+            children[rank] = spawn(rank, with_chaos=False)
+            last_heartbeat[rank] = time.monotonic()
+            config = getattr(process, "config", None)
+            reassignments.append(
+                Reassignment(
+                    rank=rank,
+                    role=process.role,
+                    when_s=time.perf_counter() - origin,
+                    level=meta.get("level"),
+                    from_checkpoint=getattr(config, "checkpoint", None) is not None,
+                )
+            )
+            logger.warning(
+                "rank %d (%s) respawned (restart %d/%d)",
+                rank,
+                process.role,
+                restarts_used,
+                ft.max_rank_restarts,
+            )
+
         try:
-            while pending and not failures:
+            while pending and not failures and exhausted is None:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     break
                 try:
                     rank, status, payload = result_queue.get(
-                        timeout=min(remaining, 1.0)
+                        timeout=min(remaining, 0.2 if ft is not None else 1.0)
                     )
                 except queue_module.Empty:
-                    dead = [
-                        r
-                        for r in pending
-                        if not children[r].is_alive() and children[r].exitcode not in (0, None)
-                    ]
-                    for r in dead:
-                        failures[r] = (
-                            f"rank {r} exited with code {children[r].exitcode} "
-                            "without reporting"
-                        )
-                    continue
-                if status == "ok":
-                    pending.discard(rank)
-                    process = self._processes[rank]
-                    process._state.finished = True
-                    process.absorb(payload["harvest"])
-                    self.trace.extend(payload["events"])
-                    self._messages_sent += payload["messages_sent"]
-                    self._events_processed += payload["events_processed"]
+                    pass
                 else:
-                    failures[rank] = payload
+                    if status == "heartbeat":
+                        if rank in last_heartbeat:
+                            last_heartbeat[rank] = time.monotonic()
+                            heartbeat_meta[rank] = payload
+                    elif status == "ok":
+                        pending.discard(rank)
+                        process = self._processes[rank]
+                        process._state.finished = True
+                        process.absorb(payload["harvest"])
+                        self.trace.extend(payload["events"])
+                        self._messages_sent += payload["messages_sent"]
+                        self._events_processed += payload["events_processed"]
+                        self._messages_dropped += payload.get("messages_dropped", 0)
+                        self._chaos_dropped += payload.get("chaos_dropped", 0)
+                        if rank == root_rank:
+                            root_done = True
+                    else:
+                        if ft is not None and rank in pending:
+                            handle_death(
+                                rank, f"rank reported an exception:\n{payload}"
+                            )
+                        else:
+                            failures[rank] = payload
+                # -- failure detection ------------------------------------
+                if ft is None:
+                    for r in list(pending):
+                        child = children[r]
+                        if not child.is_alive() and child.exitcode not in (0, None):
+                            failures[r] = (
+                                f"rank {r} exited with code {child.exitcode} "
+                                "without reporting"
+                            )
+                else:
+                    now_mono = time.monotonic()
+                    grace = ft.heartbeat_grace * ft.heartbeat_interval_s
+                    for r in list(pending):
+                        if exhausted is not None:
+                            break
+                        child = children[r]
+                        if not child.is_alive() and child.exitcode not in (0, None):
+                            handle_death(
+                                r, f"process exited with code {child.exitcode}"
+                            )
+                        elif now_mono - last_heartbeat[r] > grace:
+                            handle_death(
+                                r,
+                                f"no heartbeat for "
+                                f"{now_mono - last_heartbeat[r]:.1f}s (hung)",
+                            )
         finally:
             # Unread late messages keep queue feeder threads alive; drain them
             # so children can exit and join() cannot hang on a full pipe.
-            for q in queues.values():
+            for q in (*queues.values(), result_queue):
                 while True:
                     try:
                         q.get_nowait()
                     except (queue_module.Empty, OSError):
                         break
+            # One *shared* deadline for the whole shutdown: the happy path
+            # previously waited up to 10s per child serially, so a machine of
+            # N stragglers could stall the driver for 10·N seconds.
+            clean = not (pending or failures or exhausted is not None)
+            join_deadline = time.monotonic() + (10.0 if clean else 1.0)
             for child in children.values():
-                child.join(timeout=0.25 if (pending or failures) else 10.0)
+                child.join(timeout=max(0.0, join_deadline - time.monotonic()))
+            for child in children.values():
                 if child.is_alive():
                     child.terminate()
-                    child.join(timeout=5.0)
+            for child in children.values():
+                if child.is_alive():
+                    child.join(timeout=1.0)
 
         self.now = time.perf_counter() - origin
+
+        report: FailureReport | None = None
+        if ft_failures or restarts_used:
+            report = FailureReport(
+                failures=ft_failures,
+                reassignments=reassignments,
+                restarts_used=restarts_used,
+            )
+
+        if exhausted is not None:
+            assert ft is not None and report is not None
+            report.recovered = False
+            report.exhausted_reason = exhausted
+            if ft.on_exhausted == "raise":
+                self.failure_report = report
+                raise RuntimeError(
+                    f"multiprocess MLMCMC recovery exhausted: {exhausted}"
+                )
+            self.failure_report = report
+            return self.now
         if failures:
-            details = "\n".join(f"rank {rank}: {text}" for rank, text in sorted(failures.items()))
+            details = "\n".join(
+                f"rank {rank}: {text}" for rank, text in sorted(failures.items())
+            )
             raise RuntimeError(f"multiprocess MLMCMC rank failure(s):\n{details}")
         if pending:
-            raise RuntimeError(
+            timeout_reason = (
                 "multiprocess MLMCMC did not terminate within "
                 f"{self.join_timeout:.0f}s; unfinished ranks: {sorted(pending)}"
             )
+            if ft is not None and ft.on_exhausted == "degrade":
+                if report is None:
+                    report = FailureReport()
+                report.recovered = False
+                report.exhausted_reason = timeout_reason
+                self.failure_report = report
+                return self.now
+            raise RuntimeError(timeout_reason)
+        # Completed — possibly after recovering from failures.
+        self.failure_report = report
         return self.now
 
     # ------------------------------------------------------------------
@@ -367,4 +678,6 @@ class MultiprocessWorld:
             "num_ranks": self.size,
             "messages_sent": self._messages_sent,
             "events_processed": self._events_processed,
+            "messages_dropped": self._messages_dropped,
+            "chaos_dropped": self._chaos_dropped,
         }

@@ -27,7 +27,10 @@ from repro.core.factory import MIComponentFactory
 from repro.core.sample_collection import CorrectionCollection
 from repro.evaluation import EvaluatorStats
 from repro.multiindex import MultiIndex
+from repro.parallel.chaos import FaultPlan, apply_chaos_to_virtual
+from repro.parallel.checkpoint import CheckpointConfig
 from repro.parallel.costmodel import ConstantCostModel, CostModel
+from repro.parallel.fault import FailureReport, FaultToleranceConfig, RankFailure
 from repro.parallel.layout import ProcessLayout
 from repro.parallel.roles import (
     CollectorProcess,
@@ -46,9 +49,15 @@ __all__ = ["ParallelMLMCMCResult", "ParallelMLMCMCSampler"]
 
 @dataclass
 class ParallelMLMCMCResult:
-    """Output of one parallel MLMCMC run."""
+    """Output of one parallel MLMCMC run.
 
-    estimate: MultilevelEstimate
+    ``estimate`` is ``None`` only for *degraded* runs: recovery was exhausted
+    and the salvaged collections do not cover every level, so no telescoping
+    estimate exists.  ``failure_report`` then records what died and what was
+    salvaged.
+    """
+
+    estimate: MultilevelEstimate | None
     corrections: dict[int, CorrectionCollection]
     virtual_time: float
     trace: TraceRecorder
@@ -69,10 +78,24 @@ class ParallelMLMCMCResult:
     evaluation_stats: dict[int, EvaluatorStats] = field(default_factory=dict)
     #: aggregate evaluation accounting of all worker ranks (virtual seconds)
     worker_stats: EvaluatorStats = field(default_factory=EvaluatorStats)
+    #: failures observed (and possibly recovered from) during the run
+    failure_report: FailureReport | None = None
+    #: checkpoint path this result was reconstructed from (``--resume``)
+    resumed_from: str | None = None
+
+    @property
+    def degraded(self) -> bool:
+        """Whether recovery was exhausted and this is a partial result."""
+        return self.failure_report is not None and not self.failure_report.recovered
 
     @property
     def mean(self) -> np.ndarray:
         """The multilevel estimate of ``E[Q_L]``."""
+        if self.estimate is None:
+            raise RuntimeError(
+                "this degraded run has no multilevel estimate; inspect "
+                "result.corrections and result.failure_report instead"
+            )
         return self.estimate.mean
 
     @property
@@ -99,7 +122,7 @@ class ParallelMLMCMCResult:
 
     def summary(self) -> dict[str, float | int]:
         """Headline numbers of the run."""
-        return {
+        data: dict[str, float | int] = {
             "virtual_time": self.virtual_time,
             "wall_time_s": self.wall_time_s,
             "num_ranks": self.layout.num_ranks,
@@ -110,6 +133,11 @@ class ParallelMLMCMCResult:
             "worker_utilization": self.worker_utilization(),
             "model_evaluations": sum(self.model_evaluations.values()),
         }
+        if self.failure_report is not None:
+            data["rank_failures"] = len(self.failure_report.failures)
+            data["rank_restarts"] = self.failure_report.restarts_used
+            data["degraded"] = self.degraded
+        return data
 
 
 class ParallelMLMCMCSampler:
@@ -181,6 +209,10 @@ class ParallelMLMCMCSampler:
         correction_batch: int = 10,
         backend: str = "simulated",
         backend_options: dict | None = None,
+        fault_tolerance: FaultToleranceConfig | None = None,
+        checkpoint: CheckpointConfig | None = None,
+        resume: bool = False,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if backend not in self.BACKENDS:
             raise ValueError(
@@ -237,10 +269,19 @@ class ParallelMLMCMCSampler:
             correction_batch=correction_batch,
             dynamic_load_balancing=dynamic_load_balancing,
             seed=seed,
+            checkpoint=checkpoint,
         )
         self.latency = float(latency)
         self.seed = seed
         self.trace_enabled = bool(trace_enabled)
+        self.fault_tolerance = fault_tolerance
+        self.checkpoint = checkpoint
+        self.resume = bool(resume)
+        self.fault_plan = (
+            fault_plan.resolve(self.layout) if fault_plan is not None else None
+        )
+        #: per-rank chaos hooks of the last simulated build (kill inspection)
+        self._chaos_hooks: dict = {}
 
     # ------------------------------------------------------------------
     def build_world(self):
@@ -254,7 +295,12 @@ class ParallelMLMCMCSampler:
         if self.backend == "multiprocess":
             from repro.parallel.mp import MultiprocessWorld
 
-            world = MultiprocessWorld(trace=trace, **self.backend_options)
+            world = MultiprocessWorld(
+                trace=trace,
+                fault_tolerance=self.fault_tolerance,
+                fault_plan=self.fault_plan,
+                **self.backend_options,
+            )
         else:
             world = VirtualWorld(latency=self.latency, trace=trace, **self.backend_options)
         random_source = RandomSource(self.seed)
@@ -265,34 +311,106 @@ class ParallelMLMCMCSampler:
         world.add_process(phonebook)
 
         for level, collector_ranks in self.layout.collector_ranks.items():
-            for rank in collector_ranks:
-                world.add_process(CollectorProcess(rank, self.config))
+            # Mirror the root's share split so a respawned collector can be
+            # re-issued its exact COLLECT order without involving the root.
+            shares = RootProcess._split(
+                int(self.num_samples[level]), len(collector_ranks)
+            )
+            for rank, share in zip(collector_ranks, shares):
+                collector = CollectorProcess(rank, self.config)
+                collector.assigned_level = level
+                collector.assigned_target = share
+                world.add_process(collector)
 
         for group in self.layout.work_groups:
-            world.add_process(
-                ControllerProcess(
-                    group.controller_rank,
-                    self.config,
-                    worker_ranks=group.worker_ranks,
-                    random_source=random_source,
-                )
+            controller = ControllerProcess(
+                group.controller_rank,
+                self.config,
+                worker_ranks=group.worker_ranks,
+                random_source=random_source,
             )
+            controller.initial_level = group.initial_level
+            world.add_process(controller)
             for worker_rank in group.worker_ranks:
                 world.add_process(WorkerProcess(worker_rank, group.controller_rank))
+
+        if self.backend == "simulated" and self.fault_plan is not None:
+            # Stall horizon for the chaos watchdog: several times the virtual
+            # cost of redoing every level sequentially.  No healthy machine
+            # goes that long without landing a correction batch, so tripping
+            # it deterministically means a kill starved the collections.
+            sequential = sum(
+                (self.burnin[level] + self.num_samples[level])
+                * self.cost_model.mean(level)
+                for level in range(self.config.num_levels)
+            )
+            self._chaos_hooks = apply_chaos_to_virtual(
+                world, self.fault_plan, stall_timeout_s=5.0 * sequential + 1.0
+            )
         return world, root, phonebook
 
     def run(self) -> ParallelMLMCMCResult:
-        """Run the parallel MLMCMC machine to completion."""
+        """Run the parallel MLMCMC machine to completion.
+
+        With ``resume=True`` and a final checkpoint on disk the run is
+        short-circuited: the result is reconstructed from the snapshot and is
+        bitwise identical to the run that wrote it.  A fault-tolerant
+        multiprocess run whose recovery was exhausted returns a *partial*
+        result (salvaged collections, ``estimate`` possibly ``None``) with a
+        :class:`~repro.parallel.fault.FailureReport` instead of raising.
+        """
+        if self.resume:
+            resumed = self._resume_from_final()
+            if resumed is not None:
+                return resumed
+
         world, root, phonebook = self.build_world()
         start = time.perf_counter()
         world.run()
         wall_time_s = time.perf_counter() - start
 
+        failure_report = getattr(world, "failure_report", None)
+        if failure_report is not None and not failure_report.recovered:
+            return self._assemble_degraded(
+                world, root, phonebook, failure_report, wall_time_s
+            )
+
         unfinished = world.unfinished_ranks()
         if unfinished and root.rank in unfinished:
+            killed = sorted(
+                rank for rank, chaos in self._chaos_hooks.items() if chaos.killed
+            )
+            if (
+                killed
+                and self.fault_tolerance is not None
+                and self.fault_tolerance.on_exhausted == "degrade"
+            ):
+                # The simulated backend has no rank recovery by design (a dead
+                # virtual rank just goes silent); with fault tolerance
+                # configured the contract is still degrade-not-crash.
+                report = FailureReport(
+                    failures=[
+                        RankFailure(
+                            rank=rank,
+                            role=world.processes[rank].role,
+                            when_s=float(world.now),
+                            reason="virtual rank killed by fault plan",
+                        )
+                        for rank in killed
+                    ],
+                    recovered=False,
+                    exhausted_reason=(
+                        "simulated backend has no rank recovery; killed "
+                        f"rank(s) {killed} stalled the machine"
+                    ),
+                )
+                return self._assemble_degraded(
+                    world, root, phonebook, report, wall_time_s
+                )
+            detail = f" (rank(s) {killed} killed by the fault plan)" if killed else ""
             raise RuntimeError(
                 "parallel MLMCMC did not terminate: the root never received all "
-                f"collector reports; unfinished ranks: {unfinished}"
+                f"collector reports; unfinished ranks: {unfinished}{detail}"
             )
 
         corrections = dict(sorted(root.collected.items()))
@@ -320,6 +438,31 @@ class ParallelMLMCMCSampler:
         costs = [self.cost_model.mean(level) for level in range(num_levels)]
         estimate = MultilevelEstimate.from_corrections(ordered, costs_per_sample=costs)
 
+        stats = self._gather_stats(world)
+        result = ParallelMLMCMCResult(
+            estimate=estimate,
+            corrections=corrections,
+            backend=self.backend,
+            wall_time_s=wall_time_s,
+            virtual_time=root.finish_time if root.finish_time > 0 else world.now,
+            trace=world.trace,
+            layout=self.layout,
+            messages_sent=world.messages_sent,
+            events_processed=world.events_processed,
+            rebalance_log=list(phonebook.rebalance_log),
+            samples_per_level=stats["samples_per_level"],
+            level_finish_times=dict(root.level_finish_times),
+            controller_assignments=stats["controller_assignments"],
+            evaluation_stats=stats["evaluation_stats"],
+            worker_stats=stats["worker_stats"],
+            failure_report=failure_report,
+        )
+        self._write_final_checkpoint(result)
+        return result
+
+    # ------------------------------------------------------------------
+    def _gather_stats(self, world) -> dict:
+        """Per-role statistics from the (absorbed) driver-side twins."""
         samples_per_level: dict[int, int] = {}
         controller_assignments: dict[int, list[int]] = {}
         worker_stats = EvaluatorStats()
@@ -352,7 +495,140 @@ class ParallelMLMCMCSampler:
                 problem = built.get(MultiIndex(index).values)
                 if problem is not None:
                     evaluation_stats[level] = problem.evaluation_stats.snapshot()
+        return {
+            "samples_per_level": samples_per_level,
+            "controller_assignments": controller_assignments,
+            "evaluation_stats": evaluation_stats,
+            "worker_stats": worker_stats,
+        }
 
+    # ------------------------------------------------------------------
+    def _resume_from_final(self) -> ParallelMLMCMCResult | None:
+        """Reconstruct a completed run from its final checkpoint, if present.
+
+        The reconstruction is bitwise identical to the result of the run that
+        wrote the snapshot: the estimator is recomputed deterministically from
+        the very same correction collections.
+        """
+        checkpointer = self.config.checkpointer()
+        if checkpointer is None:
+            raise ValueError(
+                "resume=True requires a checkpoint configuration "
+                "(pass checkpoint=CheckpointConfig(...))"
+            )
+        payload = checkpointer.read_final()
+        if payload is None:
+            return None
+        corrections = {
+            int(level): CorrectionCollection.from_state_dict(state)
+            for level, state in payload["corrections"].items()
+        }
+        num_levels = self.config.num_levels
+        ordered = [
+            corrections.get(level, CorrectionCollection(level))
+            for level in range(num_levels)
+        ]
+        costs = [self.cost_model.mean(level) for level in range(num_levels)]
+        estimate = MultilevelEstimate.from_corrections(ordered, costs_per_sample=costs)
+        from repro.parallel.checkpoint import FINAL_SNAPSHOT_NAME
+
+        return ParallelMLMCMCResult(
+            estimate=estimate,
+            corrections=corrections,
+            backend=self.backend,
+            wall_time_s=0.0,
+            virtual_time=float(payload.get("virtual_time", 0.0)),
+            trace=TraceRecorder(enabled=False),
+            layout=self.layout,
+            messages_sent=int(payload.get("messages_sent", 0)),
+            events_processed=int(payload.get("events_processed", 0)),
+            samples_per_level={
+                int(k): int(v) for k, v in payload.get("samples_per_level", {}).items()
+            },
+            level_finish_times={
+                int(k): float(v)
+                for k, v in payload.get("level_finish_times", {}).items()
+            },
+            resumed_from=str(checkpointer.directory / FINAL_SNAPSHOT_NAME),
+        )
+
+    def _write_final_checkpoint(self, result: ParallelMLMCMCResult) -> None:
+        """Persist a completed run so ``--resume`` can short-circuit it."""
+        checkpointer = self.config.checkpointer()
+        if checkpointer is None:
+            return
+        checkpointer.write_final(
+            {
+                "corrections": {
+                    int(level): coll.state_dict()
+                    for level, coll in result.corrections.items()
+                },
+                "samples_per_level": dict(result.samples_per_level),
+                "level_finish_times": dict(result.level_finish_times),
+                "virtual_time": result.virtual_time,
+                "messages_sent": result.messages_sent,
+                "events_processed": result.events_processed,
+            }
+        )
+
+    def _assemble_degraded(
+        self,
+        world,
+        root: RootProcess,
+        phonebook: PhonebookProcess,
+        report: FailureReport,
+        wall_time_s: float,
+    ) -> ParallelMLMCMCResult:
+        """Partial result of a run whose recovery budget was exhausted.
+
+        Salvages whatever per-level collections survived: levels the root
+        received in full, plus collector checkpoints of levels it did not.
+        Salvaged collections are validated — a snapshot that fails its
+        internal-consistency checks is discarded, never silently folded into
+        an estimate.
+        """
+        corrections: dict[int, CorrectionCollection] = {
+            level: coll
+            for level, coll in sorted(root.collected.items())
+            if len(coll) > 0
+        }
+        checkpointer = self.config.checkpointer()
+        if checkpointer is not None:
+            salvage: dict[int, CorrectionCollection] = {}
+            for rank, payload in sorted(checkpointer.snapshots("collector").items()):
+                level = int(payload["level"])
+                if level in corrections:
+                    # The root already holds this level in full; the snapshot
+                    # would double-count its samples.
+                    continue
+                try:
+                    restored = CorrectionCollection.from_state_dict(
+                        payload["collection"]
+                    )
+                    restored.validate()
+                except (KeyError, ValueError):
+                    continue
+                if len(restored) == 0:
+                    continue
+                if level in salvage:
+                    salvage[level].merge(restored)
+                else:
+                    salvage[level] = restored
+            corrections.update(salvage)
+
+        report.salvaged_per_level = {
+            level: len(coll) for level, coll in sorted(corrections.items())
+        }
+        num_levels = self.config.num_levels
+        estimate = None
+        if all(len(corrections.get(level, ())) > 0 for level in range(num_levels)):
+            ordered = [corrections[level] for level in range(num_levels)]
+            costs = [self.cost_model.mean(level) for level in range(num_levels)]
+            estimate = MultilevelEstimate.from_corrections(
+                ordered, costs_per_sample=costs
+            )
+
+        stats = self._gather_stats(world)
         return ParallelMLMCMCResult(
             estimate=estimate,
             corrections=corrections,
@@ -364,9 +640,10 @@ class ParallelMLMCMCSampler:
             messages_sent=world.messages_sent,
             events_processed=world.events_processed,
             rebalance_log=list(phonebook.rebalance_log),
-            samples_per_level=samples_per_level,
+            samples_per_level=stats["samples_per_level"],
             level_finish_times=dict(root.level_finish_times),
-            controller_assignments=controller_assignments,
-            evaluation_stats=evaluation_stats,
-            worker_stats=worker_stats,
+            controller_assignments=stats["controller_assignments"],
+            evaluation_stats=stats["evaluation_stats"],
+            worker_stats=stats["worker_stats"],
+            failure_report=report,
         )

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Generator
 
 from repro.core.sample_collection import CorrectionCollection
+from repro.parallel.checkpoint import CheckpointError
 from repro.parallel.roles.protocol import RunConfiguration, Tags
 from repro.parallel.transport import RankProcess
 
@@ -21,6 +22,7 @@ class CollectorProcess(RankProcess):
     """Dynamic-role rank accumulating one level's correction samples."""
 
     role = "collector"
+    restartable = True
 
     def __init__(self, rank: int, config: RunConfiguration) -> None:
         super().__init__(rank)
@@ -28,6 +30,29 @@ class CollectorProcess(RankProcess):
         self.level: int | None = None
         self.target = 0
         self.collection: CorrectionCollection | None = None
+        #: assignment the root sent (recorded by the sampler so a respawn can
+        #: be re-issued the same COLLECT order without involving the root)
+        self.assigned_level: int | None = None
+        self.assigned_target: int | None = None
+        self._done = False
+
+    # -- fault tolerance ------------------------------------------------
+    def heartbeat_state(self) -> dict:
+        return {
+            "level": self.level,
+            "collected": len(self.collection) if self.collection is not None else 0,
+            "done": self._done,
+        }
+
+    def restart_message(self, heartbeat_meta: dict) -> tuple[str, dict] | None:
+        meta = heartbeat_meta or {}
+        level = meta.get("level")
+        if level is None:
+            level = self.assigned_level
+        target = self.assigned_target
+        if level is None or target is None:
+            return None
+        return (Tags.COLLECT, {"level": int(level), "target": int(target)})
 
     # ------------------------------------------------------------------
     def run(self) -> Generator:
@@ -38,6 +63,19 @@ class CollectorProcess(RankProcess):
         self.level = int(message.payload["level"])
         self.target = int(message.payload["target"])
         self.collection = CorrectionCollection(level=self.level)
+
+        # A respawned collector resumes its partial collection from its last
+        # snapshot instead of re-collecting its whole share.
+        checkpointer = config.checkpointer()
+        if checkpointer is not None:
+            try:
+                snapshot = checkpointer.read(self.rank, self.role)
+            except CheckpointError:
+                snapshot = None
+            if snapshot is not None and int(snapshot["level"]) == self.level:
+                restored = CorrectionCollection.from_state_dict(snapshot["collection"])
+                if len(restored) <= self.target:
+                    self.collection = restored
 
         outstanding = 0
         while len(self.collection) < self.target:
@@ -58,12 +96,29 @@ class CollectorProcess(RankProcess):
             # Responses produced by a controller that has since switched levels
             # are discarded; the request is simply re-issued on the next round.
             if int(message.payload.get("level", self.level)) == self.level:
+                added = 0
                 for fine_qoi, coarse_qoi in pairs:
                     if len(self.collection) >= self.target:
                         break
                     self.collection.add(fine_qoi, coarse_qoi if self.level > 0 else None)
+                    added += 1
+                if added and checkpointer is not None and checkpointer.due(added):
+                    checkpointer.write(
+                        self.rank,
+                        self.role,
+                        {"level": self.level, "collection": self.collection.state_dict()},
+                    )
             outstanding = 0
 
+        # Snapshot the complete collection before reporting: if this rank dies
+        # between DONE and SHUTDOWN, the driver can still salvage its share.
+        if checkpointer is not None:
+            checkpointer.write(
+                self.rank,
+                self.role,
+                {"level": self.level, "collection": self.collection.state_dict()},
+            )
+        self._done = True
         yield self.send(
             config.layout.root_rank,
             Tags.COLLECTOR_DONE,

@@ -29,6 +29,7 @@ from repro.core.kernels.multilevel import MultilevelKernel
 from repro.core.proposals.subsampling import BufferedChainSource
 from repro.evaluation import EvaluatorStats
 from repro.multiindex import MultiIndex
+from repro.parallel.checkpoint import CheckpointError
 from repro.parallel.roles.protocol import RunConfiguration, Tags
 from repro.parallel.transport import Message, RankProcess
 from repro.utils.random import RandomSource
@@ -40,6 +41,7 @@ class ControllerProcess(RankProcess):
     """Dynamic-role rank running a single MCMC chain for its assigned level."""
 
     role = "controller"
+    restartable = True
 
     def __init__(
         self,
@@ -53,6 +55,11 @@ class ControllerProcess(RankProcess):
         self.worker_ranks = tuple(worker_ranks)
         self._random_source = random_source
         self._assignment_counter = 0
+        #: level this controller starts on (set by the sampler from the
+        #: layout); the respawn bootstrap falls back to it when the rank died
+        #: before its first heartbeat carried a level.
+        self.initial_level: int | None = None
+        self._current_level: int | None = None
         #: statistics: per level, number of post-burn-in samples generated
         self.samples_generated: dict[int, int] = {}
         #: levels this controller worked on, in order
@@ -96,6 +103,18 @@ class ControllerProcess(RankProcess):
             "total_steps": self.total_steps,
             "evaluation_stats": stats,
         }
+
+    # -- fault tolerance ------------------------------------------------
+    def heartbeat_state(self) -> dict:
+        return {"level": self._current_level, "total_steps": self.total_steps}
+
+    def restart_message(self, heartbeat_meta: dict) -> tuple[str, dict] | None:
+        level = (heartbeat_meta or {}).get("level")
+        if level is None:
+            level = self.initial_level
+        if level is None:
+            return None
+        return (Tags.ASSIGN, {"level": int(level)})
 
     # ------------------------------------------------------------------
     def run(self) -> Generator:
@@ -164,9 +183,11 @@ class ControllerProcess(RankProcess):
         config = self.config
         phonebook = config.layout.phonebook_rank
         self.assignment_history.append(level)
+        self._current_level = level
 
         chain, buffered = self._build_chain(level)
         problem = config.problems.problem(config.index_for_level(level))
+        checkpointer = config.checkpointer()
 
         yield self.send(phonebook, Tags.REGISTER, {"rank": self.rank, "level": level})
         for worker in self.worker_ranks:
@@ -177,6 +198,20 @@ class ControllerProcess(RankProcess):
         chain_buffer: deque = deque()
         corrections_served = 0
         corrections_notified = 0
+
+        # A respawned controller resumes its subchain from its last snapshot
+        # instead of re-running burn-in from scratch.  Snapshots for a
+        # different level (taken before a REASSIGN) are ignored.
+        if checkpointer is not None:
+            try:
+                snapshot = checkpointer.read(self.rank, self.role)
+            except CheckpointError:
+                snapshot = None
+            if snapshot is not None and int(snapshot["level"]) == level:
+                chain.load_state_dict(snapshot["chain"])
+                corrections_served = int(snapshot["corrections_served"])
+                corrections_notified = int(snapshot["corrections_notified"])
+                self.samples_generated[level] = chain.samples.num_samples
         pending_sample_fetches: deque[int] = deque()
         pending_correction_fetches: deque[tuple[int, int]] = deque()
         controller_rng = self._random_source.child("controller-cost", self.rank, level)
@@ -318,6 +353,19 @@ class ControllerProcess(RankProcess):
             if chain.in_burnin:
                 continue
             self.samples_generated[level] = self.samples_generated.get(level, 0) + 1
+
+            # --- periodic snapshot so a respawn resumes mid-subchain ----------
+            if checkpointer is not None and checkpointer.due():
+                checkpointer.write(
+                    self.rank,
+                    self.role,
+                    {
+                        "level": level,
+                        "chain": chain.state_dict(),
+                        "corrections_served": corrections_served,
+                        "corrections_notified": corrections_notified,
+                    },
+                )
 
             # --- publish correction availability ------------------------------
             new_corrections = len(chain.corrections) - corrections_notified

@@ -17,6 +17,7 @@ from typing import Sequence
 from repro.core.factory import MIComponentFactory
 from repro.core.problem import AbstractSamplingProblem
 from repro.multiindex import MultiIndex
+from repro.parallel.checkpoint import CheckpointConfig
 from repro.parallel.costmodel import CostModel
 from repro.parallel.layout import ProcessLayout
 
@@ -119,6 +120,7 @@ class RunConfiguration:
     correction_batch: int = 10
     dynamic_load_balancing: bool = True
     seed: int | None = None
+    checkpoint: CheckpointConfig | None = None
     problems: SharedProblemCache = field(init=False)
 
     def __post_init__(self) -> None:
@@ -149,6 +151,26 @@ class RunConfiguration:
     def index_for_level(self, level: int) -> MultiIndex:
         """Model index of an integer level."""
         return self.indices()[level]
+
+    def checkpoint_signature(self) -> dict:
+        """Run identity stamped into (and checked against) every checkpoint."""
+        return {
+            "seed": self.seed,
+            "num_samples": [int(n) for n in self.num_samples],
+            "num_levels": self.num_levels,
+        }
+
+    def checkpointer(self):
+        """A :class:`~repro.parallel.checkpoint.Checkpointer`, or ``None``.
+
+        Built fresh per call so child processes and the driver never share
+        cadence counters.
+        """
+        if self.checkpoint is None:
+            return None
+        from repro.parallel.checkpoint import Checkpointer
+
+        return Checkpointer(self.checkpoint, self.checkpoint_signature())
 
     def publish_rate(self, level: int) -> int:
         """How often (in steps) a level-``level`` chain publishes a proposal sample.

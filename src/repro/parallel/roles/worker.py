@@ -27,6 +27,9 @@ class WorkerProcess(RankProcess):
     """Dynamic-role rank: lock-step model evaluation."""
 
     role = "worker"
+    #: a worker holds no protocol state beyond accounting — a respawn just
+    #: resumes serving WORKER_EVAL orders from its queue, no bootstrap needed
+    restartable = True
 
     def __init__(self, rank: int, controller_rank: int) -> None:
         super().__init__(rank)
@@ -43,6 +46,9 @@ class WorkerProcess(RankProcess):
     def harvest(self) -> dict:
         """Ship the evaluation accounting back to the driver (multiprocess runs)."""
         return {"stats": self.stats}
+
+    def heartbeat_state(self) -> dict:
+        return {"level": self.level, "evaluations": self.evaluations}
 
     def run(self) -> Generator:
         while True:

@@ -47,9 +47,30 @@ __all__ = [
     "Message",
     "RankProcess",
     "Receive",
+    "ReceiveTimeout",
     "Send",
     "Transport",
 ]
+
+
+class ReceiveTimeout(RuntimeError):
+    """A blocking receive waited longer than the transport allows.
+
+    Raised inside a rank's host process by the multiprocess transport when a
+    ``Receive`` has been pending longer than the configured
+    ``receive_timeout_s`` — the symptom of a dead peer.  The simulated
+    backend never raises it (a drained event heap already exposes deadlock
+    deterministically).
+    """
+
+    def __init__(self, rank: int, spec: "Receive", waited_s: float) -> None:
+        tags = ", ".join(spec.tags) if spec.tags else "<any>"
+        super().__init__(
+            f"rank {rank} waited {waited_s:.1f}s for tags [{tags}] with no message"
+        )
+        self.rank = rank
+        self.spec = spec
+        self.waited_s = waited_s
 
 
 @dataclass
@@ -168,6 +189,11 @@ class RankProcess:
     #: role name used in traces and summaries; subclasses override.
     role = "process"
 
+    #: whether a dead rank of this role can be respawned in place by the
+    #: multiprocess transport's recovery machinery (root and phonebook hold
+    #: non-reconstructible protocol state and stay False).
+    restartable = False
+
     def __init__(self, rank: int) -> None:
         self.rank = int(rank)
         self.world: Transport | None = None  # set by the transport on attach
@@ -236,6 +262,28 @@ class RankProcess:
     def describe(self) -> dict[str, Any]:
         """Role description used in summaries / traces."""
         return {"rank": self.rank, "role": self.role}
+
+    # -- fault tolerance hooks ----------------------------------------------
+    def heartbeat_state(self) -> dict[str, Any]:
+        """Small picklable progress summary shipped with each heartbeat.
+
+        The multiprocess transport attaches this to the heartbeats a rank's
+        host process emits; the driver keeps the latest copy per rank and
+        feeds it to :meth:`restart_message` when the rank has to be
+        respawned.  Must stay cheap — it is called from the heartbeat thread.
+        """
+        return {}
+
+    def restart_message(self, heartbeat_meta: dict[str, Any]) -> tuple[str, Any] | None:
+        """Bootstrap ``(tag, payload)`` to inject into a respawned rank's queue.
+
+        A freshly respawned rank starts its generator from the beginning and
+        blocks on its initial receive; roles that are normally started by a
+        message from another rank (controllers wait for ``ASSIGN``,
+        collectors for ``COLLECT``) reconstruct that message here from the
+        rank's last heartbeat metadata.  ``None`` means no bootstrap needed.
+        """
+        return None
 
     # -- state shipping (multiprocess transport) ----------------------------
     def prepare_for_transport(self) -> None:
