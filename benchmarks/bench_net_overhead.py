@@ -1,0 +1,154 @@
+"""Socket-transport overhead: TCP hub delivery vs multiprocess OS queues.
+
+The parallel MLMCMC machine runs the same role generators on all transports
+(:mod:`repro.parallel.transport`); the two real-process backends differ only
+in the delivery fabric:
+
+* **multiprocess** — every rank on its own OS process, message delivery via
+  per-rank ``multiprocessing`` queues (shared-memory pipes),
+* **socket** — the same processes, but every message crosses a length-prefixed
+  TCP frame through the driver's hub (:mod:`repro.parallel.net`) — the
+  transport that also runs across machines.
+
+Because the schedules are identical (the backends produce bitwise-identical
+estimates for a seeded run — see ``tests/test_transport_conformance.py``),
+the wall-clock ratio isolates the *wire overhead*: serialization, framing,
+hub routing and ACK bookkeeping.  The JSON records per-backend wall time,
+message counts and per-message overhead so the decomposition stays visible.
+
+Results are written to ``BENCH_net_overhead.json`` at the repo root.
+Runnable standalone::
+
+    python benchmarks/bench_net_overhead.py            # full: meshes 16/32/64
+    python benchmarks/bench_net_overhead.py --quick    # CI: registry quick tier
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+from datetime import datetime, timezone
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parents[1]
+if __package__ in (None, ""):  # executed as a plain script
+    sys.path.insert(0, str(_ROOT))
+    sys.path.insert(0, str(_ROOT / "src"))
+
+import numpy as np
+
+from benchmarks.conftest import print_rows
+from repro.experiments import get_scenario, run_scenario
+
+SCENARIO = "poisson-parallel"
+
+#: full-mode overrides: meshes big enough that FEM solves dominate the IPC
+FULL_PROBLEM = {"preset": "scaled", "mesh_sizes": [16, 32, 64]}
+FULL_SAMPLER = {"num_samples": [160, 48, 16], "num_ranks": 12,
+                "cost_per_level": "poisson-paper"}
+
+
+def _bench_spec(quick: bool):
+    spec = get_scenario(SCENARIO).resolved(quick=quick)
+    if quick:
+        return spec
+    return replace(spec, problem=dict(FULL_PROBLEM), sampler=dict(FULL_SAMPLER))
+
+
+def bench_backend(spec, backend: str, repeats: int) -> dict:
+    """Best-of-``repeats`` machine wall time of one backend."""
+    best = None
+    for _ in range(repeats):
+        run = run_scenario(spec, parallel_backend=backend)
+        result = run.raw
+        if best is None or result.wall_time_s < best["wall_time_s"]:
+            best = {
+                "backend": backend,
+                "wall_time_s": float(result.wall_time_s),
+                "wall_per_message_s": float(
+                    result.wall_time_s / max(result.messages_sent, 1)
+                ),
+                "mean": [float(v) for v in np.asarray(result.mean).ravel()],
+                "num_ranks": int(result.layout.num_ranks),
+                "messages_sent": int(result.messages_sent),
+                "model_evaluations": {
+                    str(level): int(count)
+                    for level, count in result.model_evaluations.items()
+                },
+            }
+    return best
+
+
+def run(quick: bool, repeats: int) -> dict:
+    spec = _bench_spec(quick)
+    multiprocess = bench_backend(spec, "multiprocess", repeats)
+    socket = bench_backend(spec, "socket", repeats)
+    overhead = socket["wall_time_s"] / max(multiprocess["wall_time_s"], 1e-12)
+    identical = socket["mean"] == multiprocess["mean"]
+    return {
+        "benchmark": "net_overhead",
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "quick": quick,
+        "repeats": repeats,
+        "scenario": SCENARIO,
+        "spec_hash": spec.hash(),
+        "problem": spec.problem,
+        "sampler": spec.sampler,
+        "results": {"multiprocess": multiprocess, "socket": socket},
+        "wall_clock_overhead": float(overhead),
+        "estimates_identical": bool(identical),
+    }
+
+
+def report(payload: dict) -> None:
+    rows = []
+    for backend in ("multiprocess", "socket"):
+        entry = payload["results"][backend]
+        rows.append(
+            {
+                "transport": backend,
+                "wall [s]": entry["wall_time_s"],
+                "ranks": entry["num_ranks"],
+                "messages": entry["messages_sent"],
+                "model evals": sum(entry["model_evaluations"].values()),
+                "wall/msg [ms]": entry["wall_per_message_s"] * 1e3,
+            }
+        )
+    print_rows("Parallel MLMCMC — OS queues vs TCP hub", rows)
+    print(f"\nwall-clock overhead to the same collection targets "
+          f"(socket / multiprocess): {payload['wall_clock_overhead']:.2f}x")
+    print(f"estimates bitwise identical across transports: "
+          f"{payload['estimates_identical']}")
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI mode: the scenario's quick tier, one repeat (validates the "
+        "harness; tiny models overstate the relative wire overhead)",
+    )
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="runs per backend (best-of)")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=_ROOT / "BENCH_net_overhead.json",
+        help="output JSON path (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats if args.repeats is not None else (1 if args.quick else 2)
+    if repeats < 1:
+        parser.error("--repeats must be at least 1")
+    payload = run(quick=args.quick, repeats=repeats)
+    report(payload)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

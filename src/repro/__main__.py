@@ -199,9 +199,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--parallel-backend",
-        choices=["simulated", "multiprocess"],
+        choices=["simulated", "multiprocess", "socket"],
         help="transport backend for parallel-machine scenarios: the "
-        "discrete-event simulation (virtual time) or real OS processes",
+        "discrete-event simulation (virtual time), real OS processes "
+        "(queues), or real processes over TCP sockets (localhost hub)",
     )
     run_parser.add_argument(
         "--precision",

@@ -455,12 +455,12 @@ def run_parallel(spec: ExperimentSpec) -> DriverResult:
     backend = parallel.get("backend", "simulated")
     fault_tolerance = None
     if context.fault_plan is not None or (
-        backend == "multiprocess" and checkpoint is not None
+        backend in ("multiprocess", "socket") and checkpoint is not None
     ):
         # A fault plan (or a checkpointed run on real processes) implies the
         # caller wants the failure-handling machinery: heartbeats and respawn
-        # on the multiprocess backend, and on every backend the
-        # degrade-not-crash contract when recovery is exhausted.
+        # on the real-process backends (multiprocess, socket), and on every
+        # backend the degrade-not-crash contract when recovery is exhausted.
         fault_tolerance = FaultToleranceConfig()
     sampler = ParallelMLMCMCSampler(
         factory,

@@ -90,8 +90,9 @@ def run_scenario(
         When given, the validated manifest is written to
         ``<out_dir>/<name>.manifest.json``.
     parallel_backend:
-        Override the parallel transport backend (``"simulated"`` or
-        ``"multiprocess"``).  Rejected for scenarios whose driver does not
+        Override the parallel transport backend (``"simulated"``,
+        ``"multiprocess"`` or ``"socket"``).  Rejected for scenarios whose
+        driver does not
         run the parallel MLMCMC machine on a spec-selected transport
         (:data:`repro.experiments.drivers.PARALLEL_BACKEND_DRIVERS`).
     precision:

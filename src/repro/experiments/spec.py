@@ -60,7 +60,8 @@ class ExperimentSpec:
         :func:`repro.evaluation.make_evaluator`; empty means the in-process
         default.
     parallel:
-        ``{"backend": "simulated" | "multiprocess", "options": {...}}`` —
+        ``{"backend": "simulated" | "multiprocess" | "socket",
+        "options": {...}}`` —
         the transport backend for scenarios that run the parallel MLMCMC
         machine (:class:`repro.parallel.ParallelMLMCMCSampler`); empty means
         the simulated backend.

@@ -8,9 +8,10 @@ chains.  The process architecture (root / phonebook / controller / worker /
 collector) and the phonebook-hosted dynamic load balancer follow Section 4 of
 the paper.  The role machine runs on a pluggable transport
 (:mod:`repro.parallel.transport`): the deterministic discrete-event simulation
-in :mod:`repro.parallel.simmpi` (virtual time, any rank count) or real OS
+in :mod:`repro.parallel.simmpi` (virtual time, any rank count), real OS
 processes in :mod:`repro.parallel.mp` (queue-based delivery, wall-clock
-timing).
+timing), or real processes over TCP in :mod:`repro.parallel.net` (rendezvous
+hub, versioned wire format, machine-spanning).
 """
 
 from repro.parallel.chaos import (
@@ -57,6 +58,14 @@ from repro.parallel.scaling import (
     weak_scaling_study,
 )
 from repro.parallel.mp import MultiprocessWorld
+from repro.parallel.net import (
+    LocalSpawnAgent,
+    ProtocolVersionError,
+    SocketWorld,
+    TruncatedFrameError,
+    WireProtocolError,
+    connect_with_backoff,
+)
 from repro.parallel.simmpi import Message, RankProcess, VirtualWorld
 from repro.parallel.trace import TraceEvent, TraceRecorder
 from repro.parallel.transport import Compute, Receive, ReceiveTimeout, Send, Transport
@@ -100,6 +109,12 @@ __all__ = [
     "RankProcess",
     "VirtualWorld",
     "MultiprocessWorld",
+    "SocketWorld",
+    "LocalSpawnAgent",
+    "WireProtocolError",
+    "TruncatedFrameError",
+    "ProtocolVersionError",
+    "connect_with_backoff",
     "Transport",
     "Compute",
     "Send",

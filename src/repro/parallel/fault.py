@@ -43,6 +43,12 @@ class FaultToleranceConfig:
         Per-receive timeout inside the child ranks; a receive that stays
         blocked this long raises instead of waiting forever on a dead peer.
         ``None`` keeps the legacy block-forever behaviour.
+    receive_poll_s:
+        Granularity of the blocking-receive wait loop inside the child ranks.
+        A blocked receive wakes up this often to check ``receive_timeout_s``,
+        so the timeout overshoots by at most one poll interval.  Tests inject
+        small values here (together with small heartbeat intervals) instead
+        of waiting out hard-coded sleeps.
     max_rank_restarts:
         Total restart budget across the whole run (not per rank).
     restart_backoff_s:
@@ -57,6 +63,7 @@ class FaultToleranceConfig:
     heartbeat_interval_s: float = 0.5
     heartbeat_grace: float = 6.0
     receive_timeout_s: float | None = 60.0
+    receive_poll_s: float = 1.0
     max_rank_restarts: int = 3
     restart_backoff_s: float = 0.25
     on_exhausted: str = "degrade"
@@ -64,6 +71,8 @@ class FaultToleranceConfig:
     def __post_init__(self) -> None:
         if self.heartbeat_interval_s <= 0:
             raise ValueError("heartbeat_interval_s must be positive")
+        if self.receive_poll_s <= 0:
+            raise ValueError("receive_poll_s must be positive")
         if self.max_rank_restarts < 0:
             raise ValueError("max_rank_restarts must be non-negative")
         if self.on_exhausted not in ("degrade", "raise"):
@@ -77,6 +86,7 @@ class FaultToleranceConfig:
             "receive_timeout_s": (
                 None if self.receive_timeout_s is None else float(self.receive_timeout_s)
             ),
+            "receive_poll_s": float(self.receive_poll_s),
             "max_rank_restarts": int(self.max_rank_restarts),
             "restart_backoff_s": float(self.restart_backoff_s),
             "on_exhausted": str(self.on_exhausted),

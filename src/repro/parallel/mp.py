@@ -105,6 +105,7 @@ class _ProcessTransport(Transport):
         origin: float,
         trace_enabled: bool,
         receive_timeout_s: float | None = None,
+        receive_poll_s: float = 1.0,
         chaos: RankChaos | None = None,
     ) -> None:
         self.rank = rank
@@ -113,6 +114,7 @@ class _ProcessTransport(Transport):
         self._origin = origin
         self.trace = TraceRecorder(enabled=trace_enabled)
         self.receive_timeout_s = receive_timeout_s
+        self.receive_poll_s = receive_poll_s
         self.chaos = chaos
         self.messages_sent = 0
         self.events_processed = 0
@@ -170,9 +172,13 @@ class _ProcessTransport(Transport):
             return matched
         blocked_since = self.now
         timeout = self.receive_timeout_s
+        # The poll interval bounds how late a ReceiveTimeout can fire past
+        # the configured deadline; it is injectable (FaultToleranceConfig.
+        # receive_poll_s) so tests never wait out hard-coded sleeps.
+        poll = self.receive_poll_s
         while True:
             try:
-                message = self._inbox.get(timeout=None if timeout is None else 1.0)
+                message = self._inbox.get(timeout=None if timeout is None else poll)
             except queue_module.Empty:
                 waited = self.now - blocked_since
                 if timeout is not None and waited >= timeout:
@@ -252,9 +258,17 @@ def _rank_main(
     trace_enabled: bool,
     heartbeat_interval_s: float | None = None,
     receive_timeout_s: float | None = None,
+    receive_poll_s: float = 1.0,
     fault_plan: FaultPlan | None = None,
 ) -> None:
-    """Child entry point: drive one rank and ship the outcome back."""
+    """Child entry point: drive one rank and ship the outcome back.
+
+    Transport-agnostic: ``queues`` only needs ``[own_rank]`` → an inbound
+    store with ``get``/``get_nowait`` and ``.get(dest)`` → an outbound store
+    with ``put`` (or ``None`` for ranks outside the machine), and
+    ``result_queue`` only needs ``put``.  The multiprocess backend passes OS
+    queues; the socket backend passes facades over one TCP connection.
+    """
     chaos: RankChaos | None = None
     if fault_plan is not None:
         candidate = RankChaos(fault_plan, process.rank)
@@ -266,11 +280,16 @@ def _rank_main(
         origin,
         trace_enabled,
         receive_timeout_s=receive_timeout_s,
+        receive_poll_s=receive_poll_s,
         chaos=chaos,
     )
 
     stop_heartbeat = threading.Event()
     if heartbeat_interval_s is not None:
+        # One synchronous beat before any work: the driver learns this
+        # incarnation is up (and gets its initial role metadata) even if a
+        # chaos kill fires before the first interval elapses.
+        result_queue.put((process.rank, "heartbeat", dict(process.heartbeat_state())))
 
         def _beat() -> None:
             while not stop_heartbeat.wait(heartbeat_interval_s):
@@ -308,6 +327,42 @@ def _rank_main(
             result_queue.put((process.rank, "error", traceback.format_exc()))
         except Exception:  # pragma: no cover - best effort
             pass
+
+
+class _RunHandles:
+    """Backend-specific runtime of one supervised run.
+
+    The supervise/recovery loop in :meth:`MultiprocessWorld.run` only touches
+    the machinery through this surface, so transports that deliver messages
+    differently (OS queues, TCP sockets) plug in by returning their own
+    handles from ``_launch``:
+
+    * ``children`` — rank → process handle (``is_alive`` / ``exitcode`` /
+      ``join`` / ``terminate``),
+    * ``result_queue`` — ``get(timeout=...)`` yielding
+      ``(rank, status, payload)`` tuples, raising ``queue.Empty`` on timeout,
+    * ``spawn(rank, with_chaos)`` — start a (replacement) incarnation,
+    * ``inject(rank, message)`` — deliver a driver bootstrap message into the
+      rank's *persistent* inbound store (must survive the rank's death),
+    * ``drain()`` — flush buffered inbound stores before joining children,
+    * ``close()`` — final backend teardown after children are joined.
+    """
+
+    def __init__(self, children, result_queue, spawn, inject, drain=None, close=None):
+        self.children = children
+        self.result_queue = result_queue
+        self.spawn = spawn
+        self.inject = inject
+        self._drain = drain
+        self._close = close
+
+    def drain(self) -> None:
+        if self._drain is not None:
+            self._drain()
+
+    def close(self) -> None:
+        if self._close is not None:
+            self._close()
 
 
 class MultiprocessWorld:
@@ -371,6 +426,7 @@ class MultiprocessWorld:
         self._events_processed = 0
         self._messages_dropped = 0
         self._chaos_dropped = 0
+        self._heartbeats_received = 0
 
     # ------------------------------------------------------------------
     @property
@@ -398,6 +454,11 @@ class MultiprocessWorld:
         """Sends addressed to ranks outside the machine (should be zero)."""
         return self._messages_dropped
 
+    @property
+    def heartbeats_received(self) -> int:
+        """Heartbeats the driver consumed (0 without fault tolerance)."""
+        return self._heartbeats_received
+
     def add_process(self, process: RankProcess) -> None:
         """Register a rank process (ranks must be unique)."""
         if process.rank in self._processes:
@@ -409,14 +470,13 @@ class MultiprocessWorld:
         return [rank for rank, proc in self._processes.items() if not proc._state.finished]
 
     # ------------------------------------------------------------------
-    def run(self, until: float | None = None) -> float:
-        """Run all ranks on real processes until every generator finishes.
+    def _launch(self, origin: float) -> "_RunHandles":
+        """Start the backend machinery and every first-incarnation rank.
 
-        ``until`` is accepted for signature parity with the virtual world but
-        ignored — real processes cannot be paused at a clock value; use
-        ``join_timeout`` to bound the run.
-
-        Returns the real wall-clock duration in seconds.
+        The multiprocess backend builds one persistent OS queue per rank plus
+        a shared result queue; subclasses (the socket backend) override this
+        to stand up their own delivery fabric while reusing the supervise /
+        recovery loop in :meth:`run` unchanged.
         """
         ctx = (
             multiprocessing.get_context(self._start_method)
@@ -425,7 +485,6 @@ class MultiprocessWorld:
         )
         queues = {rank: ctx.Queue() for rank in self._processes}
         result_queue = ctx.Queue()
-        origin = time.perf_counter()
         ft = self.fault_tolerance
 
         def spawn(rank: int, with_chaos: bool) -> multiprocessing.Process:
@@ -441,6 +500,7 @@ class MultiprocessWorld:
                     self.trace.enabled,
                     ft.heartbeat_interval_s if ft is not None else None,
                     ft.receive_timeout_s if ft is not None else None,
+                    ft.receive_poll_s if ft is not None else 1.0,
                     self.fault_plan if with_chaos else None,
                 ),
                 name=f"repro-rank-{rank}-{process.role}",
@@ -449,9 +509,44 @@ class MultiprocessWorld:
             child.start()
             return child
 
+        def inject(rank: int, message: Message) -> None:
+            queues[rank].put(message)
+
+        def drain() -> None:
+            # Unread late messages keep queue feeder threads alive; drain them
+            # so children can exit and join() cannot hang on a full pipe.
+            for q in (*queues.values(), result_queue):
+                while True:
+                    try:
+                        q.get_nowait()
+                    except (queue_module.Empty, OSError):
+                        break
+
         children: dict[int, multiprocessing.Process] = {
             rank: spawn(rank, with_chaos=True) for rank in self._processes
         }
+        return _RunHandles(
+            children=children,
+            result_queue=result_queue,
+            spawn=spawn,
+            inject=inject,
+            drain=drain,
+        )
+
+    def run(self, until: float | None = None) -> float:
+        """Run all ranks on real processes until every generator finishes.
+
+        ``until`` is accepted for signature parity with the virtual world but
+        ignored — real processes cannot be paused at a clock value; use
+        ``join_timeout`` to bound the run.
+
+        Returns the real wall-clock duration in seconds.
+        """
+        origin = time.perf_counter()
+        ft = self.fault_tolerance
+        handles = self._launch(origin)
+        children = handles.children
+        result_queue = handles.result_queue
 
         pending = set(self._processes)
         failures: dict[int, str] = {}
@@ -518,12 +613,13 @@ class MultiprocessWorld:
             bootstrap = process.restart_message(meta)
             if bootstrap is not None:
                 tag, payload = bootstrap
-                queues[rank].put(
-                    Message(source=DRIVER_RANK, dest=rank, tag=tag, payload=payload)
+                handles.inject(
+                    rank,
+                    Message(source=DRIVER_RANK, dest=rank, tag=tag, payload=payload),
                 )
             # Respawn chaos-free so a deterministic kill rule cannot re-fire
             # and burn the whole budget on one rank.
-            children[rank] = spawn(rank, with_chaos=False)
+            children[rank] = handles.spawn(rank, with_chaos=False)
             last_heartbeat[rank] = time.monotonic()
             config = getattr(process, "config", None)
             reassignments.append(
@@ -559,6 +655,7 @@ class MultiprocessWorld:
                         if rank in last_heartbeat:
                             last_heartbeat[rank] = time.monotonic()
                             heartbeat_meta[rank] = payload
+                            self._heartbeats_received += 1
                     elif status == "ok":
                         pending.discard(rank)
                         process = self._processes[rank]
@@ -605,14 +702,7 @@ class MultiprocessWorld:
                                 f"{now_mono - last_heartbeat[r]:.1f}s (hung)",
                             )
         finally:
-            # Unread late messages keep queue feeder threads alive; drain them
-            # so children can exit and join() cannot hang on a full pipe.
-            for q in (*queues.values(), result_queue):
-                while True:
-                    try:
-                        q.get_nowait()
-                    except (queue_module.Empty, OSError):
-                        break
+            handles.drain()
             # One *shared* deadline for the whole shutdown: the happy path
             # previously waited up to 10s per child serially, so a machine of
             # N stragglers could stall the driver for 10·N seconds.
@@ -626,6 +716,7 @@ class MultiprocessWorld:
             for child in children.values():
                 if child.is_alive():
                     child.join(timeout=1.0)
+            handles.close()
 
         self.now = time.perf_counter() - origin
 

@@ -1,0 +1,899 @@
+"""TCP socket transport for the parallel MLMCMC machine.
+
+Runs the *unchanged* role generators (root, phonebook, collectors,
+controllers, workers) on separate processes-or-machines, connected by TCP
+instead of OS queues.  The child-side runtime is literally
+:func:`repro.parallel.mp._rank_main` — the multiprocess driver loop — handed
+queue facades that frame messages onto a single hub connection, so chaos
+injection, receive timeouts, tracing and heartbeats behave identically on
+both real-process backends.
+
+Wire format
+-----------
+
+Every frame is length-prefixed and versioned::
+
+    | magic ``RMLM`` (4) | version u16 | kind u8 | pad u8 | body length u32 |
+
+followed by ``body length`` bytes of payload, all integers big-endian.  A
+peer speaking a different protocol version (or not speaking the protocol at
+all) is rejected loudly with :class:`ProtocolVersionError` /
+:class:`WireProtocolError` — never silently misparsed.  A connection that
+dies mid-frame raises :class:`TruncatedFrameError`.
+
+``MESSAGE`` frames carry one :class:`~repro.parallel.transport.Message` as an
+explicit binary envelope (sequence number, source, dest, tag, timestamps)
+followed by the pickled ``(payload, metadata)`` pair — the only pickled bytes
+on the wire, always inside a version-checked frame.  ``HEARTBEAT`` and
+``RESULT`` frames carry the same ``(rank, status, payload)`` tuples the
+multiprocess backend puts on its result queue.
+
+Bootstrap (rendezvous)
+----------------------
+
+The driver's :class:`_Hub` listens on ``host:port`` (``port=0`` picks an
+ephemeral port, the localhost smoke default).  Each rank dials in with
+bounded exponential backoff (:func:`connect_with_backoff`), sends ``HELLO``
+(its rank id), and waits for ``WELCOME``; a dropped or refused connection
+triggers another backoff round, a protocol-version mismatch aborts
+immediately.  All rank-to-rank traffic is routed hub-and-spoke: a child
+frames its ``Send`` to the hub, the hub forwards it down the destination
+rank's connection.
+
+Failure semantics
+-----------------
+
+The hub keeps a per-rank *persistent* delivery state that survives rank
+death, mirroring the multiprocess backend's OS queues (at-least-once
+delivery):
+
+* outbound messages get per-rank sequence numbers; a child acknowledges a
+  message only when its transport actually consumes it,
+* when a rank's connection drops, delivered-but-unacknowledged messages are
+  requeued ahead of the backlog and replayed to the next incarnation that
+  says ``HELLO`` — so fetch orders addressed to a dead incarnation are
+  served by its replacement,
+* heartbeats ride the same connection and feed the *unchanged*
+  :mod:`repro.parallel.fault` machinery (crash/hang detection, respawn with
+  backoff, restart budget, degradation with a
+  :class:`~repro.parallel.fault.FailureReport`).
+
+Launching
+---------
+
+:class:`LocalSpawnAgent` starts one process per rank on this machine — the
+localhost smoke topology (``127.0.0.1``, N processes, one ephemeral hub
+port).  It is the deployment seam: a multi-node launcher replaces the agent
+(ssh/srun/batch submit pointing at a routable hub address) while hub, wire
+format and supervision stay as they are.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import pickle
+import queue as queue_module
+import socket
+import struct
+import threading
+import time
+from collections import OrderedDict, deque
+
+from repro.parallel.chaos import FaultPlan
+from repro.parallel.mp import MultiprocessWorld, _rank_main, _RunHandles
+from repro.parallel.transport import Message, RankProcess
+
+__all__ = [
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "WireProtocolError",
+    "TruncatedFrameError",
+    "ProtocolVersionError",
+    "encode_frame",
+    "decode_frame",
+    "encode_message",
+    "decode_message",
+    "read_frame",
+    "write_frame",
+    "connect_with_backoff",
+    "LocalSpawnAgent",
+    "SocketWorld",
+]
+
+logger = logging.getLogger(__name__)
+
+#: first bytes of every frame; anything else on the socket is not our protocol
+MAGIC = b"RMLM"
+#: bumped on any incompatible change to framing or envelopes
+PROTOCOL_VERSION = 1
+
+#: magic, protocol version, frame kind, pad, body length (big-endian)
+_HEADER = struct.Struct("!4sHBxI")
+HEADER_SIZE = _HEADER.size
+
+FRAME_HELLO = 1
+FRAME_WELCOME = 2
+FRAME_MESSAGE = 3
+FRAME_ACK = 4
+FRAME_HEARTBEAT = 5
+FRAME_RESULT = 6
+_FRAME_KINDS = frozenset(
+    (FRAME_HELLO, FRAME_WELCOME, FRAME_MESSAGE, FRAME_ACK, FRAME_HEARTBEAT, FRAME_RESULT)
+)
+
+#: sanity bound: a length field beyond this is a corrupt or hostile header
+MAX_FRAME_BODY = 1 << 30
+
+#: message envelope: seq, source, dest, tag length, send_time, delivery_time
+_ENVELOPE = struct.Struct("!qiiIdd")
+#: HELLO / WELCOME body: the rank id
+_HELLO = struct.Struct("!i")
+#: ACK body: the acknowledged sequence number
+_ACK = struct.Struct("!q")
+
+
+class WireProtocolError(RuntimeError):
+    """The peer sent bytes that are not a valid protocol frame."""
+
+
+class TruncatedFrameError(WireProtocolError):
+    """The connection ended (or the buffer ran out) mid-frame."""
+
+
+class ProtocolVersionError(WireProtocolError):
+    """The peer speaks a different protocol version; never retried."""
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+
+
+def _check_header(magic: bytes, version: int, kind: int, length: int) -> None:
+    if magic != MAGIC:
+        raise WireProtocolError(
+            f"bad frame magic {magic!r} (expected {MAGIC!r}): "
+            "peer is not speaking the repro wire protocol"
+        )
+    if version != PROTOCOL_VERSION:
+        raise ProtocolVersionError(
+            f"peer speaks wire protocol v{version}, this build speaks "
+            f"v{PROTOCOL_VERSION}; refusing to guess at compatibility"
+        )
+    if kind not in _FRAME_KINDS:
+        raise WireProtocolError(f"unknown frame kind {kind}")
+    if length > MAX_FRAME_BODY:
+        raise WireProtocolError(
+            f"frame announces a {length}-byte body (sanity bound {MAX_FRAME_BODY})"
+        )
+
+
+def encode_frame(kind: int, body: bytes) -> bytes:
+    """One complete frame: versioned header + body."""
+    if kind not in _FRAME_KINDS:
+        raise WireProtocolError(f"unknown frame kind {kind}")
+    if len(body) > MAX_FRAME_BODY:
+        raise WireProtocolError(f"frame body of {len(body)} bytes exceeds sanity bound")
+    return _HEADER.pack(MAGIC, PROTOCOL_VERSION, kind, len(body)) + body
+
+
+def decode_frame(data: bytes) -> tuple[int, bytes]:
+    """Decode one complete frame from a byte string (inverse of encode).
+
+    Raises :class:`TruncatedFrameError` when ``data`` stops mid-header or
+    mid-body, and the usual header errors for bad magic/version/kind.
+    """
+    if len(data) < HEADER_SIZE:
+        raise TruncatedFrameError(
+            f"frame truncated inside the header ({len(data)}/{HEADER_SIZE} bytes)"
+        )
+    magic, version, kind, length = _HEADER.unpack_from(data)
+    _check_header(magic, version, kind, length)
+    body = data[HEADER_SIZE : HEADER_SIZE + length]
+    if len(body) < length:
+        raise TruncatedFrameError(
+            f"frame truncated inside the body ({len(body)}/{length} bytes)"
+        )
+    return kind, body
+
+
+def encode_message(message: Message, seq: int = 0) -> bytes:
+    """Serialize one :class:`Message` as an explicit envelope + payload.
+
+    The envelope (sequence number, routing, tag, timestamps) is plain
+    big-endian struct fields so a foreign peer can route without unpickling;
+    only ``(payload, metadata)`` is pickled, and only ever *inside* a
+    version-checked frame.
+    """
+    tag = message.tag.encode("utf-8")
+    payload = pickle.dumps(
+        (message.payload, message.metadata), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    return (
+        _ENVELOPE.pack(
+            seq,
+            message.source,
+            message.dest,
+            len(tag),
+            message.send_time,
+            message.delivery_time,
+        )
+        + tag
+        + payload
+    )
+
+
+def decode_message(body: bytes) -> tuple[int, Message]:
+    """Inverse of :func:`encode_message`; returns ``(seq, message)``."""
+    if len(body) < _ENVELOPE.size:
+        raise TruncatedFrameError(
+            f"message envelope truncated ({len(body)}/{_ENVELOPE.size} bytes)"
+        )
+    seq, source, dest, tag_len, send_time, delivery_time = _ENVELOPE.unpack_from(body)
+    if len(body) < _ENVELOPE.size + tag_len:
+        raise TruncatedFrameError("message envelope truncated inside the tag")
+    tag = body[_ENVELOPE.size : _ENVELOPE.size + tag_len].decode("utf-8")
+    payload, metadata = pickle.loads(body[_ENVELOPE.size + tag_len :])
+    return seq, Message(
+        source=source,
+        dest=dest,
+        tag=tag,
+        payload=payload,
+        send_time=send_time,
+        delivery_time=delivery_time,
+        metadata=metadata,
+    )
+
+
+def _recv_exact(sock: socket.socket, count: int, already: bytes = b"") -> bytes:
+    buf = bytearray(already)
+    while len(buf) < count:
+        chunk = sock.recv(count - len(buf))
+        if not chunk:
+            raise TruncatedFrameError(
+                f"connection closed mid-frame ({len(buf)}/{count} bytes)"
+            )
+        buf += chunk
+    return bytes(buf)
+
+
+def read_frame(sock: socket.socket) -> tuple[int, bytes] | None:
+    """Read one frame off a socket; ``None`` on clean EOF at a boundary."""
+    first = sock.recv(1)
+    if not first:
+        return None
+    header = _recv_exact(sock, HEADER_SIZE, already=first)
+    magic, version, kind, length = _HEADER.unpack(header)
+    _check_header(magic, version, kind, length)
+    body = _recv_exact(sock, length) if length else b""
+    return kind, body
+
+
+def write_frame(sock: socket.socket, kind: int, body: bytes) -> None:
+    """Write one complete frame onto a socket."""
+    sock.sendall(encode_frame(kind, body))
+
+
+# ----------------------------------------------------------------------
+# bootstrap
+# ----------------------------------------------------------------------
+
+
+def connect_with_backoff(
+    address: tuple[str, int],
+    hello: int | None = None,
+    attempts: int = 10,
+    base_delay: float = 0.05,
+    max_delay: float = 2.0,
+    attempt_timeout_s: float = 10.0,
+) -> socket.socket:
+    """Dial ``address`` with bounded exponential backoff.
+
+    With ``hello`` (a rank id) the HELLO/WELCOME rendezvous handshake is part
+    of each attempt: a listener that accepts and then drops the connection
+    before ``WELCOME`` — a hub still starting up, or a flaky first accept —
+    costs one backoff round instead of a hang or a crash.  Connection refusal
+    and truncation are retried; a protocol-version mismatch or bad magic is
+    raised immediately (retrying cannot fix a version skew).
+
+    Raises :class:`ConnectionError` once the attempt budget is spent.
+    """
+    delay = base_delay
+    last_error: Exception | None = None
+    for attempt in range(max(1, attempts)):
+        if attempt:
+            time.sleep(delay)
+            delay = min(delay * 2.0, max_delay)
+        try:
+            sock = socket.create_connection(address, timeout=attempt_timeout_s)
+        except OSError as error:
+            last_error = error
+            continue
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            if hello is not None:
+                write_frame(sock, FRAME_HELLO, _HELLO.pack(hello))
+                frame = read_frame(sock)
+                if frame is None or frame[0] != FRAME_WELCOME:
+                    raise TruncatedFrameError(
+                        "listener dropped the connection before WELCOME"
+                    )
+            sock.settimeout(None)
+            return sock
+        except (TruncatedFrameError, OSError) as error:
+            sock.close()
+            last_error = error
+        except WireProtocolError:
+            # bad magic / version mismatch: loud, immediate, non-retryable
+            sock.close()
+            raise
+    raise ConnectionError(
+        f"could not register with hub at {address[0]}:{address[1]} after "
+        f"{attempts} attempt(s); last error: {last_error}"
+    )
+
+
+# ----------------------------------------------------------------------
+# child side: facades matching the queue contract of mp._rank_main
+# ----------------------------------------------------------------------
+
+
+class _ClientInbox:
+    """Queue facade over messages the hub delivered to this rank.
+
+    Acknowledges on *consumption*: a message's ACK goes back to the hub when
+    the transport ``get``s it, so anything delivered to an incarnation that
+    died before consuming it is replayed to the replacement (at-least-once,
+    mirroring the persistent OS queues of the multiprocess backend).
+    """
+
+    def __init__(self, client: "_HubClient") -> None:
+        self._client = client
+        self._queue: queue_module.Queue = queue_module.Queue()
+
+    def _deliver(self, seq: int, message: Message) -> None:
+        self._queue.put((seq, message))
+
+    def get(self, timeout: float | None = None):
+        seq, message = self._queue.get(timeout=timeout)
+        self._client.ack(seq)
+        return message
+
+    def get_nowait(self):
+        seq, message = self._queue.get_nowait()
+        self._client.ack(seq)
+        return message
+
+
+class _SendProxy:
+    """Queue-like ``put`` that frames the message onto the hub connection."""
+
+    __slots__ = ("_client",)
+
+    def __init__(self, client: "_HubClient") -> None:
+        self._client = client
+
+    def put(self, message: Message) -> None:
+        self._client.send_message(message)
+
+
+class _ClientQueueMap:
+    """The ``queues`` mapping `mp._rank_main` expects, over one connection.
+
+    ``[own_rank]`` is the inbound store; ``.get(other_rank)`` is a send proxy
+    for every rank of the machine and ``None`` otherwise, so the transport's
+    dropped-message accounting works unchanged.
+    """
+
+    def __init__(self, client: "_HubClient", ranks) -> None:
+        self._client = client
+        self._ranks = frozenset(ranks)
+
+    def __getitem__(self, rank: int):
+        if rank == self._client.rank:
+            return self._client.inbox
+        if rank in self._ranks:
+            return _SendProxy(self._client)
+        raise KeyError(rank)
+
+    def get(self, rank: int, default=None):
+        try:
+            return self[rank]
+        except KeyError:
+            return default
+
+
+class _ClientResultQueue:
+    """Result-queue facade: ``(rank, status, payload)`` tuples become frames."""
+
+    __slots__ = ("_client",)
+
+    def __init__(self, client: "_HubClient") -> None:
+        self._client = client
+
+    def put(self, item) -> None:
+        _rank, status, _payload = item
+        kind = FRAME_HEARTBEAT if status == "heartbeat" else FRAME_RESULT
+        self._client.send_result(kind, item)
+
+
+class _HubClient:
+    """One rank's connection to the hub: writer lock + reader thread."""
+
+    def __init__(
+        self,
+        rank: int,
+        address: tuple[str, int],
+        connect_attempts: int = 10,
+        connect_base_delay: float = 0.05,
+    ) -> None:
+        self.rank = rank
+        self._sock = connect_with_backoff(
+            address, hello=rank, attempts=connect_attempts, base_delay=connect_base_delay
+        )
+        self._write_lock = threading.Lock()
+        self.inbox = _ClientInbox(self)
+        threading.Thread(
+            target=self._read_loop, name=f"repro-net-inbox-{rank}", daemon=True
+        ).start()
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = read_frame(self._sock)
+                if frame is None:
+                    return
+                kind, body = frame
+                if kind == FRAME_MESSAGE:
+                    seq, message = decode_message(body)
+                    self.inbox._deliver(seq, message)
+                # the hub sends nothing else after WELCOME; tolerate quietly
+        except (OSError, WireProtocolError):
+            # Connection gone: the generator will hit a receive timeout (or a
+            # failed send) and the driver's failure detection takes it from
+            # there — nothing useful to do inside the child.
+            return
+
+    def _send(self, frame: bytes) -> None:
+        with self._write_lock:
+            self._sock.sendall(frame)
+
+    def send_message(self, message: Message) -> None:
+        self._send(encode_frame(FRAME_MESSAGE, encode_message(message)))
+
+    def ack(self, seq: int) -> None:
+        self._send(encode_frame(FRAME_ACK, _ACK.pack(seq)))
+
+    def send_result(self, kind: int, item) -> None:
+        self._send(
+            encode_frame(kind, pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL))
+        )
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+
+def _socket_rank_main(
+    process: RankProcess,
+    ranks: tuple[int, ...],
+    address: tuple[str, int],
+    origin: float,
+    trace_enabled: bool,
+    heartbeat_interval_s: float | None,
+    receive_timeout_s: float | None,
+    receive_poll_s: float,
+    fault_plan: FaultPlan | None,
+    connect_attempts: int,
+    connect_base_delay: float,
+) -> None:
+    """Child entry point: rendezvous with the hub, then run `mp._rank_main`."""
+    client = _HubClient(
+        process.rank,
+        tuple(address),
+        connect_attempts=connect_attempts,
+        connect_base_delay=connect_base_delay,
+    )
+    try:
+        _rank_main(
+            process,
+            _ClientQueueMap(client, ranks),
+            _ClientResultQueue(client),
+            origin,
+            trace_enabled,
+            heartbeat_interval_s=heartbeat_interval_s,
+            receive_timeout_s=receive_timeout_s,
+            receive_poll_s=receive_poll_s,
+            fault_plan=fault_plan,
+        )
+    finally:
+        client.close()
+
+
+# ----------------------------------------------------------------------
+# driver side: rendezvous hub + router
+# ----------------------------------------------------------------------
+
+
+class _RankLink:
+    """Driver-side delivery state of one rank; survives incarnations."""
+
+    __slots__ = ("rank", "lock", "conn", "conn_id", "next_seq", "unacked", "pending")
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        self.lock = threading.Lock()
+        self.conn: socket.socket | None = None
+        #: bumped per registered connection so a stale reader can tell it was replaced
+        self.conn_id = 0
+        self.next_seq = 0
+        #: seq → Message, written to a connection but not yet consumed by the rank
+        self.unacked: OrderedDict[int, Message] = OrderedDict()
+        #: backlog with no connection to carry it (or behind a replay)
+        self.pending: deque[Message] = deque()
+
+
+class _Hub:
+    """Rendezvous listener + hub-and-spoke message router of one run.
+
+    Owns the per-rank persistent delivery state (see :class:`_RankLink`) and
+    forwards ``HEARTBEAT``/``RESULT`` frames into ``result_sink`` as the same
+    ``(rank, status, payload)`` tuples the multiprocess result queue carries,
+    so the supervise loop consumes either backend identically.
+    """
+
+    def __init__(self, ranks, host: str, port: int, result_sink) -> None:
+        self._links = {rank: _RankLink(rank) for rank in ranks}
+        self._result_sink = result_sink
+        self._listener = socket.create_server(
+            (host, port), backlog=max(8, len(self._links))
+        )
+        addr = self._listener.getsockname()
+        self.address: tuple[str, int] = (addr[0], addr[1])
+        self._closed = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-net-accept", daemon=True
+        )
+        #: messages routed through the hub (both directions of every pair)
+        self.messages_routed = 0
+        #: messages replayed to replacement incarnations
+        self.replays = 0
+
+    def start(self) -> None:
+        self._accept_thread.start()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    # -- rendezvous ----------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            try:
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                conn.settimeout(10.0)
+                frame = read_frame(conn)
+                if frame is None:
+                    conn.close()
+                    continue
+                kind, body = frame
+                if kind != FRAME_HELLO:
+                    raise WireProtocolError(f"expected HELLO, got frame kind {kind}")
+                (rank,) = _HELLO.unpack(body)
+                link = self._links.get(rank)
+                if link is None:
+                    raise WireProtocolError(f"HELLO from unknown rank {rank}")
+                write_frame(conn, FRAME_WELCOME, _HELLO.pack(rank))
+                conn.settimeout(None)
+            except (OSError, WireProtocolError) as error:
+                logger.warning("hub rejected a connection: %s", error)
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                continue
+            self._register(link, conn)
+
+    def _register(self, link: _RankLink, conn: socket.socket) -> None:
+        with link.lock:
+            old = link.conn
+            link.conn_id += 1
+            conn_id = link.conn_id
+            link.conn = conn
+            self._requeue_unacked_locked(link)
+            self._flush_locked(link)
+        if old is not None:
+            # A replacement said HELLO before the old connection EOF'd (the
+            # usual case right after a kill); drop the corpse.
+            try:
+                old.close()
+            except OSError:
+                pass
+        thread = threading.Thread(
+            target=self._serve_rank,
+            args=(link, conn, conn_id),
+            name=f"repro-net-rank-{link.rank}",
+            daemon=True,
+        )
+        thread.start()
+        self._threads.append(thread)
+
+    # -- delivery (all three helpers expect link.lock held) ------------
+    def _requeue_unacked_locked(self, link: _RankLink) -> None:
+        # Delivered-but-unconsumed messages must precede the backlog so the
+        # replacement sees the same FIFO-per-pair order the dead incarnation
+        # would have.
+        if link.unacked:
+            self.replays += len(link.unacked)
+            link.pending.extendleft(reversed(list(link.unacked.values())))
+            link.unacked.clear()
+
+    def _disconnect_locked(self, link: _RankLink) -> None:
+        if link.conn is not None:
+            try:
+                link.conn.close()
+            except OSError:
+                pass
+        link.conn = None
+        self._requeue_unacked_locked(link)
+
+    def _flush_locked(self, link: _RankLink) -> None:
+        while link.pending and link.conn is not None:
+            message = link.pending[0]
+            seq = link.next_seq
+            frame = encode_frame(FRAME_MESSAGE, encode_message(message, seq))
+            try:
+                link.conn.sendall(frame)
+            except OSError:
+                self._disconnect_locked(link)
+                return
+            link.pending.popleft()
+            link.next_seq += 1
+            link.unacked[seq] = message
+
+    def post(self, message: Message) -> None:
+        """Route one message to its destination rank (buffered if offline)."""
+        link = self._links.get(message.dest)
+        if link is None:
+            logger.warning(
+                "hub dropped message with tag %r: destination rank %d is not "
+                "part of this machine",
+                message.tag,
+                message.dest,
+            )
+            return
+        with link.lock:
+            link.pending.append(message)
+            self._flush_locked(link)
+            self.messages_routed += 1
+
+    # -- per-connection reader -----------------------------------------
+    def _serve_rank(self, link: _RankLink, conn: socket.socket, conn_id: int) -> None:
+        try:
+            while True:
+                frame = read_frame(conn)
+                if frame is None:
+                    break
+                kind, body = frame
+                if kind == FRAME_MESSAGE:
+                    _seq, message = decode_message(body)
+                    self.post(message)
+                elif kind == FRAME_ACK:
+                    (seq,) = _ACK.unpack(body)
+                    with link.lock:
+                        link.unacked.pop(seq, None)
+                elif kind in (FRAME_HEARTBEAT, FRAME_RESULT):
+                    self._result_sink.put(pickle.loads(body))
+                else:
+                    raise WireProtocolError(
+                        f"unexpected frame kind {kind} from rank {link.rank}"
+                    )
+        except (OSError, WireProtocolError) as error:
+            if not self._closed.is_set():
+                logger.debug("hub reader for rank %d stopped: %s", link.rank, error)
+        finally:
+            with link.lock:
+                if link.conn_id == conn_id:
+                    self._disconnect_locked(link)
+                else:
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+
+    # -- teardown -------------------------------------------------------
+    def close(self) -> None:
+        """Stop accepting, close every connection, join the service threads."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for link in self._links.values():
+            with link.lock:
+                if link.conn is not None:
+                    try:
+                        link.conn.close()
+                    except OSError:
+                        pass
+                    link.conn = None
+        deadline = time.monotonic() + 2.0
+        for thread in (*self._threads, self._accept_thread):
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+
+
+# ----------------------------------------------------------------------
+# launching
+# ----------------------------------------------------------------------
+
+
+class LocalSpawnAgent:
+    """Starts rank host processes for a socket run on *this* machine.
+
+    The launcher seam of the socket backend: :meth:`spawn` must start
+    :func:`_socket_rank_main` for one rank somewhere that can reach
+    ``address`` and return a handle with the ``multiprocessing.Process``
+    control surface (``is_alive`` / ``exitcode`` / ``terminate`` /
+    ``join``).  This implementation covers the localhost smoke topology —
+    ``127.0.0.1``, N processes, one ephemeral hub port; a multi-node
+    deployment replaces the agent (ssh/srun/batch submit against a routable
+    address) while the hub, wire format and supervision stay unchanged.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        ranks,
+        start_method: str | None = None,
+        connect_attempts: int = 10,
+        connect_base_delay: float = 0.05,
+    ) -> None:
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+            )
+        self._ctx = (
+            multiprocessing.get_context(start_method)
+            if start_method is not None
+            else multiprocessing.get_context()
+        )
+        self.address = tuple(address)
+        self._ranks = tuple(ranks)
+        self._connect_attempts = int(connect_attempts)
+        self._connect_base_delay = float(connect_base_delay)
+
+    def spawn(
+        self,
+        process: RankProcess,
+        *,
+        origin: float,
+        trace_enabled: bool,
+        heartbeat_interval_s: float | None,
+        receive_timeout_s: float | None,
+        receive_poll_s: float,
+        fault_plan: FaultPlan | None,
+    ):
+        """Start one rank-host process dialed into the hub."""
+        child = self._ctx.Process(
+            target=_socket_rank_main,
+            args=(
+                process,
+                self._ranks,
+                self.address,
+                origin,
+                trace_enabled,
+                heartbeat_interval_s,
+                receive_timeout_s,
+                receive_poll_s,
+                fault_plan,
+                self._connect_attempts,
+                self._connect_base_delay,
+            ),
+            name=f"repro-net-rank-{process.rank}-{process.role}",
+            daemon=True,
+        )
+        child.start()
+        return child
+
+
+class SocketWorld(MultiprocessWorld):
+    """The networked machine: one process per rank, TCP hub delivery.
+
+    Driver-facing surface (``add_process`` / ``run`` / ``trace`` /
+    ``summary`` / ``failure_report`` …) is identical to
+    :class:`MultiprocessWorld` — only :meth:`_launch` differs: instead of OS
+    queues it stands up a :class:`_Hub` rendezvous listener plus a
+    :class:`LocalSpawnAgent`, and the supervise/recovery loop runs unchanged
+    on ``(rank, status, payload)`` tuples arriving over TCP.
+
+    Parameters beyond :class:`MultiprocessWorld`'s:
+
+    host, port:
+        Hub bind address.  The defaults (``127.0.0.1``, ephemeral port) are
+        the localhost smoke topology; bind a routable host to accept ranks
+        from other machines.
+    connect_attempts, connect_base_delay:
+        Rank-side rendezvous backoff budget (see
+        :func:`connect_with_backoff`).
+    """
+
+    def __init__(
+        self,
+        trace=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        start_method: str | None = None,
+        join_timeout: float = 600.0,
+        fault_tolerance=None,
+        fault_plan=None,
+        connect_attempts: int = 10,
+        connect_base_delay: float = 0.05,
+    ) -> None:
+        super().__init__(
+            trace=trace,
+            start_method=start_method,
+            join_timeout=join_timeout,
+            fault_tolerance=fault_tolerance,
+            fault_plan=fault_plan,
+        )
+        self.host = str(host)
+        self.port = int(port)
+        self.connect_attempts = int(connect_attempts)
+        self.connect_base_delay = float(connect_base_delay)
+        #: the last run's hub (tests assert clean shutdown through `.closed`)
+        self._hub: _Hub | None = None
+
+    def _launch(self, origin: float) -> _RunHandles:
+        result_queue: queue_module.Queue = queue_module.Queue()
+        ranks = tuple(self._processes)
+        hub = _Hub(ranks, self.host, self.port, result_queue)
+        hub.start()
+        self._hub = hub
+        agent = LocalSpawnAgent(
+            hub.address,
+            ranks,
+            start_method=self._start_method,
+            connect_attempts=self.connect_attempts,
+            connect_base_delay=self.connect_base_delay,
+        )
+        ft = self.fault_tolerance
+
+        def spawn(rank: int, with_chaos: bool):
+            process = self._processes[rank]
+            process.world = None  # children attach their own transport
+            return agent.spawn(
+                process,
+                origin=origin,
+                trace_enabled=self.trace.enabled,
+                heartbeat_interval_s=ft.heartbeat_interval_s if ft is not None else None,
+                receive_timeout_s=ft.receive_timeout_s if ft is not None else None,
+                receive_poll_s=ft.receive_poll_s if ft is not None else 1.0,
+                fault_plan=self.fault_plan if with_chaos else None,
+            )
+
+        def inject(rank: int, message: Message) -> None:
+            # The hub's per-rank buffers are the persistent store: a
+            # bootstrap injected while the rank is down is replayed to the
+            # replacement incarnation in order.
+            hub.post(message)
+
+        children = {rank: spawn(rank, with_chaos=True) for rank in ranks}
+        return _RunHandles(
+            children=children,
+            result_queue=result_queue,
+            spawn=spawn,
+            inject=inject,
+            drain=None,
+            close=hub.close,
+        )

@@ -8,9 +8,12 @@ assembles the multilevel estimator from the collectors' output:
   :mod:`repro.parallel.simmpi`: deterministic, virtual time, any rank count.
 * ``backend="multiprocess"`` — :mod:`repro.parallel.mp`: every rank on a real
   OS process, queue-based message delivery, real wall-clock timing.
+* ``backend="socket"`` — :mod:`repro.parallel.net`: every rank on a real
+  process dialed into a TCP rendezvous hub; same semantics as multiprocess,
+  but the delivery fabric works across machines.
 
 The result carries the execution trace, the load balancer's decision log and
-per-role statistics on either backend, which is what the scaling and
+per-role statistics on every backend, which is what the scaling and
 load-balancing benchmarks consume.
 """
 
@@ -64,7 +67,7 @@ class ParallelMLMCMCResult:
     layout: ProcessLayout
     messages_sent: int
     events_processed: int
-    #: transport backend the run executed on ("simulated" | "multiprocess")
+    #: backend the run executed on ("simulated" | "multiprocess" | "socket")
     backend: str = "simulated"
     #: real wall-clock seconds of the transport run (on the multiprocess
     #: backend this coincides with the machine's makespan; on the simulated
@@ -178,18 +181,23 @@ class ParallelMLMCMCSampler:
         Record the full execution trace (disable for very large runs).
     backend:
         Transport backend: ``"simulated"`` (discrete-event simulation in
-        virtual time, the default) or ``"multiprocess"`` (every rank on a
-        real OS process with real wall-clock timing).
+        virtual time, the default), ``"multiprocess"`` (every rank on a real
+        OS process with real wall-clock timing) or ``"socket"`` (every rank
+        on a real process dialed into a TCP rendezvous hub — the
+        networked transport of :mod:`repro.parallel.net`, smoke-testable
+        entirely on localhost).
     backend_options:
         Extra keyword arguments for the selected backend's world constructor
         (``start_method`` / ``join_timeout`` for
-        :class:`repro.parallel.mp.MultiprocessWorld`; ``max_events`` for
+        :class:`repro.parallel.mp.MultiprocessWorld`; additionally ``host`` /
+        ``port`` / ``connect_attempts`` / ``connect_base_delay`` for
+        :class:`repro.parallel.net.SocketWorld`; ``max_events`` for
         :class:`repro.parallel.simmpi.VirtualWorld`).  Unknown options raise
         a ``TypeError`` from the world constructor rather than being ignored.
     """
 
     #: recognised transport backends
-    BACKENDS = ("simulated", "multiprocess")
+    BACKENDS = ("simulated", "multiprocess", "socket")
 
     def __init__(
         self,
@@ -296,6 +304,15 @@ class ParallelMLMCMCSampler:
             from repro.parallel.mp import MultiprocessWorld
 
             world = MultiprocessWorld(
+                trace=trace,
+                fault_tolerance=self.fault_tolerance,
+                fault_plan=self.fault_plan,
+                **self.backend_options,
+            )
+        elif self.backend == "socket":
+            from repro.parallel.net import SocketWorld
+
+            world = SocketWorld(
                 trace=trace,
                 fault_tolerance=self.fault_tolerance,
                 fault_plan=self.fault_plan,

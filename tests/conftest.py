@@ -7,6 +7,8 @@ built once per test module.
 
 from __future__ import annotations
 
+import socket
+
 import numpy as np
 import pytest
 
@@ -19,6 +21,25 @@ from repro.models.tsunami import TsunamiInverseProblemFactory, TsunamiLevelSpec
 def rng() -> np.random.Generator:
     """A fresh deterministic generator per test."""
     return np.random.default_rng(12345)
+
+
+def free_localhost_port() -> int:
+    """A currently-free 127.0.0.1 TCP port (kernel-allocated, then released).
+
+    Socket-transport tests that must know a port *before* binding a listener
+    use this instead of hard-coding one, so parallel CI shards cannot collide.
+    There is a small release-to-rebind race; anything that can bind first
+    should prefer ``port=0`` (the SocketWorld default) instead.
+    """
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+@pytest.fixture
+def free_port() -> int:
+    """One free localhost port per test (see :func:`free_localhost_port`)."""
+    return free_localhost_port()
 
 
 @pytest.fixture(scope="session")

@@ -44,6 +44,7 @@ BENCH_MODULE_TO_SCENARIO = {
     "bench_fig13_tsunami_posterior": "fig13-tsunami-posterior",
     "bench_fig14_level_corrections": "fig14-level-corrections",
     "bench_mp_speedup": "poisson-parallel",
+    "bench_net_overhead": "poisson-parallel",
     "bench_swe_hotpath": "swe-hotpath",
     "bench_table1_tsunami_likelihood": "table1-tsunami-likelihood",
     "bench_table2_tsunami_levels": "table2-tsunami-levels",

@@ -265,6 +265,134 @@ class TestMultiprocessRecovery:
 
 
 # ----------------------------------------------------------------------------
+class TestSocketRecovery:
+    """The mp chaos contract must hold verbatim over the TCP transport.
+
+    Heartbeats travel over the wire (the ``lost`` metadata on each recorded
+    failure proves the driver was receiving them), dead ranks are respawned
+    in place with their undelivered messages replayed by the hub, and a
+    non-restartable death degrades into a structured report instead of a
+    hang.
+    """
+
+    def test_killed_controller_is_respawned_and_run_completes(self, factory):
+        plan = FaultPlan(
+            seed=7, kills=[RankKill(after_events=40, role="controller", index=0)]
+        )
+        result = _sampler(
+            factory,
+            backend="socket",
+            fault_plan=plan,
+            # A beat every 100 ms (instead of the 500 ms default) exercises
+            # the injectable cadence; the larger grace multiple keeps the
+            # absolute hang deadline at 2 s.  Each incarnation also beats
+            # once synchronously at startup, so even a kill that fires
+            # before the first interval elapses leaves ``lost`` populated.
+            fault_tolerance=FaultToleranceConfig(
+                heartbeat_interval_s=0.1, heartbeat_grace=20.0
+            ),
+        ).run()
+        assert not result.degraded
+        report = result.failure_report
+        assert report is not None and report.recovered
+        assert report.restarts_used >= 1
+        controller_failures = [f for f in report.failures if f.role == "controller"]
+        assert controller_failures
+        # the heartbeat metadata at last contact arrived over the socket
+        assert "level" in controller_failures[0].lost
+        assert any(r.role == "controller" for r in report.reassignments)
+        for level, target in enumerate([60, 24, 10]):
+            assert len(result.corrections[level]) >= target
+        assert np.all(np.isfinite(result.mean))
+        assert np.linalg.norm(result.mean - factory.exact_mean()) < 1.5
+
+    def test_heartbeats_flow_over_the_wire(self, factory):
+        sampler = _sampler(
+            factory,
+            backend="socket",
+            fault_tolerance=FaultToleranceConfig(heartbeat_interval_s=0.05),
+        )
+        world, _root, _phonebook = sampler.build_world()
+        world.run()
+        # every rank beats at least once (synchronously at startup), routed
+        # child -> hub -> driver over TCP frames rather than an OS queue
+        assert world.heartbeats_received >= sampler.layout.num_ranks
+
+    def test_killed_worker_is_respawned_and_run_completes(self, factory):
+        plan = FaultPlan(
+            seed=5, kills=[RankKill(after_events=30, role="worker", index=0)]
+        )
+        result = _sampler(
+            factory,
+            backend="socket",
+            num_ranks=16,
+            workers_per_group=1,
+            fault_plan=plan,
+            fault_tolerance=FaultToleranceConfig(),
+        ).run()
+        assert not result.degraded
+        report = result.failure_report
+        assert report is not None and report.recovered
+        assert any(f.role == "worker" for f in report.failures)
+        assert any(r.role == "worker" for r in report.reassignments)
+        assert np.all(np.isfinite(result.mean))
+
+    def test_root_kill_degrades_with_structured_report_not_a_hang(self, factory):
+        plan = FaultPlan(seed=3, kills=[RankKill(after_events=4, role="root")])
+        result = _sampler(
+            factory,
+            backend="socket",
+            fault_plan=plan,
+            fault_tolerance=FaultToleranceConfig(),
+        ).run()
+        assert result.degraded
+        report = result.failure_report
+        assert not report.recovered
+        assert "not restartable" in report.exhausted_reason
+        assert report.dead_ranks
+        for collection in result.corrections.values():
+            collection.validate()
+
+
+# ----------------------------------------------------------------------------
+class TestTimeoutInjection:
+    """Receive deadlines and poll cadence are injectable — no fixed sleeps."""
+
+    def test_receive_poll_interval_bounds_timeout_latency(self, factory):
+        from repro.parallel.transport import Receive, ReceiveTimeout
+        from repro.parallel.roles.root import RootProcess
+
+        import time as time_module
+
+        process = RootProcess(0, _sampler(factory).config)
+        transport = _ProcessTransport(
+            rank=0,
+            queues={0: queue_module.Queue()},
+            origin=time_module.perf_counter(),
+            trace_enabled=False,
+            receive_timeout_s=0.1,
+            receive_poll_s=0.02,
+        )
+        start = time_module.perf_counter()
+        with pytest.raises(ReceiveTimeout):
+            transport._blocking_receive(process, Receive(tags=("NEVER_SENT",)))
+        elapsed = time_module.perf_counter() - start
+        # deadline + at most one poll interval of overshoot (plus margin):
+        # with the legacy hard-coded 1.0 s poll this would take >= 1 s.
+        assert 0.1 <= elapsed < 0.5
+
+    def test_receive_poll_must_be_positive(self):
+        with pytest.raises(ValueError, match="receive_poll_s"):
+            FaultToleranceConfig(receive_poll_s=0.0)
+
+    def test_config_round_trips_with_injected_timeouts(self):
+        config = FaultToleranceConfig(
+            heartbeat_interval_s=0.05, receive_timeout_s=0.5, receive_poll_s=0.01
+        )
+        assert FaultToleranceConfig.from_dict(config.as_dict()) == config
+
+
+# ----------------------------------------------------------------------------
 class TestCheckpointResume:
     def test_resumed_run_is_bitwise_identical(self, factory, tmp_path):
         checkpoint = CheckpointConfig(directory=tmp_path / "ck")
