@@ -142,6 +142,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
             fault_plan=fault_plan,
+            target_mse=args.target_mse,
+            cost_budget=args.budget,
         )
     except (UnknownScenarioError, BackendNotApplicableError) as exc:
         # usage errors → exit 2; run/validation failures propagate (exit 1).
@@ -212,6 +214,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--out", metavar="DIR", help="write the manifest here")
     run_parser.add_argument("--seed", type=int, help="override the spec's seed")
+    run_parser.add_argument(
+        "--target-mse",
+        type=float,
+        metavar="EPS2",
+        help="adaptive allocation: grow per-level sample counts until the "
+        "estimator variance meets this target (MLMCMC estimation scenarios)",
+    )
+    run_parser.add_argument(
+        "--budget",
+        type=float,
+        metavar="COST",
+        help="adaptive allocation: variance-optimal per-level sample counts "
+        "within this total cost cap (mutually exclusive with --target-mse)",
+    )
     run_parser.add_argument(
         "--checkpoint-dir",
         metavar="DIR",

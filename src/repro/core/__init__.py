@@ -36,7 +36,17 @@ from repro.core.estimators import (
     LevelContribution,
     MultilevelEstimate,
     MonteCarloEstimate,
+    cost_capped_allocation,
     optimal_sample_allocation,
+)
+from repro.core.allocation import (
+    AllocationPolicy,
+    AllocationRound,
+    ContinuationAllocation,
+    FixedAllocation,
+    LevelSnapshot,
+    SamplingBudget,
+    policy_from_budget,
 )
 from repro.core.diagnostics import ChainDiagnostics, diagnose_collection, gelman_rubin
 from repro.core.mlmcmc import MLMCMCResult, MLMCMCSampler, run_single_level_mcmc
@@ -50,6 +60,14 @@ __all__ = [
     "AdaptiveAllocation",
     "AdaptiveMLMCMCResult",
     "AdaptiveMLMCMCSampler",
+    "AllocationPolicy",
+    "AllocationRound",
+    "ContinuationAllocation",
+    "FixedAllocation",
+    "LevelSnapshot",
+    "SamplingBudget",
+    "cost_capped_allocation",
+    "policy_from_budget",
     "SamplingState",
     "AbstractSamplingProblem",
     "BayesianSamplingProblem",

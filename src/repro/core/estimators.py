@@ -8,6 +8,8 @@
 * :func:`optimal_sample_allocation` — the classical MLMC sample-allocation
   formula ``N_l ∝ sqrt(V_l / C_l)`` used by adaptive drivers and the
   complexity benchmark.
+* :func:`cost_capped_allocation` — the dual formulation: the
+  variance-minimising sample counts whose total cost stays within a budget.
 """
 
 from __future__ import annotations
@@ -23,6 +25,7 @@ __all__ = [
     "LevelContribution",
     "MultilevelEstimate",
     "MonteCarloEstimate",
+    "cost_capped_allocation",
     "optimal_sample_allocation",
 ]
 
@@ -237,3 +240,33 @@ def optimal_sample_allocation(
     total = float(np.sum(np.sqrt(variances * costs)))
     counts = np.sqrt(variances / costs) * total / target_variance
     return np.maximum(1, np.ceil(counts)).astype(int)
+
+
+def cost_capped_allocation(
+    variances: np.ndarray,
+    costs: np.ndarray,
+    cost_cap: float,
+) -> np.ndarray:
+    """Variance-minimising MLMC sample counts for a total-cost budget.
+
+    The Lagrange dual of :func:`optimal_sample_allocation`: instead of the
+    cheapest plan achieving a variance target, the lowest-variance plan whose
+    total cost ``sum_l N_l C_l`` stays within ``cost_cap`` —
+    ``N_l = cost_cap * sqrt(V_l / C_l) / sum_k sqrt(V_k C_k)``.  Counts are
+    floored (never rounded up) so the planned cost does not exceed the cap,
+    with a minimum of one sample per level.
+    """
+    variances = np.asarray(variances, dtype=float)
+    costs = np.asarray(costs, dtype=float)
+    if variances.shape != costs.shape:
+        raise ValueError("variances and costs must have the same shape")
+    if cost_cap <= 0:
+        raise ValueError("cost cap must be positive")
+    if np.any(costs <= 0):
+        raise ValueError("costs must be positive")
+    total = float(np.sum(np.sqrt(variances * costs)))
+    if total <= 0:
+        # no variance signal at all: nothing to optimise, keep one per level
+        return np.ones(variances.shape, dtype=int)
+    counts = cost_cap * np.sqrt(variances / costs) / total
+    return np.maximum(1, np.floor(counts)).astype(int)

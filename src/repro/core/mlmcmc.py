@@ -20,6 +20,12 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.allocation import (
+    AllocationPolicy,
+    AllocationRound,
+    FixedAllocation,
+    LevelSnapshot,
+)
 from repro.core.chain import SingleChainMCMC, SubsampledChainSource
 from repro.core.estimators import MonteCarloEstimate, MultilevelEstimate
 from repro.core.factory import MIComponentFactory
@@ -46,6 +52,9 @@ class MLMCMCResult:
     model_evaluations: list[int] = field(default_factory=list)
     #: per-level evaluator statistics snapshots (counts, wall time, cache hits)
     evaluation_stats: list[EvaluatorStats] = field(default_factory=list)
+    #: realized continuation trajectory, one entry per allocation round
+    #: (a single round for the fixed policy)
+    allocation_rounds: list[AllocationRound] = field(default_factory=list)
 
     @property
     def mean(self) -> np.ndarray:
@@ -62,9 +71,12 @@ class MLMCMCSampler:
         The model hierarchy (an :class:`repro.core.factory.MIComponentFactory`).
     num_samples:
         Post-burn-in samples per level, coarse to fine (e.g. ``[10_000, 1_000,
-        100]`` in the paper's Poisson experiment).
+        100]`` in the paper's Poisson experiment).  May be omitted when an
+        adaptive ``allocation`` policy supplies the targets.
     burnin:
-        Burn-in steps per level; defaults to 10% of the requested samples.
+        Burn-in steps per level; defaults to 10% of the requested samples
+        (the allocation policy's pilot targets when ``num_samples`` is
+        omitted).
     subsampling_rates:
         Override of the factory's subsampling rates ``rho_l`` (entry ``l`` is
         used when level ``l`` draws from level ``l-1``; entry 0 is ignored).
@@ -74,20 +86,44 @@ class MLMCMCSampler:
         Forwarded to every correction level's :class:`MultilevelKernel`: batch
         the (coarse, fine) QOI evaluations of each correction step through one
         evaluator call.  Estimates are bitwise identical either way.
+    allocation:
+        An :class:`repro.core.allocation.AllocationPolicy` driving the
+        continuation loop.  ``None`` wraps ``num_samples`` in a
+        :class:`~repro.core.allocation.FixedAllocation` — a single round that
+        reproduces the pre-allocation-layer runs bitwise.
+    cost_model:
+        Optional cost model (anything with a ``mean(level)`` method, e.g.
+        :class:`repro.parallel.ConstantCostModel`) supplying the per-sample
+        costs the *allocation* snapshots feed back to the policy, instead of
+        the measured evaluator wall time.  Makes adaptive trajectories
+        deterministic across machines — the parallel machine prices its
+        snapshots the same way.  The result's reported ``costs_per_sample``
+        stay measured either way.
     """
 
     def __init__(
         self,
         factory: MIComponentFactory,
-        num_samples: Sequence[int],
+        num_samples: Sequence[int] | None = None,
         burnin: Sequence[int] | None = None,
         subsampling_rates: Sequence[int] | None = None,
         seed: int | None = None,
         paired_dispatch: bool = False,
+        allocation: AllocationPolicy | None = None,
+        cost_model=None,
     ) -> None:
         self.factory = factory
         self.index_set = factory.index_set()
         levels = self.index_set.coarse_to_fine()
+        if allocation is None:
+            if num_samples is None:
+                raise ValueError(
+                    "either num_samples or an allocation policy is required"
+                )
+            allocation = FixedAllocation(num_samples)
+        self.allocation = allocation
+        if num_samples is None:
+            num_samples = allocation.initial_targets(len(levels))
         if len(num_samples) != len(levels):
             raise ValueError(
                 f"num_samples must have one entry per level ({len(levels)}), got {len(num_samples)}"
@@ -105,6 +141,7 @@ class MLMCMCSampler:
         )
         self.random_source = RandomSource(seed)
         self.paired_dispatch = bool(paired_dispatch)
+        self.cost_model = cost_model
         self._problem_cache: dict[MultiIndex, object] = {}
 
     # ------------------------------------------------------------------
@@ -182,35 +219,98 @@ class MLMCMCSampler:
 
     # ------------------------------------------------------------------
     def run(self) -> MLMCMCResult:
-        """Run all per-level estimators and assemble the telescoping sum."""
+        """Run the continuation loop and assemble the telescoping sum.
+
+        Each round extends every level's chain to the policy's current target
+        (chains persist across rounds — pilot samples are the prefix of the
+        production run, nothing is discarded), then feeds the streamed
+        variance/cost signals back to the policy for the next targets.  The
+        fixed policy makes this a single round identical — bitwise, including
+        the measured costs — to the pre-allocation-layer driver.
+        """
         indices = self.index_set.coarse_to_fine()
-        corrections: list[CorrectionCollection] = []
-        chains: list[SingleChainMCMC] = []
-        acceptance_rates: list[float] = []
+        num_levels = len(indices)
+        policy = self.allocation
+        targets = [int(t) for t in policy.initial_targets(num_levels)]
+
+        chains: list[SingleChainMCMC | None] = [None] * num_levels
+        baselines: list[EvaluatorStats | None] = [None] * num_levels
+        level_wall = [0.0] * num_levels
+        level_requests = [0] * num_levels
+        rounds: list[AllocationRound] = []
         costs: list[float] = []
 
         start = time.perf_counter()
-        for level, index in enumerate(indices):
-            problem = self._problem(index)
-            stats_before = problem.evaluation_stats.snapshot()
-
-            chain = self.build_chain(level, chain_id=f"level{level}")
-            chain.run(self.num_samples[level])
-
-            chains.append(chain)
-            corrections.append(chain.corrections)
-            acceptance_rates.append(chain.acceptance_rate)
-            # Cost per fine-level density *request*, measured by the level's own
-            # evaluator: embedded coarse-chain evaluations hit the coarser
-            # problems' evaluators, so neither their count nor their wall time
-            # dilutes this level's figure.  Dividing by requests (cache hits
-            # included) rather than model evaluations keeps the "per sample"
-            # semantics of the estimate's cost accounting, so caching speedups
-            # show up in total_cost instead of being normalised away.
-            delta = problem.evaluation_stats.delta(stats_before)
-            costs.append(delta.wall_time / max(1, delta.density_requests))
+        while True:
+            for level, index in enumerate(indices):
+                problem = self._problem(index)
+                stats_before = problem.evaluation_stats.snapshot()
+                if chains[level] is None:
+                    baselines[level] = stats_before
+                    chains[level] = self.build_chain(level, chain_id=f"level{level}")
+                chain = chains[level]
+                if chain.samples.num_samples < targets[level]:
+                    chain.run(targets[level])
+                # Cost per fine-level density *request*, measured by the
+                # level's own evaluator: embedded coarse-chain evaluations hit
+                # the coarser problems' evaluators, so neither their count nor
+                # their wall time dilutes this level's figure.  Dividing by
+                # requests (cache hits included) rather than model evaluations
+                # keeps the "per sample" semantics of the estimate's cost
+                # accounting, so caching speedups show up in total_cost
+                # instead of being normalised away.
+                delta = problem.evaluation_stats.delta(stats_before)
+                level_wall[level] += delta.wall_time
+                level_requests[level] += delta.density_requests
+            costs = [
+                level_wall[level] / max(1, level_requests[level])
+                for level in range(num_levels)
+            ]
+            snapshots = []
+            for level, index in enumerate(indices):
+                variance = chains[level].corrections.streaming_variance()
+                count = len(chains[level].corrections)
+                if self.cost_model is not None:
+                    # Deterministic pricing: the policy sees the model's mean
+                    # cost and a spend proportional to the collected samples,
+                    # so the continuation trajectory is machine-independent.
+                    cost = float(self.cost_model.mean(level))
+                    spent = cost * count
+                else:
+                    cost = costs[level]
+                    spent = self._problem(index).evaluation_stats.delta(
+                        baselines[level]
+                    ).wall_time
+                snapshots.append(
+                    LevelSnapshot(
+                        level=level,
+                        num_samples=count,
+                        variance=float(np.mean(variance)) if variance.size else 0.0,
+                        cost_per_sample=cost,
+                        total_cost=spent,
+                    )
+                )
+            new_targets = policy.update(snapshots)
+            rounds.append(
+                AllocationRound(
+                    round_index=len(rounds),
+                    targets=list(targets),
+                    collected=[s.num_samples for s in snapshots],
+                    variances=[s.variance for s in snapshots],
+                    costs_per_sample=[s.cost_per_sample for s in snapshots],
+                    spent_cost=float(sum(s.total_cost for s in snapshots)),
+                )
+            )
+            if new_targets is None:
+                break
+            targets = [
+                max(int(target), snapshots[level].num_samples)
+                for level, target in enumerate(new_targets)
+            ]
         wall_time = time.perf_counter() - start
 
+        corrections = [chain.corrections for chain in chains]
+        acceptance_rates = [chain.acceptance_rate for chain in chains]
         # Total forward-model (density) evaluations per level across the whole
         # run, including the coarse-chain evaluations embedded in finer-level
         # estimators — this is the quantity cost accounting needs.
@@ -229,6 +329,7 @@ class MLMCMCSampler:
             wall_time=wall_time,
             model_evaluations=evaluations,
             evaluation_stats=evaluation_stats,
+            allocation_rounds=rounds,
         )
 
 
@@ -257,9 +358,14 @@ def run_single_level_mcmc(
         burnin=burnin if burnin is not None else max(1, num_samples // 10),
         level=level,
     )
-    start = time.perf_counter()
+    stats_before = problem.evaluation_stats.snapshot()
     chain.run(num_samples)
-    elapsed = time.perf_counter() - start
-    cost_per_sample = elapsed / max(1, chain.samples.num_samples)
+    # Cost per density request from the evaluator's own accounting, matching
+    # the multilevel driver: dividing elapsed wall time by collected samples
+    # would fold burn-in work into the per-sample figure (burn-in steps
+    # evaluate the model but collect nothing) and miss time spent outside the
+    # evaluator entirely.
+    delta = problem.evaluation_stats.delta(stats_before)
+    cost_per_sample = delta.wall_time / max(1, delta.density_requests)
     estimate = MonteCarloEstimate.from_samples(chain.samples, cost_per_sample=cost_per_sample)
     return estimate, chain

@@ -20,6 +20,7 @@ import numpy as np
 from repro.core.state import SamplingState
 from repro.utils.stats import (
     RunningMoments,
+    WeightedRunningMoments,
     effective_sample_size,
     integrated_autocorrelation_time,
 )
@@ -28,10 +29,19 @@ __all__ = ["SampleCollection", "CorrectionCollection"]
 
 
 class SampleCollection:
-    """An ordered collection of chain states with multiplicities."""
+    """An ordered collection of chain states with multiplicities.
+
+    Alongside the stored states, a weighted Welford accumulator tracks the
+    parameter moments incrementally, so mid-run variance snapshots
+    (:meth:`streaming_mean` / :meth:`streaming_variance`) are O(dim) reads —
+    cheap enough for an adaptive allocation loop to poll every round — while
+    the batch statistics (:meth:`mean`, :meth:`variance`) keep their original
+    recompute-from-scratch semantics bitwise.
+    """
 
     def __init__(self) -> None:
         self._states: list[SamplingState] = []
+        self._streaming = WeightedRunningMoments()
 
     # ------------------------------------------------------------------
     def add(self, state: SamplingState, weight: int = 1) -> None:
@@ -40,11 +50,13 @@ class SampleCollection:
             raise ValueError("weight must be positive")
         if self._states and self._states[-1] is state:
             self._states[-1].weight += weight
+            self._streaming.push(state.parameters, weight)
             return
         stored = state if state.weight == weight else state.copy(weight=weight)
         if stored.weight != weight:
             stored.weight = weight
         self._states.append(stored)
+        self._streaming.push(stored.parameters, weight)
 
     def extend(self, states: Iterable[SamplingState]) -> None:
         """Append multiple states."""
@@ -126,6 +138,25 @@ class SampleCollection:
             moments.push(row)
         return moments
 
+    # ------------------------------------------------------------------
+    def streaming_mean(self) -> np.ndarray:
+        """Weighted parameter mean from the incremental accumulator (O(dim))."""
+        return self._streaming.mean()
+
+    def streaming_variance(self) -> np.ndarray:
+        """Per-component parameter variance from the incremental accumulator.
+
+        Frequency-weight semantics (denominator ``num_samples - 1``), matching
+        :meth:`variance` up to floating-point round-off without expanding the
+        chain — the signal an adaptive allocation loop polls mid-run.
+        """
+        return self._streaming.frequency_variance(ddof=1)
+
+    def _rebuild_streaming(self) -> None:
+        self._streaming = WeightedRunningMoments()
+        for state in self._states:
+            self._streaming.push(state.parameters, state.weight)
+
     def ess(self, use_qoi: bool = False) -> float:
         """Effective sample size (minimum over components)."""
         data = self.qois() if use_qoi else self.parameters()
@@ -144,12 +175,14 @@ class SampleCollection:
     def merge(self, other: "SampleCollection") -> "SampleCollection":
         """Concatenate another collection (used by distributed collectors)."""
         self._states.extend(other._states)
+        self._streaming.merge(other._streaming)
         return self
 
     def subset(self, start: int = 0, stop: int | None = None) -> "SampleCollection":
         """A view-like copy of a contiguous range of stored states."""
         result = SampleCollection()
         result._states = list(self._states[start:stop])
+        result._rebuild_streaming()
         return result
 
     # ------------------------------------------------------------------
@@ -162,6 +195,7 @@ class SampleCollection:
         """Rebuild a collection from a :meth:`state_dict` snapshot."""
         collection = cls()
         collection._states = [s.copy() for s in state["states"]]
+        collection._rebuild_streaming()
         return collection
 
     def validate(self) -> None:
@@ -188,23 +222,34 @@ class CorrectionCollection:
 
     For level 0 (no coarser level) the coarse QOI is omitted and the term
     reduces to a plain expectation of ``Q_0``.
+
+    A Welford accumulator tracks the moments of the per-sample differences
+    incrementally, so :meth:`streaming_variance` is an O(qoi_dim) read an
+    adaptive allocation loop can poll mid-run; the batch :meth:`mean` /
+    :meth:`variance` keep their recompute-from-scratch semantics bitwise.
     """
 
     def __init__(self, level: int) -> None:
         self.level = int(level)
         self._fine_qois: list[np.ndarray] = []
         self._coarse_qois: list[np.ndarray] = []
+        self._diff_moments = RunningMoments()
 
     # ------------------------------------------------------------------
     def add(self, fine_qoi: np.ndarray, coarse_qoi: np.ndarray | None = None) -> None:
         """Record one coupled pair (or a single fine QOI on level 0)."""
-        self._fine_qois.append(np.atleast_1d(np.asarray(fine_qoi, dtype=float)).ravel())
+        fine = np.atleast_1d(np.asarray(fine_qoi, dtype=float)).ravel()
+        self._fine_qois.append(fine)
+        coarse = None
         if coarse_qoi is not None:
-            self._coarse_qois.append(
-                np.atleast_1d(np.asarray(coarse_qoi, dtype=float)).ravel()
-            )
+            coarse = np.atleast_1d(np.asarray(coarse_qoi, dtype=float)).ravel()
+            self._coarse_qois.append(coarse)
         elif self.level != 0:
             raise ValueError("coarse QOI required for levels above 0")
+        if self.level == 0:
+            self._diff_moments.push(fine)
+        else:
+            self._diff_moments.push(fine - coarse)
 
     def __len__(self) -> int:
         return len(self._fine_qois)
@@ -260,13 +305,46 @@ class CorrectionCollection:
         return fine.mean(axis=0) if fine.size else np.zeros(0)
 
     # ------------------------------------------------------------------
+    def streaming_mean(self) -> np.ndarray:
+        """Correction mean from the incremental accumulator (O(qoi_dim))."""
+        return self._diff_moments.mean()
+
+    def streaming_variance(self, ddof: int = 1) -> np.ndarray:
+        """Per-component difference variance from the incremental accumulator.
+
+        Matches :meth:`variance` up to floating-point round-off without
+        re-deriving the difference matrix — the live signal adaptive
+        allocation polls after every continuation round.
+        """
+        return self._diff_moments.variance(ddof=ddof)
+
+    def _rebuild_streaming(self) -> None:
+        self._diff_moments = RunningMoments()
+        for row in self.differences():
+            self._diff_moments.push(row)
+
+    # ------------------------------------------------------------------
     def merge(self, other: "CorrectionCollection") -> "CorrectionCollection":
         """Merge another collection for the same level."""
         if other.level != self.level:
             raise ValueError("cannot merge correction collections of different levels")
         self._fine_qois.extend(other._fine_qois)
         self._coarse_qois.extend(other._coarse_qois)
+        self._diff_moments.merge(other._diff_moments)
         return self
+
+    def subset(self, start: int = 0, stop: int | None = None) -> "CorrectionCollection":
+        """A copy of a contiguous range of pairs.
+
+        Lets a parallel collector ship only the pairs collected since its last
+        report instead of re-sending (and double-counting) the whole
+        collection across continuation rounds.
+        """
+        result = CorrectionCollection(self.level)
+        result._fine_qois = list(self._fine_qois[start:stop])
+        result._coarse_qois = list(self._coarse_qois[start:stop])
+        result._rebuild_streaming()
+        return result
 
     # ------------------------------------------------------------------
     def state_dict(self) -> dict:
@@ -283,6 +361,7 @@ class CorrectionCollection:
         collection = cls(level=int(state["level"]))
         collection._fine_qois = [np.array(q, copy=True) for q in state["fine"]]
         collection._coarse_qois = [np.array(q, copy=True) for q in state["coarse"]]
+        collection._rebuild_streaming()
         return collection
 
     def validate(self) -> None:

@@ -26,6 +26,7 @@ from repro.experiments.spec import ExperimentSpec
 
 __all__ = [
     "BACKEND_AGNOSTIC_DRIVERS",
+    "BUDGETED_DRIVERS",
     "PARALLEL_BACKEND_DRIVERS",
     "PRECISION_AGNOSTIC_DRIVERS",
     "DriverResult",
@@ -71,6 +72,12 @@ PARALLEL_BACKEND_DRIVERS = frozenset({"parallel"})
 #: ladder the run did not use.
 PRECISION_AGNOSTIC_DRIVERS = frozenset({"random-field", "fem-hotpath"})
 
+#: drivers that honour a spec-declared sampling budget (``spec.budget`` /
+#: ``repro run --target-mse/--budget``): the single-estimation MLMCMC drivers.
+#: Sweep/study drivers run many samplers whose sample plans ARE the study
+#: variable, so the runner rejects a budget override for them.
+BUDGETED_DRIVERS = frozenset({"sequential", "parallel"})
+
 
 @dataclass
 class DriverResult:
@@ -91,6 +98,10 @@ class DriverResult:
     #: checkpoint directory, resume provenance, injected fault plan and the
     #: run's failure report.  Empty for runs without any of those.
     fault_tolerance: dict = field(default_factory=dict)
+    #: allocation lineage for the manifest's ``allocation`` field: policy
+    #: name, declared budget and realized continuation trajectory.  Empty
+    #: means the static default (recorded as ``{"policy": "fixed"}``).
+    allocation: dict = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -251,6 +262,24 @@ def _merged_stats_entries(*collections) -> list[dict]:
     return [{"level": level, **stats.as_dict()} for level, stats in sorted(totals.items())]
 
 
+def _budget_policy(spec: ExperimentSpec, num_samples: list[int]):
+    """The spec's allocation policy (``None`` for the static plan)."""
+    from repro.core.allocation import policy_from_budget
+
+    return policy_from_budget(spec.budget, num_samples=num_samples)
+
+
+def _allocation_record(spec: ExperimentSpec, policy, rounds) -> dict:
+    """The manifest's ``allocation`` entry for one MLMCMC run."""
+    if policy is None:
+        return {"policy": "fixed"}
+    return {
+        "policy": policy.name,
+        "budget": dict(spec.budget),
+        "rounds": [r.as_dict() for r in rounds],
+    }
+
+
 def _cost_model(sampler: dict, num_levels: int):
     from repro.parallel import ConstantCostModel, LogNormalCostModel, POISSON_PAPER_COSTS
 
@@ -373,6 +402,15 @@ def run_sequential(spec: ExperimentSpec) -> DriverResult:
     factory = _spec_factory(spec)
     num_samples = _num_samples(spec)
     paired = bool(spec.sampler.get("paired_dispatch", False))
+    policy = _budget_policy(spec, num_samples)
+    # An adaptive run with a declared cost_per_level prices its allocation
+    # snapshots from that model instead of measured wall time, so the
+    # continuation trajectory is reproducible across machines.
+    cost_model = (
+        _cost_model(spec.sampler, len(num_samples))
+        if policy is not None and spec.sampler.get("cost_per_level") is not None
+        else None
+    )
     sampler = MLMCMCSampler(
         factory,
         num_samples=num_samples,
@@ -380,6 +418,8 @@ def run_sequential(spec: ExperimentSpec) -> DriverResult:
         subsampling_rates=spec.sampler.get("subsampling_rates"),
         seed=spec.seed,
         paired_dispatch=paired,
+        allocation=policy,
+        cost_model=cost_model,
     )
     result = sampler.run()
 
@@ -390,6 +430,11 @@ def run_sequential(spec: ExperimentSpec) -> DriverResult:
         "model_evaluations": [int(n) for n in result.model_evaluations],
         "levels": _sequential_levels(factory, result),
     }
+    if policy is not None:
+        payload["num_allocation_rounds"] = len(result.allocation_rounds)
+        payload["final_targets"] = [
+            int(t) for t in result.allocation_rounds[-1].targets
+        ]
     if paired:
         payload["paired_dispatch"] = True
         payload["pair_dispatches"] = [
@@ -406,6 +451,7 @@ def run_sequential(spec: ExperimentSpec) -> DriverResult:
     return DriverResult(
         payload, raw=result, factory=factory,
         evaluations=_stats_entries(result.evaluation_stats),
+        allocation=_allocation_record(spec, policy, result.allocation_rounds),
     )
 
 
@@ -462,9 +508,11 @@ def run_parallel(spec: ExperimentSpec) -> DriverResult:
         # on the real-process backends (multiprocess, socket), and on every
         # backend the degrade-not-crash contract when recovery is exhausted.
         fault_tolerance = FaultToleranceConfig()
+    policy = _budget_policy(spec, num_samples)
     sampler = ParallelMLMCMCSampler(
         factory,
         num_samples=num_samples,
+        allocation=policy,
         num_ranks=int(sampler_options.get("num_ranks", 16)),
         cost_model=_cost_model(sampler_options, len(num_samples)),
         burnin=_burnin(spec, num_samples),
@@ -522,10 +570,17 @@ def run_parallel(spec: ExperimentSpec) -> DriverResult:
         ),
         "gantt": trace.render_ascii(width=100),
     }
+    if policy is not None:
+        payload["num_allocation_rounds"] = len(result.allocation_rounds)
+        if result.allocation_rounds:
+            payload["final_targets"] = [
+                int(t) for t in result.allocation_rounds[-1].targets
+            ]
     return DriverResult(
         payload, raw=result, factory=factory,
         evaluations=_stats_entries(result.evaluation_stats),
         fault_tolerance=_fault_tolerance_record(context, result),
+        allocation=_allocation_record(spec, policy, result.allocation_rounds),
     )
 
 

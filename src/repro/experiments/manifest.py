@@ -35,8 +35,11 @@ __all__ = [
 #: transport ran the parallel MLMCMC machine; v3: added the required
 #: ``precision`` field recording the run's precision-ladder policy;
 #: v4: added the required ``fault_tolerance`` object recording checkpoint /
-#: resume lineage, injected faults and the run's failure report)
-MANIFEST_SCHEMA_VERSION = 4
+#: resume lineage, injected faults and the run's failure report;
+#: v5: added the required ``allocation`` object recording the sample
+#: allocation policy and, for adaptive runs, the budget and the realized
+#: continuation trajectory)
+MANIFEST_SCHEMA_VERSION = 5
 
 #: top-level manifest fields and their required types
 _TOP_LEVEL_FIELDS: dict[str, type | tuple] = {
@@ -57,6 +60,7 @@ _TOP_LEVEL_FIELDS: dict[str, type | tuple] = {
     "wall_time_s": (int, float),
     "environment": dict,
     "fault_tolerance": dict,
+    "allocation": dict,
     "evaluations": list,
     "results": dict,
 }
@@ -93,12 +97,19 @@ def build_manifest(
     backend: str | None = None,
     parallel_backend: str | None = None,
     fault_tolerance: dict | None = None,
+    allocation: dict | None = None,
 ) -> dict:
     """Assemble a schema-valid manifest for one completed run.
 
     ``fault_tolerance`` records the run's robustness lineage: checkpoint
     directory, whether it resumed and from what, the injected fault plan and
     the failure report (all absent/empty for an ordinary run).
+
+    ``allocation`` records the sample-allocation lineage: the policy name
+    (``"fixed"`` / ``"adaptive"``), the declared budget and — for adaptive
+    runs — the realized continuation trajectory (one entry per round with
+    targets, collected counts, streamed variances and costs).  ``None``
+    records the static default ``{"policy": "fixed"}``.
     """
     from repro import __version__
     from repro.experiments.presets import paper_scale, sample_scale
@@ -128,6 +139,7 @@ def build_manifest(
             "paper_scale": bool(paper_scale()),
         },
         "fault_tolerance": _scrub(dict(fault_tolerance or {})),
+        "allocation": _scrub(dict(allocation or {"policy": "fixed"})),
         "evaluations": _scrub(list(evaluations or [])),
         "results": _scrub(results),
     }
@@ -166,6 +178,20 @@ def validate_manifest(manifest: Any) -> None:
             )
         if not manifest["results"]:
             errors.append("results payload is empty")
+        allocation = manifest["allocation"]
+        if not isinstance(allocation.get("policy"), str):
+            errors.append("allocation lacks a string 'policy'")
+        rounds = allocation.get("rounds")
+        if rounds is not None:
+            if not isinstance(rounds, list) or not all(
+                isinstance(entry, dict) for entry in rounds
+            ):
+                errors.append("allocation 'rounds' must be a list of objects")
+            else:
+                for i, entry in enumerate(rounds):
+                    for key in ("round", "targets", "collected"):
+                        if key not in entry:
+                            errors.append(f"allocation rounds[{i}] lacks {key!r}")
         environment = manifest["environment"]
         if not isinstance(environment.get("bench_scale"), (int, float)):
             errors.append("environment lacks numeric 'bench_scale'")
@@ -189,6 +215,12 @@ def validate_manifest(manifest: Any) -> None:
         except (TypeError, ValueError) as exc:
             errors.append(
                 f"fault_tolerance payload is not strict-JSON-serialisable: {exc}"
+            )
+        try:
+            json.dumps(manifest["allocation"], allow_nan=False)
+        except (TypeError, ValueError) as exc:
+            errors.append(
+                f"allocation payload is not strict-JSON-serialisable: {exc}"
             )
     if errors:
         raise ManifestError("; ".join(errors))

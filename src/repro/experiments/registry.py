@@ -307,6 +307,27 @@ register(ExperimentSpec(
 ))
 
 register(ExperimentSpec(
+    name="poisson-adaptive",
+    driver="sequential",
+    application="poisson",
+    paper_ref="Section 2 (MLMC allocation)",
+    description="Continuation MLMCMC on the Poisson ladder: pilot, re-allocate, refine",
+    problem={"preset": "scaled"},
+    # num_samples seeds the burn-in heuristic and the fixed-cost baseline;
+    # the live targets come from the adaptive budget below.  cost_per_level
+    # prices the allocation snapshots from the paper's reported solve times,
+    # so the continuation trajectory is machine-independent.
+    sampler={"num_samples": [600, 150, 50], "burnin_floor": 5,
+             "cost_per_level": "poisson-paper"},
+    budget={"policy": "adaptive", "target_mse": 2e-4,
+            "pilot": [75, 18, 6], "max_rounds": 4},
+    seed=33,
+    quick={"sampler": _POISSON_QUICK_SAMPLES,
+           "budget": {"target_mse": 5e-3, "pilot": [8, 4, 2], "max_rounds": 3}},
+    tags=("adaptive", "performance"),
+))
+
+register(ExperimentSpec(
     name="table4-tsunami-multilevel",
     driver="sequential",
     application="tsunami",

@@ -17,6 +17,7 @@ from typing import Any
 
 from repro.experiments.drivers import (
     BACKEND_AGNOSTIC_DRIVERS,
+    BUDGETED_DRIVERS,
     PARALLEL_BACKEND_DRIVERS,
     PRECISION_AGNOSTIC_DRIVERS,
     get_driver,
@@ -68,6 +69,8 @@ def run_scenario(
     checkpoint_dir: str | Path | None = None,
     resume: bool = False,
     fault_plan: Any = None,
+    target_mse: float | None = None,
+    cost_budget: float | None = None,
 ) -> ScenarioRun:
     """Run one scenario end to end.
 
@@ -115,6 +118,13 @@ def run_scenario(
         Like the checkpoint options, rejected
         (:class:`BackendNotApplicableError`) for scenarios whose driver does
         not run the parallel MLMCMC machine.
+    target_mse, cost_budget:
+        Mutually exclusive budget objectives switching the run to adaptive
+        sample allocation (a :class:`repro.core.allocation.SamplingBudget`
+        with the given target estimator MSE or total-cost cap).  The budget
+        is part of the experiment's identity, so it lands in the resolved
+        spec (and its hash).  Rejected for scenarios whose driver is not in
+        :data:`repro.experiments.drivers.BUDGETED_DRIVERS`.
 
     Examples
     --------
@@ -154,12 +164,26 @@ def run_scenario(
         raise BackendNotApplicableError(
             "--resume requires --checkpoint-dir (there is nothing to resume from)"
         )
+    if target_mse is not None and cost_budget is not None:
+        raise BackendNotApplicableError(
+            "--target-mse and --budget are mutually exclusive objectives"
+        )
+    if (target_mse is not None or cost_budget is not None) and (
+        spec.driver not in BUDGETED_DRIVERS
+    ):
+        raise BackendNotApplicableError(
+            f"scenario {spec.name!r} (driver {spec.driver!r}) does not run a "
+            "budget-driven MLMCMC estimation; drop the --target-mse/--budget "
+            "override"
+        )
     resolved = spec.resolved(
         quick=quick,
         backend=backend,
         seed=seed,
         parallel_backend=parallel_backend,
         precision=precision,
+        target_mse=target_mse,
+        cost_budget=cost_budget,
     )
     driver = get_driver(resolved.driver)
 
@@ -192,6 +216,7 @@ def run_scenario(
         backend=backend,
         parallel_backend=effective_parallel_backend,
         fault_tolerance=outcome.fault_tolerance,
+        allocation=outcome.allocation,
     )
     manifest_path = write_manifest(manifest, out_dir) if out_dir is not None else None
     return ScenarioRun(

@@ -65,6 +65,13 @@ class ExperimentSpec:
         the transport backend for scenarios that run the parallel MLMCMC
         machine (:class:`repro.parallel.ParallelMLMCMCSampler`); empty means
         the simulated backend.
+    budget:
+        Adaptive sampling budget for the MLMCMC drivers, e.g.
+        ``{"policy": "adaptive", "target_mse": 1e-3, "pilot": [32, 8, 4]}``
+        or ``{"policy": "adaptive", "cost_cap": 50.0}`` (see
+        :func:`repro.core.allocation.policy_from_budget`).  Empty (the
+        default) keeps the static ``num_samples`` plan and is omitted from
+        :meth:`as_dict` so pre-existing spec hashes are unchanged.
     precision:
         Precision-ladder policy for the per-level forward solves
         (``"float64"``, ``"float32-coarse"`` or ``"float32"``; see
@@ -89,6 +96,7 @@ class ExperimentSpec:
     sampler: dict = field(default_factory=dict)
     evaluation: dict = field(default_factory=dict)
     parallel: dict = field(default_factory=dict)
+    budget: dict = field(default_factory=dict)
     precision: str = "float64"
     seed: int = 0
     quick: dict = field(default_factory=dict)
@@ -103,12 +111,15 @@ class ExperimentSpec:
         everywhere would shift the content hash of every scenario — breaking
         cross-PR ``spec_hash`` comparisons for configurations that did not
         change.  ``precision`` is omitted under the default ``"float64"``
-        policy for the same hash-stability reason.
+        policy, and an empty ``budget`` block is omitted, for the same
+        hash-stability reason.
         """
         payload = asdict(self)
         payload["tags"] = list(self.tags)
         if not payload["parallel"]:
             del payload["parallel"]
+        if not payload["budget"]:
+            del payload["budget"]
         if payload["precision"] == "float64":
             del payload["precision"]
         return payload
@@ -132,17 +143,22 @@ class ExperimentSpec:
         seed: int | None = None,
         parallel_backend: str | None = None,
         precision: str | None = None,
+        target_mse: float | None = None,
+        cost_budget: float | None = None,
     ) -> "ExperimentSpec":
         """The spec with run-time overrides applied.
 
-        ``quick`` merges the spec's quick-tier overrides into ``problem`` and
-        ``sampler``; ``backend`` replaces the evaluation backend (evaluator
-        options survive only when the backend stays the same — options are
-        backend-specific); ``parallel_backend`` replaces the parallel
-        transport backend under the same options rule; ``precision`` replaces
-        the precision-ladder policy; ``seed`` replaces the base seed.  The
-        returned spec is what the manifest records (its hash identifies the
-        configuration that actually ran).
+        ``quick`` merges the spec's quick-tier overrides into ``problem``,
+        ``sampler`` and ``budget``; ``backend`` replaces the evaluation
+        backend (evaluator options survive only when the backend stays the
+        same — options are backend-specific); ``parallel_backend`` replaces
+        the parallel transport backend under the same options rule;
+        ``precision`` replaces the precision-ladder policy; ``seed`` replaces
+        the base seed; ``target_mse`` / ``cost_budget`` (mutually exclusive)
+        switch the run to adaptive allocation with the given MSE target or
+        total-cost cap, replacing any budget objective the spec declares.
+        The returned spec is what the manifest records (its hash identifies
+        the configuration that actually ran).
         """
         spec = self
         if quick and spec.quick:
@@ -150,10 +166,23 @@ class ExperimentSpec:
                 spec,
                 problem={**spec.problem, **spec.quick.get("problem", {})},
                 sampler={**spec.sampler, **spec.quick.get("sampler", {})},
+                budget={**spec.budget, **spec.quick.get("budget", {})},
                 quick={},
             )
         elif quick:
             spec = replace(spec, quick={})
+        if target_mse is not None and cost_budget is not None:
+            raise ValueError(
+                "target_mse and cost_budget are mutually exclusive budget objectives"
+            )
+        if target_mse is not None:
+            budget = {k: v for k, v in spec.budget.items() if k != "cost_cap"}
+            budget.update({"policy": "adaptive", "target_mse": float(target_mse)})
+            spec = replace(spec, budget=budget)
+        if cost_budget is not None:
+            budget = {k: v for k, v in spec.budget.items() if k != "target_mse"}
+            budget.update({"policy": "adaptive", "cost_cap": float(cost_budget)})
+            spec = replace(spec, budget=budget)
         if backend is not None:
             evaluation: dict = {"backend": backend}
             if spec.evaluation.get("backend") == backend and "options" in spec.evaluation:

@@ -42,12 +42,22 @@ class LevelLoad:
     num_groups: int = 0
     done: bool = False
     needed_as_proposal_source: bool = True
+    #: this level's share (0..1) of the estimated remaining work of the whole
+    #: run — outstanding samples times measured cost, as reported by the live
+    #: allocation of adaptive runs (zero in static runs)
+    estimated_remaining_work: float = 0.0
 
-    def pressure(self, chain_weight: float, collector_weight: float) -> float:
+    def pressure(
+        self,
+        chain_weight: float,
+        collector_weight: float,
+        remaining_work_weight: float = 0.0,
+    ) -> float:
         """Positive = starving (requests queued), negative = over-provisioned."""
         demand = (
             chain_weight * self.queued_chain_requests
             + collector_weight * self.queued_collector_requests
+            + remaining_work_weight * self.estimated_remaining_work
         )
         surplus = self.available_samples + self.available_corrections
         if self.done and not self.needed_as_proposal_source:
@@ -79,6 +89,11 @@ class DynamicLoadBalancer:
         sample on the levels involved.
     chain_request_weight, collector_request_weight:
         Relative weight of unanswered chain vs. collector requests.
+    remaining_work_weight:
+        Weight of a level's share of the estimated remaining work (live
+        allocation of adaptive runs).  Shares are normalised to [0, 1] and
+        are zero in static runs, so the weight only biases decisions when an
+        adaptive root publishes its targets.
     pressure_threshold:
         Minimum pressure difference between the starving and the donating
         level before a move is made.
@@ -87,6 +102,7 @@ class DynamicLoadBalancer:
     cost_model: CostModel
     chain_request_weight: float = 4.0
     collector_request_weight: float = 1.0
+    remaining_work_weight: float = 2.0
     pressure_threshold: float = 4.0
     rate_limit_factor: float = 5.0
     min_interval: float = 0.0
@@ -99,7 +115,11 @@ class DynamicLoadBalancer:
             return None
 
         pressures = {
-            level: load.pressure(self.chain_request_weight, self.collector_request_weight)
+            level: load.pressure(
+                self.chain_request_weight,
+                self.collector_request_weight,
+                self.remaining_work_weight,
+            )
             for level, load in loads.items()
         }
         # Starving level: largest positive pressure among levels that still matter —

@@ -25,6 +25,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.allocation import AllocationPolicy, AllocationRound
 from repro.core.estimators import MultilevelEstimate
 from repro.core.factory import MIComponentFactory
 from repro.core.sample_collection import CorrectionCollection
@@ -85,6 +86,8 @@ class ParallelMLMCMCResult:
     failure_report: FailureReport | None = None
     #: checkpoint path this result was reconstructed from (``--resume``)
     resumed_from: str | None = None
+    #: realized continuation-allocation trajectory (empty for static runs)
+    allocation_rounds: list[AllocationRound] = field(default_factory=list)
 
     @property
     def degraded(self) -> bool:
@@ -194,6 +197,13 @@ class ParallelMLMCMCSampler:
         :class:`repro.parallel.net.SocketWorld`; ``max_events`` for
         :class:`repro.parallel.simmpi.VirtualWorld`).  Unknown options raise
         a ``TypeError`` from the world constructor rather than being ignored.
+    allocation:
+        Optional :class:`~repro.core.allocation.AllocationPolicy`.  When set,
+        the root runs the continuation loop (pilot, re-allocation from
+        streamed variances and the cost model, refinement rounds) instead of
+        collecting ``num_samples`` one-shot; ``num_samples`` then only seeds
+        the layout and burn-in heuristics.  ``None`` (default) keeps the
+        static run bitwise identical to previous releases.
     """
 
     #: recognised transport backends
@@ -221,6 +231,7 @@ class ParallelMLMCMCSampler:
         checkpoint: CheckpointConfig | None = None,
         resume: bool = False,
         fault_plan: FaultPlan | None = None,
+        allocation: AllocationPolicy | None = None,
     ) -> None:
         if backend not in self.BACKENDS:
             raise ValueError(
@@ -278,7 +289,9 @@ class ParallelMLMCMCSampler:
             dynamic_load_balancing=dynamic_load_balancing,
             seed=seed,
             checkpoint=checkpoint,
+            allocation=allocation,
         )
+        self.allocation = allocation
         self.latency = float(latency)
         self.seed = seed
         self.trace_enabled = bool(trace_enabled)
@@ -473,6 +486,7 @@ class ParallelMLMCMCSampler:
             evaluation_stats=stats["evaluation_stats"],
             worker_stats=stats["worker_stats"],
             failure_report=failure_report,
+            allocation_rounds=list(root.allocation_rounds),
         )
         self._write_final_checkpoint(result)
         return result
@@ -663,4 +677,5 @@ class ParallelMLMCMCSampler:
             evaluation_stats=stats["evaluation_stats"],
             worker_stats=stats["worker_stats"],
             failure_report=report,
+            allocation_rounds=list(root.allocation_rounds),
         )

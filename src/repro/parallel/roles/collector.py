@@ -35,6 +35,8 @@ class CollectorProcess(RankProcess):
         self.assigned_level: int | None = None
         self.assigned_target: int | None = None
         self._done = False
+        #: pairs already shipped to the root (adaptive runs report deltas)
+        self._reported = 0
 
     # -- fault tolerance ------------------------------------------------
     def heartbeat_state(self) -> dict:
@@ -65,9 +67,11 @@ class CollectorProcess(RankProcess):
         self.collection = CorrectionCollection(level=self.level)
 
         # A respawned collector resumes its partial collection from its last
-        # snapshot instead of re-collecting its whole share.
+        # snapshot instead of re-collecting its whole share.  Adaptive runs
+        # skip the restore: the root already merged earlier deltas, so a
+        # restored collection would double-count them on the next report.
         checkpointer = config.checkpointer()
-        if checkpointer is not None:
+        if checkpointer is not None and config.allocation is None:
             try:
                 snapshot = checkpointer.read(self.rank, self.role)
             except CheckpointError:
@@ -77,55 +81,78 @@ class CollectorProcess(RankProcess):
                 if len(restored) <= self.target:
                     self.collection = restored
 
-        outstanding = 0
-        while len(self.collection) < self.target:
-            # Keep one batched request in flight at a time.
-            if outstanding == 0:
-                remaining = self.target - len(self.collection)
-                count = min(config.correction_batch, remaining)
-                yield self.send(
-                    config.layout.phonebook_rank,
-                    Tags.CORRECTION_REQUEST,
-                    {"level": self.level, "requester": self.rank, "count": count},
-                )
-                outstanding = count
-            message = yield self.recv(Tags.CORRECTIONS, Tags.SHUTDOWN)
-            if message.tag == Tags.SHUTDOWN:
-                return
-            pairs = message.payload["pairs"]
-            # Responses produced by a controller that has since switched levels
-            # are discarded; the request is simply re-issued on the next round.
-            if int(message.payload.get("level", self.level)) == self.level:
-                added = 0
-                for fine_qoi, coarse_qoi in pairs:
-                    if len(self.collection) >= self.target:
-                        break
-                    self.collection.add(fine_qoi, coarse_qoi if self.level > 0 else None)
-                    added += 1
-                if added and checkpointer is not None and checkpointer.due(added):
-                    checkpointer.write(
-                        self.rank,
-                        self.role,
-                        {"level": self.level, "collection": self.collection.state_dict()},
-                    )
-            outstanding = 0
-
-        # Snapshot the complete collection before reporting: if this rank dies
-        # between DONE and SHUTDOWN, the driver can still salvage its share.
-        if checkpointer is not None:
-            checkpointer.write(
-                self.rank,
-                self.role,
-                {"level": self.level, "collection": self.collection.state_dict()},
-            )
-        self._done = True
-        yield self.send(
-            config.layout.root_rank,
-            Tags.COLLECTOR_DONE,
-            {"level": self.level, "collection": self.collection},
-        )
-        # Wait for the global shutdown so late messages are absorbed.
         while True:
-            message = yield self.recv(Tags.SHUTDOWN, Tags.CORRECTIONS)
+            outstanding = 0
+            while len(self.collection) < self.target:
+                # Keep one batched request in flight at a time.
+                if outstanding == 0:
+                    remaining = self.target - len(self.collection)
+                    count = min(config.correction_batch, remaining)
+                    yield self.send(
+                        config.layout.phonebook_rank,
+                        Tags.CORRECTION_REQUEST,
+                        {"level": self.level, "requester": self.rank, "count": count},
+                    )
+                    outstanding = count
+                message = yield self.recv(Tags.CORRECTIONS, Tags.SHUTDOWN)
+                if message.tag == Tags.SHUTDOWN:
+                    return
+                pairs = message.payload["pairs"]
+                # Responses produced by a controller that has since switched levels
+                # are discarded; the request is simply re-issued on the next round.
+                if int(message.payload.get("level", self.level)) == self.level:
+                    added = 0
+                    for fine_qoi, coarse_qoi in pairs:
+                        if len(self.collection) >= self.target:
+                            break
+                        self.collection.add(fine_qoi, coarse_qoi if self.level > 0 else None)
+                        added += 1
+                    if added and checkpointer is not None and checkpointer.due(added):
+                        checkpointer.write(
+                            self.rank,
+                            self.role,
+                            {"level": self.level, "collection": self.collection.state_dict()},
+                        )
+                outstanding = 0
+
+            # Snapshot the complete collection before reporting: if this rank dies
+            # between DONE and SHUTDOWN, the driver can still salvage its share.
+            if checkpointer is not None:
+                checkpointer.write(
+                    self.rank,
+                    self.role,
+                    {"level": self.level, "collection": self.collection.state_dict()},
+                )
+            self._done = True
+            if config.allocation is None:
+                report = self.collection
+            else:
+                # Ship only the pairs added since the last report.  The copy
+                # also matters on the simulated backend, where messages carry
+                # object references: the root must not alias a collection this
+                # rank keeps appending to in later rounds.
+                report = self.collection.subset(self._reported)
+                self._reported = len(self.collection)
+            yield self.send(
+                config.layout.root_rank,
+                Tags.COLLECTOR_DONE,
+                {"level": self.level, "collection": report},
+            )
+            # Wait for the global shutdown (or, in adaptive runs, the next
+            # cumulative COLLECT order) while absorbing late messages.
+            message = None
+            while True:
+                message = yield self.recv(Tags.SHUTDOWN, Tags.CORRECTIONS, Tags.COLLECT)
+                if message.tag != Tags.CORRECTIONS:
+                    break
             if message.tag == Tags.SHUTDOWN:
                 return
+            new_level = int(message.payload["level"])
+            self.assigned_level = new_level
+            self.assigned_target = int(message.payload["target"])
+            if new_level != self.level:
+                self.level = new_level
+                self.collection = CorrectionCollection(level=self.level)
+                self._reported = 0
+            self.target = int(message.payload["target"])
+            self._done = False

@@ -68,6 +68,17 @@ class PhonebookProcess(RankProcess):
         }
         self._level_done: dict[int, bool] = {level: False for level in range(config.num_levels)}
         self._migrating: set[int] = set()
+        # Live per-level sample targets: static runs know them up front, while
+        # adaptive runs start from the policy's pilot plan and are kept current
+        # by the root's TARGETS_UPDATE broadcasts between continuation rounds.
+        if config.allocation is not None:
+            self._live_targets = [
+                int(t) for t in config.allocation.initial_targets(config.num_levels)
+            ]
+        else:
+            self._live_targets = [int(n) for n in config.num_samples]
+        self._collected_reported = [0] * config.num_levels
+        self._corrections_dispatched = [0] * config.num_levels
         #: record of all rebalancing decisions (time, source level, target level)
         self.rebalance_log: list[tuple[float, RebalanceDecision]] = []
         # Time-averaged load signals: instantaneous queue lengths fluctuate on the
@@ -133,6 +144,9 @@ class PhonebookProcess(RankProcess):
             )
         elif tag == Tags.LEVEL_DONE:
             self._level_done[int(payload["level"])] = True
+        elif tag == Tags.TARGETS_UPDATE:
+            self._live_targets = [int(t) for t in payload["targets"]]
+            self._collected_reported = [int(c) for c in payload["collected"]]
 
     # ------------------------------------------------------------------
     def _controllers_on_level(self, level: int) -> list[_ControllerInfo]:
@@ -168,6 +182,7 @@ class PhonebookProcess(RankProcess):
                 requester, count = cqueue.popleft()
                 take = min(count, provider.available_corrections)
                 provider.available_corrections -= take
+                self._corrections_dispatched[level] += take
                 yield self.send(
                     provider.rank,
                     Tags.FETCH_CORRECTION,
@@ -201,6 +216,20 @@ class PhonebookProcess(RankProcess):
         """Time-averaged load view over the window since the last rebalance."""
         window = max(self.now - self._load_window_start, 1e-12)
         loads: dict[int, LevelLoad] = {}
+        # Adaptive runs: estimate each level's share of the *remaining* work
+        # (outstanding samples times measured cost) from the live allocation
+        # targets.  Static runs leave the signal at zero, preserving the
+        # balancer's legacy pressure values exactly.
+        remaining_costs = [0.0] * self.config.num_levels
+        if self.config.allocation is not None:
+            for level in range(self.config.num_levels):
+                done_count = max(
+                    self._corrections_dispatched[level],
+                    self._collected_reported[level],
+                )
+                outstanding = max(0, self._live_targets[level] - done_count)
+                remaining_costs[level] = outstanding * self.measured_costs.mean(level)
+        total_remaining = sum(remaining_costs)
         for level in range(self.config.num_levels):
             controllers = self._controllers_on_level(level)
             # A level is needed as a proposal source as long as ANY finer level
@@ -219,6 +248,11 @@ class PhonebookProcess(RankProcess):
                 num_groups=len(controllers),
                 done=self._level_done[level],
                 needed_as_proposal_source=not finer_done,
+                estimated_remaining_work=(
+                    remaining_costs[level] / total_remaining
+                    if total_remaining > 0
+                    else 0.0
+                ),
             )
         return loads
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.core.allocation import AllocationPolicy
 from repro.core.factory import MIComponentFactory
 from repro.core.problem import AbstractSamplingProblem
 from repro.multiindex import MultiIndex
@@ -32,6 +33,8 @@ class Tags:
     COLLECT = "COLLECT"
     SHUTDOWN = "SHUTDOWN"
     LEVEL_DONE = "LEVEL_DONE"
+    # root -> phonebook: live per-level sample targets of an adaptive run
+    TARGETS_UPDATE = "TARGETS_UPDATE"
 
     # controller <-> phonebook
     REGISTER = "REGISTER"
@@ -109,6 +112,12 @@ class RunConfiguration:
         Whether the phonebook may reassign work groups between levels.
     seed:
         Root seed for all chain generators.
+    allocation:
+        Optional adaptive allocation policy.  When set, the root runs the
+        continuation loop (pilot -> re-allocate -> refine) instead of the
+        static one-shot collection; ``num_samples`` then only seeds the
+        layout/burn-in heuristics while the live targets come from the
+        policy.  ``None`` (the default) reproduces the static run bitwise.
     """
 
     factory: MIComponentFactory
@@ -121,6 +130,7 @@ class RunConfiguration:
     dynamic_load_balancing: bool = True
     seed: int | None = None
     checkpoint: CheckpointConfig | None = None
+    allocation: AllocationPolicy | None = None
     problems: SharedProblemCache = field(init=False)
 
     def __post_init__(self) -> None:

@@ -196,6 +196,28 @@ class WeightedRunningMoments:
         self._mean += delta * r
         self._m2 += weight * delta * (x - self._mean)
 
+    def merge(self, other: "WeightedRunningMoments") -> "WeightedRunningMoments":
+        """Merge another accumulator into this one (weighted Chan formula)."""
+        if other._wsum == 0:
+            return self
+        if self._wsum == 0:
+            self._dim = other._dim
+            self._wsum = other._wsum
+            self._wsum2 = other._wsum2
+            self._mean = None if other._mean is None else other._mean.copy()
+            self._m2 = None if other._m2 is None else other._m2.copy()
+            return self
+        if self._dim != other._dim:
+            raise ValueError("cannot merge accumulators of different dimension")
+        w_a, w_b = self._wsum, other._wsum
+        w = w_a + w_b
+        delta = other._mean - self._mean
+        self._mean = self._mean + delta * (w_b / w)
+        self._m2 = self._m2 + other._m2 + delta**2 * (w_a * w_b / w)
+        self._wsum = w
+        self._wsum2 += other._wsum2
+        return self
+
     def mean(self) -> np.ndarray:
         """Weighted mean."""
         if self._mean is None:
@@ -210,6 +232,18 @@ class WeightedRunningMoments:
         if denom <= 0:
             return np.zeros(self._dim or 0)
         return self._m2 / denom
+
+    def frequency_variance(self, ddof: int = 1) -> np.ndarray:
+        """Sample variance under *frequency* weights (denominator ``W - ddof``).
+
+        For integer multiplicities (repeated MCMC states) this matches
+        ``np.var(expanded_rows, ddof=ddof)`` up to round-off, which is the
+        semantics sample collections report; :meth:`variance` is the
+        reliability-weighted variant for non-integer weights.
+        """
+        if self._m2 is None or self._wsum <= ddof:
+            return np.zeros(self._dim or 0)
+        return self._m2 / (self._wsum - ddof)
 
 
 def autocorrelation(series: np.ndarray, max_lag: int | None = None) -> np.ndarray:

@@ -32,6 +32,7 @@ BENCH_DIR = REPO_ROOT / "benchmarks"
 BENCH_MODULE_TO_SCENARIO = {
     "bench_ablation_load_balancing": "ablation-load-balancing",
     "bench_ablation_subsampling": "ablation-subsampling",
+    "bench_adaptive_allocation": "poisson-adaptive",
     "bench_cost_complexity": "cost-complexity",
     "bench_evaluator_cache": "evaluator-cache",
     "bench_fem_hotpath": "fem-hotpath",

@@ -248,3 +248,57 @@ class TestLoadBalancer:
 
     def test_empty_loads(self):
         assert self._balancer().decide({}, now=0.0) is None
+
+    def test_pressure_ignores_remaining_work_by_default(self):
+        # static runs report no remaining-work share and legacy callers pass
+        # no third weight: the pressure must be exactly the old two-term value
+        load = LevelLoad(0, queued_chain_requests=1, queued_collector_requests=1,
+                         estimated_remaining_work=0.9)
+        assert load.pressure(chain_weight=4.0, collector_weight=1.0) == pytest.approx(5.0)
+
+    def test_remaining_work_share_adds_demand(self):
+        load = LevelLoad(0, queued_chain_requests=1, queued_collector_requests=1,
+                         estimated_remaining_work=0.9)
+        pressure = load.pressure(4.0, 1.0, remaining_work_weight=2.0)
+        assert pressure == pytest.approx(5.0 + 2.0 * 0.9)
+
+    def test_remaining_work_steers_target_selection(self):
+        # Two equally starving levels; the live allocation reports that level
+        # 1 holds most of the run's remaining work, so it wins the group.
+        balancer = self._balancer(pressure_threshold=1.0)
+
+        def loads(remaining1=0.0):
+            return {
+                0: LevelLoad(0, queued_chain_requests=3, num_groups=1),
+                1: LevelLoad(1, queued_chain_requests=3, num_groups=1,
+                             estimated_remaining_work=remaining1),
+                2: LevelLoad(2, available_samples=4, num_groups=2,
+                             done=True, needed_as_proposal_source=False),
+            }
+
+        baseline = balancer.decide(loads(), now=10.0)
+        assert baseline is not None and baseline.target_level == 0
+        steered = self._balancer(pressure_threshold=1.0).decide(
+            loads(remaining1=0.9), now=10.0
+        )
+        assert steered is not None
+        assert steered.target_level == 1
+        assert steered.source_level == 2
+
+    def test_remaining_work_share_unlocks_marginal_move(self):
+        balancer = self._balancer(pressure_threshold=21.0)
+
+        def loads(remaining0=0.0):
+            return {
+                0: LevelLoad(0, queued_chain_requests=2, num_groups=1,
+                             estimated_remaining_work=remaining0),
+                1: LevelLoad(1, available_samples=10, num_groups=2,
+                             done=True, needed_as_proposal_source=False),
+            }
+
+        # queue pressure alone (8 vs -12) stays under the threshold ...
+        assert balancer.decide(loads(), now=10.0) is None
+        # ... but the remaining-work share of an adaptive run tips it over
+        decision = balancer.decide(loads(remaining0=1.0), now=10.0)
+        assert decision is not None
+        assert decision.target_level == 0 and decision.source_level == 1

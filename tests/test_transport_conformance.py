@@ -25,11 +25,13 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+from dataclasses import replace
 
 import numpy as np
 import pytest
 
-from repro.experiments import run_scenario, validate_manifest
+from repro.core.allocation import ContinuationAllocation, SamplingBudget
+from repro.experiments import get_scenario, run_scenario, validate_manifest
 from repro.models.gaussian import GaussianHierarchyFactory
 from repro.parallel import ConstantCostModel, ParallelMLMCMCSampler
 
@@ -175,3 +177,57 @@ class TestScenarioConformance:
         validate_manifest(manifest)
         assert manifest["parallel_backend"] == backend
         assert manifest["results"]["parallel_backend"] == backend
+
+
+# ----------------------------------------------------------------------------
+class TestAllocationConformance:
+    """The allocation layer's cross-backend contract.
+
+    An explicit ``policy: "fixed"`` budget must reproduce the no-budget run
+    bitwise (the policy resolves to ``allocation=None``, the pre-allocation
+    static machine); adaptive runs price their snapshots from the declared
+    cost model, so their continuation trajectories are deterministic per
+    backend and bitwise-identical between the two real-process transports.
+    """
+
+    def test_explicit_fixed_budget_bitwise_identical(self):
+        base = get_scenario("poisson-parallel").resolved(quick=True)
+        plain = run_scenario(base, parallel_backend="simulated")
+        fixed = run_scenario(
+            replace(base, budget={"policy": "fixed"}),
+            parallel_backend="simulated",
+        )
+        assert plain.payload["mean"] == fixed.payload["mean"]
+        assert fixed.manifest["allocation"] == {"policy": "fixed"}
+        assert plain.raw.allocation_rounds == []
+        assert fixed.raw.allocation_rounds == []
+
+    def _adaptive_run(self, factory, backend):
+        policy = ContinuationAllocation(
+            SamplingBudget(cost_cap=3.0, max_rounds=4), pilot=[8, 4, 2]
+        )
+        return _sampler(factory, backend, allocation=policy).run()
+
+    def test_adaptive_simulated_deterministic_trajectory(self, factory):
+        first = self._adaptive_run(factory, "simulated")
+        second = self._adaptive_run(factory, "simulated")
+        trajectory = [r.targets for r in first.allocation_rounds]
+        assert len(trajectory) >= 2
+        assert trajectory == [r.targets for r in second.allocation_rounds]
+        np.testing.assert_array_equal(first.mean, second.mean)
+        # the merged collections realize the final round's targets
+        final = first.allocation_rounds[-1]
+        assert [
+            len(first.corrections[level]) for level in sorted(first.corrections)
+        ] == final.collected
+        # the cap-respecting policy never spends past its budget
+        assert final.spent_cost <= 3.0 + 1e-9
+
+    def test_adaptive_real_backends_bitwise_identical(self, factory):
+        mp_run = self._adaptive_run(factory, "multiprocess")
+        socket_run = self._adaptive_run(factory, "socket")
+        assert len(mp_run.allocation_rounds) >= 2
+        assert [r.targets for r in mp_run.allocation_rounds] == [
+            r.targets for r in socket_run.allocation_rounds
+        ]
+        np.testing.assert_array_equal(mp_run.mean, socket_run.mean)
