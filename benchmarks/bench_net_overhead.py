@@ -16,6 +16,14 @@ the wall-clock ratio isolates the *wire overhead*: serialization, framing,
 hub routing and ACK bookkeeping.  The JSON records per-backend wall time,
 message counts and per-message overhead so the decomposition stays visible.
 
+A dedicated **payload-size sweep** isolates the fabric itself from the MLMCMC
+machine: a two-rank producer/consumer pair pushes bursts of ndarray payloads
+of 0 B to 1 MiB through each backend and times the consumer-side
+first-to-last delivery span (process spawn and rendezvous excluded).  The
+headline ``per_message_overhead_ratio`` is the socket/multiprocess
+per-message ratio at zero payload — the pure per-message fabric cost the
+out-of-band codec, batch frames and cumulative ACKs are meant to shrink.
+
 Results are written to ``BENCH_net_overhead.json`` at the repo root.
 Runnable standalone::
 
@@ -28,6 +36,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from dataclasses import replace
 from datetime import datetime, timezone
 from pathlib import Path
@@ -41,6 +50,10 @@ import numpy as np
 
 from benchmarks.conftest import print_rows
 from repro.experiments import get_scenario, run_scenario
+from repro.parallel.mp import MultiprocessWorld
+from repro.parallel.net import SocketWorld
+from repro.parallel.trace import TraceRecorder
+from repro.parallel.transport import RankProcess
 
 SCENARIO = "poisson-parallel"
 
@@ -48,6 +61,127 @@ SCENARIO = "poisson-parallel"
 FULL_PROBLEM = {"preset": "scaled", "mesh_sizes": [16, 32, 64]}
 FULL_SAMPLER = {"num_samples": [160, 48, 16], "num_ranks": 12,
                 "cost_per_level": "poisson-paper"}
+
+#: payload sizes of the fabric sweep (bytes of float64 ndarray; 0 = bare tag)
+SWEEP_SIZES = (0, 1024, 65536, 1 << 20)
+#: messages per size — fewer at 1 MiB so the sweep stays seconds, not minutes
+SWEEP_MESSAGES = {0: 400, 1024: 400, 65536: 200, 1 << 20: 40}
+SWEEP_MESSAGES_QUICK = {0: 200, 1024: 200, 65536: 100, 1 << 20: 24}
+#: messages per flow-control round (one producer burst = one batch frame)
+SWEEP_BURST = 16
+
+
+class _SweepProducer(RankProcess):
+    """Pushes bursts of fixed-size payloads, gated by consumer ROUND_DONEs."""
+
+    role = "sweep-producer"
+
+    def __init__(self, rank, consumer_rank, payload, num_messages, burst):
+        super().__init__(rank)
+        self.consumer_rank = consumer_rank
+        self.payload = payload
+        self.num_messages = num_messages
+        self.burst = burst
+
+    def run(self):
+        sent = 0
+        while sent < self.num_messages:
+            for _ in range(min(self.burst, self.num_messages - sent)):
+                yield self.send(self.consumer_rank, "PAYLOAD", self.payload)
+                sent += 1
+            # Flow control: the blocking receive is also the flush boundary,
+            # so each burst leaves as one coalesced batch.
+            yield self.recv("ROUND_DONE")
+
+
+class _SweepConsumer(RankProcess):
+    """Times the first-to-last delivery span of the whole sweep."""
+
+    role = "sweep-consumer"
+
+    def __init__(self, rank, producer_rank, num_messages, burst):
+        super().__init__(rank)
+        self.producer_rank = producer_rank
+        self.num_messages = num_messages
+        self.burst = burst
+        self.t_first = None
+        self.t_last = None
+        self.count = 0
+
+    def run(self):
+        received = 0
+        t_first = t_last = None
+        while received < self.num_messages:
+            for _ in range(min(self.burst, self.num_messages - received)):
+                yield self.recv("PAYLOAD")
+                t_last = time.perf_counter()
+                if t_first is None:
+                    t_first = t_last
+                received += 1
+            yield self.send(self.producer_rank, "ROUND_DONE")
+        self.t_first, self.t_last, self.count = t_first, t_last, received
+
+    def harvest(self):
+        return {"t_first": self.t_first, "t_last": self.t_last, "count": self.count}
+
+
+def _sweep_world(backend: str):
+    trace = TraceRecorder(enabled=False)
+    if backend == "multiprocess":
+        return MultiprocessWorld(trace=trace)
+    return SocketWorld(trace=trace)
+
+
+def _sweep_point(backend: str, payload_bytes: int, num_messages: int) -> dict:
+    """One producer→consumer run; spawn/rendezvous excluded from the timing."""
+    payload = (
+        np.zeros(payload_bytes // 8, dtype=np.float64) if payload_bytes else None
+    )
+    producer = _SweepProducer(0, 1, payload, num_messages, SWEEP_BURST)
+    consumer = _SweepConsumer(1, 0, num_messages, SWEEP_BURST)
+    world = _sweep_world(backend)
+    world.add_process(producer)
+    world.add_process(consumer)
+    world.run()
+    if consumer.count != num_messages:
+        raise RuntimeError(
+            f"{backend} sweep at {payload_bytes} B delivered "
+            f"{consumer.count}/{num_messages} messages"
+        )
+    elapsed = max(consumer.t_last - consumer.t_first, 0.0)
+    return {
+        "payload_bytes": int(payload_bytes),
+        "messages": int(num_messages),
+        "elapsed_s": float(elapsed),
+        "per_message_s": float(elapsed / max(num_messages - 1, 1)),
+    }
+
+
+def run_sweep(quick: bool, repeats: int) -> dict:
+    """Best-of-``repeats`` per-message delivery cost per backend and size."""
+    counts = SWEEP_MESSAGES_QUICK if quick else SWEEP_MESSAGES
+    points = []
+    for size in SWEEP_SIZES:
+        entry: dict = {"payload_bytes": int(size)}
+        for backend in ("multiprocess", "socket"):
+            best = None
+            for _ in range(repeats):
+                point = _sweep_point(backend, size, counts[size])
+                if best is None or point["per_message_s"] < best["per_message_s"]:
+                    best = point
+            entry[backend] = best
+        entry["per_message_ratio"] = float(
+            entry["socket"]["per_message_s"]
+            / max(entry["multiprocess"]["per_message_s"], 1e-12)
+        )
+        points.append(entry)
+    return {
+        "sizes": [int(s) for s in SWEEP_SIZES],
+        "burst": SWEEP_BURST,
+        "points": points,
+        # headline: pure fabric cost, zero payload
+        "per_message_overhead_ratio": points[0]["per_message_ratio"],
+    }
 
 
 def _bench_spec(quick: bool):
@@ -87,6 +221,7 @@ def run(quick: bool, repeats: int) -> dict:
     socket = bench_backend(spec, "socket", repeats)
     overhead = socket["wall_time_s"] / max(multiprocess["wall_time_s"], 1e-12)
     identical = socket["mean"] == multiprocess["mean"]
+    sweep = run_sweep(quick, repeats)
     return {
         "benchmark": "net_overhead",
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -99,6 +234,7 @@ def run(quick: bool, repeats: int) -> dict:
         "results": {"multiprocess": multiprocess, "socket": socket},
         "wall_clock_overhead": float(overhead),
         "estimates_identical": bool(identical),
+        "sweep": sweep,
     }
 
 
@@ -121,6 +257,21 @@ def report(payload: dict) -> None:
           f"(socket / multiprocess): {payload['wall_clock_overhead']:.2f}x")
     print(f"estimates bitwise identical across transports: "
           f"{payload['estimates_identical']}")
+
+    sweep_rows = []
+    for point in payload["sweep"]["points"]:
+        sweep_rows.append(
+            {
+                "payload [B]": point["payload_bytes"],
+                "messages": point["multiprocess"]["messages"],
+                "mp/msg [us]": point["multiprocess"]["per_message_s"] * 1e6,
+                "socket/msg [us]": point["socket"]["per_message_s"] * 1e6,
+                "socket/mp": point["per_message_ratio"],
+            }
+        )
+    print_rows("Payload-size sweep — per-message delivery cost", sweep_rows)
+    print(f"\nper-message fabric overhead at zero payload (socket / "
+          f"multiprocess): {payload['sweep']['per_message_overhead_ratio']:.2f}x")
 
 
 def main(argv: list[str] | None = None) -> None:

@@ -86,6 +86,16 @@ from repro.parallel.transport import (
     Send,
     Transport,
 )
+from repro.parallel.wire import (
+    WIRE_SUMMARY_KEYS,
+    MessageBatch,
+    WireCounters,
+    decode_message,
+    dispose_item,
+    encode_message,
+    read_slab,
+    write_slab,
+)
 
 __all__ = ["MultiprocessWorld"]
 
@@ -93,6 +103,10 @@ logger = logging.getLogger(__name__)
 
 #: rank used as the source of driver-injected bootstrap messages
 DRIVER_RANK = -1
+
+#: default payload size (bytes) above which the multiprocess backend moves an
+#: encoded message through a shared-memory slab instead of the OS queue pipe
+DEFAULT_SHM_THRESHOLD_BYTES = 1 << 18
 
 
 class _ProcessTransport(Transport):
@@ -107,6 +121,8 @@ class _ProcessTransport(Transport):
         receive_timeout_s: float | None = None,
         receive_poll_s: float = 1.0,
         chaos: RankChaos | None = None,
+        shm_threshold_bytes: int | None = None,
+        wire_counters: WireCounters | None = None,
     ) -> None:
         self.rank = rank
         self._queues = queues
@@ -116,10 +132,17 @@ class _ProcessTransport(Transport):
         self.receive_timeout_s = receive_timeout_s
         self.receive_poll_s = receive_poll_s
         self.chaos = chaos
+        self.shm_threshold_bytes = shm_threshold_bytes
+        self.counters = wire_counters if wire_counters is not None else WireCounters()
         self.messages_sent = 0
         self.events_processed = 0
         #: sends addressed to a rank outside the machine (protocol bug telltale)
         self.messages_dropped = 0
+        #: buffered sends awaiting the next flush boundary, grouped by the
+        #: outbound store they go to (per-dest queues on the multiprocess
+        #: backend; one shared hub proxy on the socket backend, so a flush
+        #: there coalesces sends to *different* ranks into one frame)
+        self._outbox: dict[int, tuple[object, list[Message]]] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -128,15 +151,17 @@ class _ProcessTransport(Transport):
         return time.perf_counter() - self._origin
 
     def poll(self, process: RankProcess) -> None:
-        """Drain already-delivered messages into the process mailbox."""
+        """Flush buffered sends, then drain delivered messages into the mailbox."""
+        self.flush()
         mailbox = process._state.mailbox
         while True:
             try:
-                message = self._inbox.get_nowait()
+                item = self._inbox.get_nowait()
             except queue_module.Empty:
                 return
-            message.delivery_time = self.now
-            mailbox.append(message)
+            for message in self._expand(item):
+                message.delivery_time = self.now
+                mailbox.append(message)
 
     # ------------------------------------------------------------------
     def _post(self, message: Message) -> None:
@@ -156,15 +181,84 @@ class _ProcessTransport(Transport):
             )
             return
         if self.chaos is not None:
+            # Chaos drop/delay decisions stay at enqueue time so a fault
+            # plan's deterministic ordering is unchanged by coalescing.
             delivered, delay = self.chaos.outgoing(message)
             if not delivered:
                 return
             if delay > 0.0:
                 time.sleep(delay)
-        target.put(message)
+        bucket = self._outbox.get(id(target))
+        if bucket is None:
+            self._outbox[id(target)] = (target, [message])
+        else:
+            bucket[1].append(message)
         self.messages_sent += 1
 
+    def flush(self) -> None:
+        """Encode and ship every buffered send (one batch per outbound store).
+
+        Flush boundaries are the places the generator gives up control:
+        entering a blocking receive, resuming after a ``Compute``, and every
+        ``poll``.  Only messages buffered between those points coalesce, so
+        FIFO-per-pair delivery order is preserved exactly.
+        """
+        if not self._outbox:
+            return
+        outbox = self._outbox
+        self._outbox = {}
+        counters = self.counters
+        start = self.now
+        for target, messages in outbox.values():
+            bodies = [encode_message(message, 0, counters) for message in messages]
+            if len(bodies) > 1:
+                counters.coalesced_batches += 1
+                counters.coalesced_messages += len(bodies)
+            put_encoded = getattr(target, "put_encoded", None)
+            if put_encoded is not None:
+                # Socket backend: the proxy frames the batch onto the hub
+                # connection and does its own byte accounting.
+                put_encoded(bodies)
+                continue
+            entries: list[tuple[int, object]] = []
+            for body in bodies:
+                if (
+                    self.shm_threshold_bytes is not None
+                    and len(body) >= self.shm_threshold_bytes
+                ):
+                    entries.append((MessageBatch.LANE_SHM, write_slab(body)))
+                    counters.shm_messages += 1
+                    counters.shm_bytes += len(body)
+                else:
+                    entries.append((MessageBatch.LANE_INLINE, body))
+                counters.bytes_sent += len(body)
+            counters.frames_sent += 1
+            target.put(MessageBatch(entries))
+        self.trace.record(self.rank, start, self.now, "serialize", None, "")
+
+    def _expand(self, item) -> tuple[Message, ...]:
+        """Decode one inbound queue item into its messages.
+
+        Driver injections arrive as plain :class:`Message` objects; rank
+        traffic arrives as :class:`MessageBatch` items whose entries are
+        encoded bodies (inline or parked in a shared-memory slab).
+        """
+        if isinstance(item, Message):
+            return (item,)
+        if isinstance(item, MessageBatch):
+            counters = self.counters
+            counters.frames_received += 1
+            messages = []
+            for lane, data in item.entries:
+                body = read_slab(data) if lane == MessageBatch.LANE_SHM else data
+                counters.bytes_received += len(body)
+                _seq, message = decode_message(body, counters)
+                messages.append(message)
+            return tuple(messages)
+        raise TypeError(f"rank {self.rank} received unsupported queue item {item!r}")
+
     def _blocking_receive(self, process: RankProcess, spec: Receive) -> Message:
+        self.flush()
         state = process._state
         matched = RankProcess.match_in_mailbox(state.mailbox, spec)
         if matched is not None:
@@ -178,7 +272,7 @@ class _ProcessTransport(Transport):
         poll = self.receive_poll_s
         while True:
             try:
-                message = self._inbox.get(timeout=None if timeout is None else poll)
+                item = self._inbox.get(timeout=None if timeout is None else poll)
             except queue_module.Empty:
                 waited = self.now - blocked_since
                 if timeout is not None and waited >= timeout:
@@ -187,15 +281,20 @@ class _ProcessTransport(Transport):
                     # instead of blocking forever.
                     raise ReceiveTimeout(process.rank, spec, waited)
                 continue
-            message.delivery_time = self.now
-            if RankProcess.matches(message, spec):
+            result: Message | None = None
+            for message in self._expand(item):
+                message.delivery_time = self.now
+                if result is None and RankProcess.matches(message, spec):
+                    result = message
+                else:
+                    state.mailbox.append(message)
+            if result is not None:
                 waited = self.now - blocked_since
                 if waited > 0:
                     self.trace.record(
                         process.rank, blocked_since, self.now, "wait", None, ""
                     )
-                return message
-            state.mailbox.append(message)
+                return result
 
     # ------------------------------------------------------------------
     def drive(self, process: RankProcess) -> None:
@@ -220,12 +319,18 @@ class _ProcessTransport(Transport):
         while item is not None:
             self.events_processed += 1
             if self.chaos is not None:
-                # May os._exit (injected kill) or raise (evaluator fault).
+                # Ship buffered sends before the chaos hook so an injected
+                # kill loses exactly the messages it would have lost before
+                # coalescing existed (May os._exit or raise).
+                self.flush()
                 self.chaos.before_item(item)
             if isinstance(item, Compute):
                 # The real work declared by a Compute happens when the
-                # generator resumes (the chain step after the yield); measure
-                # that span and trace it under the Compute's labels.
+                # generator resumes (the chain step after the yield); flush
+                # buffered sends so peers receive them while this rank
+                # computes, then measure the span and trace it under the
+                # Compute's labels.
+                self.flush()
                 start = self.now
                 next_item = advance(None)
                 self.trace.record(
@@ -248,6 +353,9 @@ class _ProcessTransport(Transport):
                 raise TypeError(
                     f"process {process.rank} yielded unsupported item {item!r}"
                 )
+        # The generator finished; ship anything still buffered (e.g. a final
+        # report followed by StopIteration with no further flush boundary).
+        self.flush()
 
 
 def _rank_main(
@@ -260,6 +368,8 @@ def _rank_main(
     receive_timeout_s: float | None = None,
     receive_poll_s: float = 1.0,
     fault_plan: FaultPlan | None = None,
+    shm_threshold_bytes: int | None = None,
+    wire_counters: WireCounters | None = None,
 ) -> None:
     """Child entry point: drive one rank and ship the outcome back.
 
@@ -282,6 +392,8 @@ def _rank_main(
         receive_timeout_s=receive_timeout_s,
         receive_poll_s=receive_poll_s,
         chaos=chaos,
+        shm_threshold_bytes=shm_threshold_bytes,
+        wire_counters=wire_counters,
     )
 
     stop_heartbeat = threading.Event()
@@ -318,6 +430,7 @@ def _rank_main(
                     "events_processed": transport.events_processed,
                     "messages_dropped": transport.messages_dropped,
                     "chaos_dropped": chaos.dropped if chaos is not None else 0,
+                    "wire": transport.counters.as_dict(),
                 },
             )
         )
@@ -406,8 +519,12 @@ class MultiprocessWorld:
         join_timeout: float = 600.0,
         fault_tolerance: FaultToleranceConfig | None = None,
         fault_plan: FaultPlan | None = None,
+        shm_threshold_bytes: int | None = DEFAULT_SHM_THRESHOLD_BYTES,
     ) -> None:
         self.trace = trace if trace is not None else TraceRecorder()
+        self.shm_threshold_bytes = (
+            None if shm_threshold_bytes is None else int(shm_threshold_bytes)
+        )
         if start_method is None:
             start_method = (
                 "fork" if "fork" in multiprocessing.get_all_start_methods() else None
@@ -427,6 +544,10 @@ class MultiprocessWorld:
         self._messages_dropped = 0
         self._chaos_dropped = 0
         self._heartbeats_received = 0
+        #: machine-wide wire counters, merged from every finished rank
+        self._wire_totals = WireCounters()
+        #: per-rank wire counter dicts (ranks that reported "ok")
+        self._rank_wire: dict[int, dict[str, float]] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -502,6 +623,7 @@ class MultiprocessWorld:
                     ft.receive_timeout_s if ft is not None else None,
                     ft.receive_poll_s if ft is not None else 1.0,
                     self.fault_plan if with_chaos else None,
+                    self.shm_threshold_bytes,
                 ),
                 name=f"repro-rank-{rank}-{process.role}",
                 daemon=True,
@@ -518,9 +640,12 @@ class MultiprocessWorld:
             for q in (*queues.values(), result_queue):
                 while True:
                     try:
-                        q.get_nowait()
+                        item = q.get_nowait()
                     except (queue_module.Empty, OSError):
                         break
+                    # Unconsumed batches may carry shared-memory slab handles;
+                    # unlink them here or the slabs outlive the run in /dev/shm.
+                    dispose_item(item)
 
         children: dict[int, multiprocessing.Process] = {
             rank: spawn(rank, with_chaos=True) for rank in self._processes
@@ -666,6 +791,10 @@ class MultiprocessWorld:
                         self._events_processed += payload["events_processed"]
                         self._messages_dropped += payload.get("messages_dropped", 0)
                         self._chaos_dropped += payload.get("chaos_dropped", 0)
+                        wire = payload.get("wire")
+                        if wire:
+                            self._wire_totals.add(wire)
+                            self._rank_wire[rank] = dict(wire)
                         if rank == root_rank:
                             root_done = True
                     else:
@@ -762,9 +891,27 @@ class MultiprocessWorld:
         return self.now
 
     # ------------------------------------------------------------------
+    def wire_summary(self) -> dict[str, float]:
+        """Machine-wide wire counters (all NaN when tracing is off).
+
+        Same populated-or-NaN contract as trace utilization: the counters are
+        always collected (they are nearly free), but they are only *reported*
+        when the run was traced, so a summary consumer can rely on one switch.
+        """
+        if not self.trace.enabled:
+            return {key: float("nan") for key in WIRE_SUMMARY_KEYS}
+        totals = self._wire_totals.as_dict()
+        return {key: float(totals[key]) for key in WIRE_SUMMARY_KEYS}
+
     def summary(self) -> dict[str, float | int]:
-        """Run-wide statistics (same layout as the virtual world's)."""
-        return {
+        """Run-wide statistics (same layout as the virtual world's).
+
+        Extends the shared layout with byte accounting: machine totals plus
+        per-rank ``rank{r}_bytes_sent`` / ``rank{r}_bytes_received`` entries,
+        NaN when tracing is off or the rank never reported (same contract as
+        :meth:`wire_summary`).
+        """
+        base: dict[str, float | int] = {
             "virtual_time": self.now,
             "num_ranks": self.size,
             "messages_sent": self._messages_sent,
@@ -772,3 +919,19 @@ class MultiprocessWorld:
             "messages_dropped": self._messages_dropped,
             "chaos_dropped": self._chaos_dropped,
         }
+        tracing = self.trace.enabled
+        base["bytes_sent"] = (
+            float(self._wire_totals.bytes_sent) if tracing else float("nan")
+        )
+        base["bytes_received"] = (
+            float(self._wire_totals.bytes_received) if tracing else float("nan")
+        )
+        for rank in sorted(self._processes):
+            wire = self._rank_wire.get(rank)
+            if tracing and wire is not None:
+                base[f"rank{rank}_bytes_sent"] = float(wire["bytes_sent"])
+                base[f"rank{rank}_bytes_received"] = float(wire["bytes_received"])
+            else:
+                base[f"rank{rank}_bytes_sent"] = float("nan")
+                base[f"rank{rank}_bytes_received"] = float("nan")
+        return base

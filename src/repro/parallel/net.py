@@ -23,10 +23,20 @@ dies mid-frame raises :class:`TruncatedFrameError`.
 
 ``MESSAGE`` frames carry one :class:`~repro.parallel.transport.Message` as an
 explicit binary envelope (sequence number, source, dest, tag, timestamps)
-followed by the pickled ``(payload, metadata)`` pair — the only pickled bytes
-on the wire, always inside a version-checked frame.  ``HEARTBEAT`` and
-``RESULT`` frames carry the same ``(rank, status, payload)`` tuples the
-multiprocess backend puts on its result queue.
+followed by the :mod:`repro.parallel.wire` payload codec — ndarray payloads
+travel out-of-band as typed header + raw buffer, everything else as a pickle
+inside a version-checked frame.  ``BATCH`` frames (protocol v2) coalesce
+several such message bodies into one length-prefixed blob, amortizing frame
+headers and syscalls; ACK/replay bookkeeping stays per inner message (each
+body keeps its own sequence number).  ``HEARTBEAT`` and ``RESULT`` frames
+carry the same ``(rank, status, payload)`` tuples the multiprocess backend
+puts on its result queue.
+
+Acknowledgements are *cumulative*: a child tracks the highest sequence number
+it consumed (delivery into its transport is FIFO, so consumption is monotone
+per link) and flushes one ACK frame at its next idle boundary; the hub drops
+every retained body up to and including that sequence number.  One ACK
+syscall then covers a whole burst instead of one per message.
 
 Bootstrap (rendezvous)
 ----------------------
@@ -83,6 +93,17 @@ from collections import OrderedDict, deque
 from repro.parallel.chaos import FaultPlan
 from repro.parallel.mp import MultiprocessWorld, _rank_main, _RunHandles
 from repro.parallel.transport import Message, RankProcess
+from repro.parallel.wire import (
+    TruncatedFrameError,
+    WireCounters,
+    WireProtocolError,
+    decode_message,
+    encode_message,
+    iter_bodies,
+    pack_bodies,
+    patch_seq,
+    peek_dest,
+)
 
 __all__ = [
     "MAGIC",
@@ -106,7 +127,8 @@ logger = logging.getLogger(__name__)
 #: first bytes of every frame; anything else on the socket is not our protocol
 MAGIC = b"RMLM"
 #: bumped on any incompatible change to framing or envelopes
-PROTOCOL_VERSION = 1
+#: (v2: out-of-band ndarray payload codec + BATCH frames + cumulative ACKs)
+PROTOCOL_VERSION = 2
 
 #: magic, protocol version, frame kind, pad, body length (big-endian)
 _HEADER = struct.Struct("!4sHBxI")
@@ -118,27 +140,29 @@ FRAME_MESSAGE = 3
 FRAME_ACK = 4
 FRAME_HEARTBEAT = 5
 FRAME_RESULT = 6
+FRAME_BATCH = 7
 _FRAME_KINDS = frozenset(
-    (FRAME_HELLO, FRAME_WELCOME, FRAME_MESSAGE, FRAME_ACK, FRAME_HEARTBEAT, FRAME_RESULT)
+    (
+        FRAME_HELLO,
+        FRAME_WELCOME,
+        FRAME_MESSAGE,
+        FRAME_ACK,
+        FRAME_HEARTBEAT,
+        FRAME_RESULT,
+        FRAME_BATCH,
+    )
 )
 
 #: sanity bound: a length field beyond this is a corrupt or hostile header
 MAX_FRAME_BODY = 1 << 30
 
-#: message envelope: seq, source, dest, tag length, send_time, delivery_time
-_ENVELOPE = struct.Struct("!qiiIdd")
+#: soft cap on the bodies coalesced into a single BATCH frame
+MAX_BATCH_BYTES = 1 << 23
+
 #: HELLO / WELCOME body: the rank id
 _HELLO = struct.Struct("!i")
-#: ACK body: the acknowledged sequence number
+#: ACK body: the highest consumed sequence number (cumulative)
 _ACK = struct.Struct("!q")
-
-
-class WireProtocolError(RuntimeError):
-    """The peer sent bytes that are not a valid protocol frame."""
-
-
-class TruncatedFrameError(WireProtocolError):
-    """The connection ended (or the buffer ran out) mid-frame."""
 
 
 class ProtocolVersionError(WireProtocolError):
@@ -196,54 +220,6 @@ def decode_frame(data: bytes) -> tuple[int, bytes]:
             f"frame truncated inside the body ({len(body)}/{length} bytes)"
         )
     return kind, body
-
-
-def encode_message(message: Message, seq: int = 0) -> bytes:
-    """Serialize one :class:`Message` as an explicit envelope + payload.
-
-    The envelope (sequence number, routing, tag, timestamps) is plain
-    big-endian struct fields so a foreign peer can route without unpickling;
-    only ``(payload, metadata)`` is pickled, and only ever *inside* a
-    version-checked frame.
-    """
-    tag = message.tag.encode("utf-8")
-    payload = pickle.dumps(
-        (message.payload, message.metadata), protocol=pickle.HIGHEST_PROTOCOL
-    )
-    return (
-        _ENVELOPE.pack(
-            seq,
-            message.source,
-            message.dest,
-            len(tag),
-            message.send_time,
-            message.delivery_time,
-        )
-        + tag
-        + payload
-    )
-
-
-def decode_message(body: bytes) -> tuple[int, Message]:
-    """Inverse of :func:`encode_message`; returns ``(seq, message)``."""
-    if len(body) < _ENVELOPE.size:
-        raise TruncatedFrameError(
-            f"message envelope truncated ({len(body)}/{_ENVELOPE.size} bytes)"
-        )
-    seq, source, dest, tag_len, send_time, delivery_time = _ENVELOPE.unpack_from(body)
-    if len(body) < _ENVELOPE.size + tag_len:
-        raise TruncatedFrameError("message envelope truncated inside the tag")
-    tag = body[_ENVELOPE.size : _ENVELOPE.size + tag_len].decode("utf-8")
-    payload, metadata = pickle.loads(body[_ENVELOPE.size + tag_len :])
-    return seq, Message(
-        source=source,
-        dest=dest,
-        tag=tag,
-        payload=payload,
-        send_time=send_time,
-        delivery_time=delivery_time,
-        metadata=metadata,
-    )
 
 
 def _recv_exact(sock: socket.socket, count: int, already: bytes = b"") -> bytes:
@@ -340,34 +316,53 @@ def connect_with_backoff(
 
 
 class _ClientInbox:
-    """Queue facade over messages the hub delivered to this rank.
+    """Queue facade over message *bodies* the hub delivered to this rank.
 
-    Acknowledges on *consumption*: a message's ACK goes back to the hub when
-    the transport ``get``s it, so anything delivered to an incarnation that
-    died before consuming it is replayed to the replacement (at-least-once,
-    mirroring the persistent OS queues of the multiprocess backend).
+    Bodies stay encoded until the transport ``get``s them (decode happens on
+    the consuming thread, against the client's wire counters).  Consumption
+    feeds the cumulative ACK watermark: anything delivered to an incarnation
+    that died before consuming it is replayed to the replacement
+    (at-least-once, mirroring the persistent OS queues of the multiprocess
+    backend).
     """
 
     def __init__(self, client: "_HubClient") -> None:
         self._client = client
         self._queue: queue_module.Queue = queue_module.Queue()
 
-    def _deliver(self, seq: int, message: Message) -> None:
-        self._queue.put((seq, message))
+    def _deliver(self, body) -> None:
+        self._queue.put(body)
+
+    def _decode(self, body) -> Message:
+        seq, message = decode_message(body, self._client.counters)
+        self._client.note_consumed(seq)
+        return message
 
     def get(self, timeout: float | None = None):
-        seq, message = self._queue.get(timeout=timeout)
-        self._client.ack(seq)
-        return message
+        if self._queue.empty():
+            # Idle boundary: about to actually block, so let the hub retire
+            # everything consumed so far with one ACK frame.  While a burst
+            # is still buffered we keep consuming without touching the
+            # socket — the watermark covers the whole burst at the end.
+            self._client.flush_acks()
+        return self._decode(self._queue.get(timeout=timeout))
 
     def get_nowait(self):
-        seq, message = self._queue.get_nowait()
-        self._client.ack(seq)
-        return message
+        try:
+            body = self._queue.get_nowait()
+        except queue_module.Empty:
+            self._client.flush_acks()
+            raise
+        return self._decode(body)
 
 
 class _SendProxy:
-    """Queue-like ``put`` that frames the message onto the hub connection."""
+    """Queue-like store that frames message bodies onto the hub connection.
+
+    One instance serves *every* destination rank (the hub routes per body),
+    so the transport's per-store outbox coalesces sends to different ranks
+    into a single BATCH frame.
+    """
 
     __slots__ = ("_client",)
 
@@ -375,26 +370,32 @@ class _SendProxy:
         self._client = client
 
     def put(self, message: Message) -> None:
-        self._client.send_message(message)
+        self._client.send_bodies(
+            [encode_message(message, 0, self._client.counters)]
+        )
+
+    def put_encoded(self, bodies) -> None:
+        self._client.send_bodies(bodies)
 
 
 class _ClientQueueMap:
     """The ``queues`` mapping `mp._rank_main` expects, over one connection.
 
-    ``[own_rank]`` is the inbound store; ``.get(other_rank)`` is a send proxy
-    for every rank of the machine and ``None`` otherwise, so the transport's
-    dropped-message accounting works unchanged.
+    ``[own_rank]`` is the inbound store; ``.get(other_rank)`` is the shared
+    send proxy for every rank of the machine and ``None`` otherwise, so the
+    transport's dropped-message accounting works unchanged.
     """
 
     def __init__(self, client: "_HubClient", ranks) -> None:
         self._client = client
         self._ranks = frozenset(ranks)
+        self._proxy = _SendProxy(client)
 
     def __getitem__(self, rank: int):
         if rank == self._client.rank:
             return self._client.inbox
         if rank in self._ranks:
-            return _SendProxy(self._client)
+            return self._proxy
         raise KeyError(rank)
 
     def get(self, rank: int, default=None):
@@ -433,6 +434,10 @@ class _HubClient:
             address, hello=rank, attempts=connect_attempts, base_delay=connect_base_delay
         )
         self._write_lock = threading.Lock()
+        self.counters = WireCounters()
+        self._ack_lock = threading.Lock()
+        self._consumed_seq = -1
+        self._acked_seq = -1
         self.inbox = _ClientInbox(self)
         threading.Thread(
             target=self._read_loop, name=f"repro-net-inbox-{rank}", daemon=True
@@ -446,8 +451,14 @@ class _HubClient:
                     return
                 kind, body = frame
                 if kind == FRAME_MESSAGE:
-                    seq, message = decode_message(body)
-                    self.inbox._deliver(seq, message)
+                    self.counters.frames_received += 1
+                    self.counters.bytes_received += HEADER_SIZE + len(body)
+                    self.inbox._deliver(body)
+                elif kind == FRAME_BATCH:
+                    self.counters.frames_received += 1
+                    self.counters.bytes_received += HEADER_SIZE + len(body)
+                    for inner in iter_bodies(body):
+                        self.inbox._deliver(inner)
                 # the hub sends nothing else after WELCOME; tolerate quietly
         except (OSError, WireProtocolError):
             # Connection gone: the generator will hit a receive timeout (or a
@@ -459,10 +470,30 @@ class _HubClient:
         with self._write_lock:
             self._sock.sendall(frame)
 
-    def send_message(self, message: Message) -> None:
-        self._send(encode_frame(FRAME_MESSAGE, encode_message(message)))
+    def send_bodies(self, bodies) -> None:
+        """Ship encoded message bodies: one MESSAGE frame, or one BATCH."""
+        if len(bodies) == 1:
+            frame = encode_frame(FRAME_MESSAGE, bytes(bodies[0]))
+        else:
+            frame = encode_frame(FRAME_BATCH, pack_bodies(bodies))
+        self.counters.frames_sent += 1
+        self.counters.bytes_sent += len(frame)
+        self._send(frame)
 
-    def ack(self, seq: int) -> None:
+    def note_consumed(self, seq: int) -> None:
+        """Advance the cumulative ACK watermark (delivery is FIFO per link)."""
+        if seq >= 0:
+            with self._ack_lock:
+                if seq > self._consumed_seq:
+                    self._consumed_seq = seq
+
+    def flush_acks(self) -> None:
+        """Send one cumulative ACK covering everything consumed so far."""
+        with self._ack_lock:
+            seq = self._consumed_seq
+            if seq <= self._acked_seq:
+                return
+            self._acked_seq = seq
         self._send(encode_frame(FRAME_ACK, _ACK.pack(seq)))
 
     def send_result(self, kind: int, item) -> None:
@@ -509,6 +540,7 @@ def _socket_rank_main(
             receive_timeout_s=receive_timeout_s,
             receive_poll_s=receive_poll_s,
             fault_plan=fault_plan,
+            wire_counters=client.counters,
         )
     finally:
         client.close()
@@ -520,7 +552,13 @@ def _socket_rank_main(
 
 
 class _RankLink:
-    """Driver-side delivery state of one rank; survives incarnations."""
+    """Driver-side delivery state of one rank; survives incarnations.
+
+    The hub retains *encoded bodies* (mutable so sequence numbers can be
+    patched in place), never decoded payloads: routing needs only the
+    envelope's ``dest`` field, so rank-to-rank traffic crosses the hub
+    without a single pickle round-trip.
+    """
 
     __slots__ = ("rank", "lock", "conn", "conn_id", "next_seq", "unacked", "pending")
 
@@ -531,10 +569,10 @@ class _RankLink:
         #: bumped per registered connection so a stale reader can tell it was replaced
         self.conn_id = 0
         self.next_seq = 0
-        #: seq → Message, written to a connection but not yet consumed by the rank
-        self.unacked: OrderedDict[int, Message] = OrderedDict()
+        #: seq → encoded body, written to a connection but not yet consumed
+        self.unacked: OrderedDict[int, bytearray] = OrderedDict()
         #: backlog with no connection to carry it (or behind a replay)
-        self.pending: deque[Message] = deque()
+        self.pending: deque[bytearray] = deque()
 
 
 class _Hub:
@@ -563,6 +601,8 @@ class _Hub:
         self.messages_routed = 0
         #: messages replayed to replacement incarnations
         self.replays = 0
+        #: driver-side wire counters (merged into SocketWorld.wire_summary)
+        self.counters = WireCounters()
 
     def start(self) -> None:
         self._accept_thread.start()
@@ -629,9 +669,9 @@ class _Hub:
 
     # -- delivery (all three helpers expect link.lock held) ------------
     def _requeue_unacked_locked(self, link: _RankLink) -> None:
-        # Delivered-but-unconsumed messages must precede the backlog so the
+        # Delivered-but-unconsumed bodies must precede the backlog so the
         # replacement sees the same FIFO-per-pair order the dead incarnation
-        # would have.
+        # would have (they get fresh sequence numbers on the next flush).
         if link.unacked:
             self.replays += len(link.unacked)
             link.pending.extendleft(reversed(list(link.unacked.values())))
@@ -648,33 +688,63 @@ class _Hub:
 
     def _flush_locked(self, link: _RankLink) -> None:
         while link.pending and link.conn is not None:
-            message = link.pending[0]
-            seq = link.next_seq
-            frame = encode_frame(FRAME_MESSAGE, encode_message(message, seq))
+            # Drain the backlog in chunks: sequence numbers are patched into
+            # each body, then one MESSAGE (single body) or BATCH (several)
+            # frame carries the chunk — one syscall for a whole burst.
+            chunk: list[bytearray] = []
+            seqs: list[int] = []
+            size = 0
+            while link.pending and size < MAX_BATCH_BYTES:
+                body = link.pending.popleft()
+                seq = link.next_seq
+                link.next_seq += 1
+                patch_seq(body, seq)
+                chunk.append(body)
+                seqs.append(seq)
+                size += len(body)
+            if len(chunk) == 1:
+                frame = encode_frame(FRAME_MESSAGE, bytes(chunk[0]))
+            else:
+                frame = encode_frame(FRAME_BATCH, pack_bodies(chunk))
+                self.counters.coalesced_batches += 1
+                self.counters.coalesced_messages += len(chunk)
             try:
                 link.conn.sendall(frame)
             except OSError:
+                # Put the chunk back in order; it will be re-sequenced (and
+                # replayed) for the next incarnation.
+                link.pending.extendleft(reversed(chunk))
                 self._disconnect_locked(link)
                 return
-            link.pending.popleft()
-            link.next_seq += 1
-            link.unacked[seq] = message
+            self.counters.frames_sent += 1
+            self.counters.bytes_sent += len(frame)
+            for seq, body in zip(seqs, chunk):
+                link.unacked[seq] = body
 
     def post(self, message: Message) -> None:
-        """Route one message to its destination rank (buffered if offline)."""
-        link = self._links.get(message.dest)
-        if link is None:
-            logger.warning(
-                "hub dropped message with tag %r: destination rank %d is not "
-                "part of this machine",
-                message.tag,
-                message.dest,
-            )
-            return
-        with link.lock:
-            link.pending.append(message)
-            self._flush_locked(link)
-            self.messages_routed += 1
+        """Route one driver-side message to its destination (buffered if offline)."""
+        self._route_bodies([bytearray(encode_message(message, 0, self.counters))])
+
+    def _route_bodies(self, bodies) -> None:
+        """Route encoded bodies by their envelope ``dest``, one flush per link."""
+        touched: dict[int, tuple[_RankLink, list[bytearray]]] = {}
+        for body in bodies:
+            body = body if isinstance(body, bytearray) else bytearray(body)
+            dest = peek_dest(body)
+            link = self._links.get(dest)
+            if link is None:
+                logger.warning(
+                    "hub dropped a message: destination rank %d is not part "
+                    "of this machine",
+                    dest,
+                )
+                continue
+            touched.setdefault(dest, (link, []))[1].append(body)
+        for link, items in touched.values():
+            with link.lock:
+                link.pending.extend(items)
+                self._flush_locked(link)
+                self.messages_routed += len(items)
 
     # -- per-connection reader -----------------------------------------
     def _serve_rank(self, link: _RankLink, conn: socket.socket, conn_id: int) -> None:
@@ -685,12 +755,19 @@ class _Hub:
                     break
                 kind, body = frame
                 if kind == FRAME_MESSAGE:
-                    _seq, message = decode_message(body)
-                    self.post(message)
+                    self.counters.frames_received += 1
+                    self.counters.bytes_received += HEADER_SIZE + len(body)
+                    self._route_bodies([body])
+                elif kind == FRAME_BATCH:
+                    self.counters.frames_received += 1
+                    self.counters.bytes_received += HEADER_SIZE + len(body)
+                    self._route_bodies(iter_bodies(body))
                 elif kind == FRAME_ACK:
+                    # Cumulative: retire everything up to the watermark.
                     (seq,) = _ACK.unpack(body)
                     with link.lock:
-                        link.unacked.pop(seq, None)
+                        while link.unacked and next(iter(link.unacked)) <= seq:
+                            link.unacked.popitem(last=False)
                 elif kind in (FRAME_HEARTBEAT, FRAME_RESULT):
                     self._result_sink.put(pickle.loads(body))
                 else:
@@ -846,6 +923,9 @@ class SocketWorld(MultiprocessWorld):
             join_timeout=join_timeout,
             fault_tolerance=fault_tolerance,
             fault_plan=fault_plan,
+            # Ranks may live on other machines: everything travels the TCP
+            # fabric, never a shared-memory slab.
+            shm_threshold_bytes=None,
         )
         self.host = str(host)
         self.port = int(port)
@@ -853,6 +933,14 @@ class SocketWorld(MultiprocessWorld):
         self.connect_base_delay = float(connect_base_delay)
         #: the last run's hub (tests assert clean shutdown through `.closed`)
         self._hub: _Hub | None = None
+
+    def wire_summary(self) -> dict[str, float]:
+        """Rank-side wire counters plus the hub's own routing traffic."""
+        summary = super().wire_summary()
+        if self.trace.enabled and self._hub is not None:
+            for key, value in self._hub.counters.as_dict().items():
+                summary[key] += float(value)
+        return summary
 
     def _launch(self, origin: float) -> _RunHandles:
         result_queue: queue_module.Queue = queue_module.Queue()

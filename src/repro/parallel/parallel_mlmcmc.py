@@ -46,6 +46,7 @@ from repro.parallel.roles import (
 )
 from repro.parallel.simmpi.world import VirtualWorld
 from repro.parallel.trace import TraceRecorder
+from repro.parallel.wire import WIRE_SUMMARY_KEYS
 from repro.utils.random import RandomSource
 
 __all__ = ["ParallelMLMCMCResult", "ParallelMLMCMCSampler"]
@@ -88,6 +89,9 @@ class ParallelMLMCMCResult:
     resumed_from: str | None = None
     #: realized continuation-allocation trajectory (empty for static runs)
     allocation_rounds: list[AllocationRound] = field(default_factory=list)
+    #: transport wire counters (bytes/frames/coalescing/OOB arrays); empty on
+    #: backends without a wire fabric — the summary reports NaN then
+    wire_stats: dict[str, float] = field(default_factory=dict)
 
     @property
     def degraded(self) -> bool:
@@ -139,6 +143,10 @@ class ParallelMLMCMCResult:
             "worker_utilization": self.worker_utilization(),
             "model_evaluations": sum(self.model_evaluations.values()),
         }
+        # Same populated-or-NaN contract as worker_utilization, and the same
+        # key set on every backend (the conformance suite pins the layout).
+        for key in WIRE_SUMMARY_KEYS:
+            data[f"wire_{key}"] = float(self.wire_stats.get(key, float("nan")))
         if self.failure_report is not None:
             data["rank_failures"] = len(self.failure_report.failures)
             data["rank_restarts"] = self.failure_report.restarts_used
@@ -487,11 +495,18 @@ class ParallelMLMCMCSampler:
             worker_stats=stats["worker_stats"],
             failure_report=failure_report,
             allocation_rounds=list(root.allocation_rounds),
+            wire_stats=self._wire_stats(world),
         )
         self._write_final_checkpoint(result)
         return result
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _wire_stats(world) -> dict[str, float]:
+        """The world's wire counters, if its transport has a wire fabric."""
+        wire_summary = getattr(world, "wire_summary", None)
+        return dict(wire_summary()) if wire_summary is not None else {}
+
     def _gather_stats(self, world) -> dict:
         """Per-role statistics from the (absorbed) driver-side twins."""
         samples_per_level: dict[int, int] = {}
@@ -678,4 +693,5 @@ class ParallelMLMCMCSampler:
             worker_stats=stats["worker_stats"],
             failure_report=report,
             allocation_rounds=list(root.allocation_rounds),
+            wire_stats=self._wire_stats(world),
         )

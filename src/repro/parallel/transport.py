@@ -165,6 +165,17 @@ class Transport:
     def poll(self, process: "RankProcess") -> None:
         """Move already-delivered messages into ``process``'s mailbox."""
 
+    def flush(self) -> None:
+        """Ship any sends the transport buffered for coalescing.
+
+        Transports that batch outbound messages (the real-process backends)
+        override this; the contract is that a flush happens at every point
+        the generator gives up control — entering a blocking receive,
+        resuming after a ``Compute``, every ``poll`` and generator
+        completion — so buffering never changes FIFO-per-pair delivery
+        order, only how many messages share a frame.
+        """
+
 
 class RankProcess:
     """Base class for all ranks (root, phonebook, controller, ...).

@@ -246,3 +246,213 @@ class TestConnectWithBackoff:
         listener.close()
         thread.join(timeout=5.0)
         assert len(dials) == 1, "a version skew must fail fast, not burn retries"
+
+
+# ----------------------------------------------------------------------------
+# payload codec: out-of-band ndarray framing (repro.parallel.wire)
+# ----------------------------------------------------------------------------
+
+from repro.parallel.wire import (  # noqa: E402  (grouped with the suite they test)
+    WIRE_CODEC_VERSION,
+    MessageBatch,
+    WireCounters,
+    _ArraySlot,
+    decode_payload,
+    dispose_item,
+    encode_payload,
+    iter_bodies,
+    pack_bodies,
+    patch_seq,
+    payload_array_nbytes,
+    peek_dest,
+    peek_seq,
+    read_slab,
+    write_slab,
+)
+
+
+def payload_roundtrip(obj):
+    return decode_payload(encode_payload(obj))
+
+
+class TestPayloadCodecRoundTrip:
+    def test_zero_d_array(self):
+        decoded = payload_roundtrip(np.array(3.5))
+        assert decoded.shape == ()
+        assert decoded.dtype == np.float64
+        assert decoded == 3.5
+
+    def test_empty_array(self):
+        decoded = payload_roundtrip(np.empty((0, 5), dtype=np.float32))
+        assert decoded.shape == (0, 5)
+        assert decoded.dtype == np.float32
+
+    def test_fortran_ordered_array_bitwise(self):
+        array = np.asfortranarray(np.arange(35.0).reshape(7, 5))
+        assert array.flags.f_contiguous and not array.flags.c_contiguous
+        decoded = payload_roundtrip(array)
+        np.testing.assert_array_equal(decoded, array)
+        assert decoded.flags.f_contiguous
+
+    def test_non_contiguous_array_bitwise(self):
+        base = np.arange(120.0).reshape(10, 12)
+        sliced = base[::2, ::3]
+        assert not sliced.flags.c_contiguous
+        decoded = payload_roundtrip(sliced)
+        np.testing.assert_array_equal(decoded, sliced)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_megabyte_array_bitwise(self, dtype):
+        rng = np.random.default_rng(3)
+        array = rng.standard_normal(1_100_000 // np.dtype(dtype).itemsize).astype(dtype)
+        decoded = payload_roundtrip(array)
+        np.testing.assert_array_equal(decoded, array)
+        assert decoded.dtype == dtype
+
+    def test_nested_tuple_payload_bitwise(self):
+        payload = (
+            np.arange(6, dtype=np.int64),
+            [np.ones((2, 3), dtype=np.float32), "label"],
+            {"qoi": np.linspace(0.0, 1.0, 17), "count": 4},
+        )
+        decoded = payload_roundtrip(payload)
+        np.testing.assert_array_equal(decoded[0], payload[0])
+        np.testing.assert_array_equal(decoded[1][0], payload[1][0])
+        assert decoded[1][1] == "label"
+        np.testing.assert_array_equal(decoded[2]["qoi"], payload[2]["qoi"])
+        assert decoded[2]["count"] == 4
+
+    def test_arrayless_payload_stays_in_pickle_mode(self):
+        buf = encode_payload({"n": 4, "tags": ["a", "b"]})
+        assert buf[1] == 0  # _MODE_PICKLE
+        assert decode_payload(buf) == {"n": 4, "tags": ["a", "b"]}
+
+    def test_object_dtype_falls_back_to_pickle(self):
+        array = np.array([{"a": 1}, None], dtype=object)
+        buf = encode_payload(array)
+        assert buf[1] == 0  # _MODE_PICKLE: object buffers cannot go out-of-band
+        decoded = decode_payload(buf)
+        assert decoded[0] == {"a": 1} and decoded[1] is None
+
+    def test_decoded_arrays_are_readonly_views(self):
+        decoded = payload_roundtrip(np.arange(5.0))
+        assert not decoded.flags.writeable
+        with pytest.raises(ValueError):
+            decoded[0] = 99.0
+
+    def test_counters_track_oob_traffic(self):
+        counters = WireCounters()
+        array = np.arange(64, dtype=np.float64)
+        encode_payload((array, array.astype(np.float32)), counters)
+        assert counters.oob_arrays == 2
+        assert counters.oob_bytes == array.nbytes + array.nbytes // 2
+
+    def test_payload_array_nbytes_scans_containers(self):
+        array = np.zeros(100, dtype=np.float64)
+        assert payload_array_nbytes({"a": [array, (array,)]}) == 2 * array.nbytes
+        assert payload_array_nbytes("no arrays here") == 0
+
+
+class TestPayloadCodecRejection:
+    def test_truncated_preamble_rejected(self):
+        with pytest.raises(TruncatedFrameError, match="preamble"):
+            decode_payload(b"\x01")
+
+    def test_codec_version_mismatch_rejected(self):
+        buf = bytearray(encode_payload(np.arange(3.0)))
+        buf[0] = WIRE_CODEC_VERSION + 1
+        with pytest.raises(WireProtocolError, match="codec version"):
+            decode_payload(bytes(buf))
+
+    def test_unknown_mode_rejected(self):
+        buf = bytearray(encode_payload(np.arange(3.0)))
+        buf[1] = 9
+        with pytest.raises(WireProtocolError, match="mode"):
+            decode_payload(bytes(buf))
+
+    def test_skewed_array_header_rejected(self):
+        # one 1-D float64 array: nbytes field sits right after the preamble
+        # (2), count (4), block head (3), dtype string ('<f8', 3) and the one
+        # shape dimension (8) — corrupt it so shape and byte count disagree.
+        buf = bytearray(encode_payload(np.arange(4.0)))
+        offset = 2 + 4 + 3 + 3 + 8
+        struct.pack_into("!Q", buf, offset, 4 * 8 + 8)
+        with pytest.raises(WireProtocolError, match="skewed"):
+            decode_payload(bytes(buf))
+
+    def test_truncated_array_buffer_rejected(self):
+        buf = encode_payload(np.arange(4.0))
+        with pytest.raises(TruncatedFrameError, match="array block"):
+            decode_payload(buf[: 2 + 4 + 3 + 3 + 8 + 8 + 11])
+
+    def test_slot_out_of_range_rejected(self):
+        # a skeleton referencing a block that was never framed must fail
+        # loudly, not dereference garbage
+        buf = encode_payload((np.arange(3.0), _ArraySlot(5)))
+        with pytest.raises(WireProtocolError, match="block"):
+            decode_payload(buf)
+
+
+class TestEnvelopeHelpers:
+    def test_peek_and_patch_seq_without_payload_decode(self):
+        message = Message(source=2, dest=9, tag="COLLECT", payload=np.arange(8.0))
+        body = bytearray(encode_message(message, seq=7))
+        assert peek_seq(body) == 7
+        assert peek_dest(body) == 9
+        patch_seq(body, 123456)
+        seq, decoded = decode_message(bytes(body))
+        assert seq == 123456
+        np.testing.assert_array_equal(decoded.payload, message.payload)
+
+    def test_peek_on_truncated_envelope_rejected(self):
+        with pytest.raises(TruncatedFrameError):
+            peek_seq(b"\x00\x01")
+        with pytest.raises(TruncatedFrameError):
+            peek_dest(b"\x00\x01")
+
+    def test_batch_blob_roundtrips_bitwise(self):
+        bodies = [
+            encode_message(Message(source=0, dest=r, tag=f"T{r}", payload=r), seq=r)
+            for r in range(3)
+        ]
+        unpacked = list(iter_bodies(pack_bodies(bodies)))
+        assert [bytes(b) for b in unpacked] == bodies
+        for r, body in enumerate(unpacked):
+            seq, decoded = decode_message(body)
+            assert (seq, decoded.dest, decoded.tag, decoded.payload) == (r, r, f"T{r}", r)
+
+    def test_truncated_batch_blob_rejected(self):
+        blob = pack_bodies(
+            [encode_message(Message(source=0, dest=1, tag="X", payload="y"))]
+        )
+        with pytest.raises(TruncatedFrameError):
+            list(iter_bodies(blob[:-3]))
+        with pytest.raises(TruncatedFrameError):
+            list(iter_bodies(blob[:2]))
+
+
+class TestSharedMemoryLane:
+    def test_slab_roundtrip_and_single_delivery_lifetime(self):
+        body = encode_message(
+            Message(source=1, dest=2, tag="BIG", payload=np.arange(50_000.0))
+        )
+        ref = write_slab(body)
+        assert ref.nbytes == len(body)
+        assert read_slab(ref) == body
+        # the read unlinked the slab: a second delivery must fail loudly
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=ref.name)
+
+    def test_dispose_item_unlinks_unconsumed_slabs(self):
+        from multiprocessing import shared_memory
+
+        ref = write_slab(b"x" * 4096)
+        dispose_item(MessageBatch([(MessageBatch.LANE_SHM, ref)]))
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=ref.name)
+
+    def test_dispose_item_ignores_plain_messages_and_inline_entries(self):
+        dispose_item(Message(source=0, dest=1, tag="A", payload=None))
+        dispose_item(MessageBatch([(MessageBatch.LANE_INLINE, b"body")]))

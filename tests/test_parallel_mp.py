@@ -22,6 +22,9 @@ from repro.experiments import get_scenario, run_scenario
 from repro.experiments.runner import BackendNotApplicableError
 from repro.models.gaussian import GaussianHierarchyFactory
 from repro.parallel import ConstantCostModel, ParallelMLMCMCSampler
+from repro.parallel.mp import MultiprocessWorld
+from repro.parallel.trace import TraceRecorder
+from repro.parallel.transport import RankProcess
 
 
 @pytest.fixture(scope="module")
@@ -194,3 +197,99 @@ class TestExperimentPlumbing:
     def test_non_parallel_manifests_record_null_backend(self, tmp_path):
         run = run_scenario("ablation-subsampling", quick=True, out_dir=tmp_path)
         assert run.manifest["parallel_backend"] is None
+
+
+# ----------------------------------------------------------------------------
+class _FabricProducer(RankProcess):
+    """Sends bursts of ndarray payloads, gated by consumer ROUND_DONEs."""
+
+    role = "fabric-producer"
+
+    def __init__(self, rank, consumer_rank, rounds, burst):
+        super().__init__(rank)
+        self.consumer_rank = consumer_rank
+        self.rounds = rounds
+        self.burst = burst
+
+    def run(self):
+        for round_idx in range(self.rounds):
+            for i in range(self.burst):
+                payload = np.full(2048, float(round_idx * self.burst + i))
+                yield self.send(self.consumer_rank, "DATA", payload)
+            yield self.recv("ROUND_DONE")
+
+
+class _FabricConsumer(RankProcess):
+    """Receives the bursts and harvests payload checksums for the driver."""
+
+    role = "fabric-consumer"
+
+    def __init__(self, rank, producer_rank, rounds, burst):
+        super().__init__(rank)
+        self.producer_rank = producer_rank
+        self.rounds = rounds
+        self.burst = burst
+        self.checksums = []
+
+    def run(self):
+        checksums = []
+        for _ in range(self.rounds):
+            for _ in range(self.burst):
+                message = yield self.recv("DATA")
+                checksums.append(float(message.payload.sum()))
+            yield self.send(self.producer_rank, "ROUND_DONE")
+        self.checksums = checksums
+
+    def harvest(self):
+        return {"checksums": self.checksums}
+
+
+class TestWireFabric:
+    """Coalescing, the shared-memory lane and the byte-accounting contract."""
+
+    ROUNDS, BURST = 2, 8
+
+    def _run_world(self, *, trace_enabled, shm_threshold_bytes):
+        world = MultiprocessWorld(
+            trace=TraceRecorder(enabled=trace_enabled),
+            shm_threshold_bytes=shm_threshold_bytes,
+        )
+        consumer = _FabricConsumer(1, 0, self.ROUNDS, self.BURST)
+        world.add_process(_FabricProducer(0, 1, self.ROUNDS, self.BURST))
+        world.add_process(consumer)
+        world.run()
+        expected = [
+            2048.0 * n for n in range(self.ROUNDS * self.BURST)
+        ]
+        assert consumer.checksums == expected, "payloads corrupted in transit"
+        return world
+
+    def test_shm_lane_carries_large_coalesced_batches(self):
+        # 16 KiB float64 payloads against a 4 KiB threshold: every flushed
+        # batch must ride the shared-memory lane, and the payloads must
+        # survive the slab round-trip bitwise (checksums checked above).
+        world = self._run_world(trace_enabled=True, shm_threshold_bytes=4096)
+        wire = world.wire_summary()
+        assert wire["shm_messages"] > 0
+        assert wire["shm_bytes"] > 2048 * 8
+        assert wire["oob_arrays"] >= self.ROUNDS * self.BURST
+
+    def test_bursts_coalesce_into_batches(self):
+        world = self._run_world(trace_enabled=True, shm_threshold_bytes=None)
+        wire = world.wire_summary()
+        assert wire["coalesced_batches"] > 0
+        assert wire["coalesced_messages"] > wire["coalesced_batches"]
+        assert wire["shm_messages"] == 0  # lane disabled
+        summary = world.summary()
+        assert summary["bytes_sent"] > 0
+        for rank in (0, 1):
+            assert summary[f"rank{rank}_bytes_sent"] > 0
+            assert summary[f"rank{rank}_bytes_received"] > 0
+
+    def test_byte_accounting_nan_when_tracing_off(self):
+        world = self._run_world(trace_enabled=False, shm_threshold_bytes=4096)
+        assert all(math.isnan(v) for v in world.wire_summary().values())
+        summary = world.summary()
+        assert math.isnan(summary["bytes_sent"])
+        assert math.isnan(summary["rank0_bytes_sent"])
+        assert math.isnan(summary["rank1_bytes_received"])
